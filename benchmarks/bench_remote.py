@@ -1,0 +1,91 @@
+"""Ablation A8 — remote references (Section 4.4).
+
+The paper implemented only LOCAL/GLOBAL placement and asked whether
+reference patterns are ever "lopsided enough to make remote references
+profitable".  With the extension implemented, the question is
+quantitative: sweep the dominant thread's share of the traffic and
+compare automatic placement (the hot region is pinned in global memory)
+against pragma-driven home-node placement (dominant user local, others
+remote).
+
+On ACE latencies (local fetch 0.65 µs, global 1.5 µs, remote 2.2 µs) the
+break-even sits near a ~50 % dominant share for a fetch-heavy mix —
+remote references pay off only for strongly lopsided data, supporting the
+paper's decision not to rely on them without pragmas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core.policies import HomeNodePolicy, MoveThresholdPolicy
+from repro.core.policies.pragma import Pragma
+from repro.sim.harness import run_once
+from repro.workloads.lopsided import LopsidedSharing
+
+from conftest import once, save_artifact
+
+SHARES = (0.2, 0.35, 0.5, 0.7, 0.9)
+
+_totals: Dict[float, Dict[str, float]] = {}
+
+
+def _run(share: float):
+    automatic = run_once(
+        LopsidedSharing(dominant_share=share),
+        MoveThresholdPolicy(4),
+        n_processors=7,
+        check_invariants=False,
+    )
+    remote = run_once(
+        LopsidedSharing(dominant_share=share, pragma=Pragma.REMOTE),
+        HomeNodePolicy(MoveThresholdPolicy(4)),
+        n_processors=7,
+        check_invariants=False,
+    )
+    return automatic, remote
+
+
+@pytest.mark.parametrize("share", SHARES)
+def test_lopsidedness_sweep(benchmark, share):
+    automatic, remote = once(benchmark, lambda: _run(share))
+    assert remote.stats.remote_mappings > 0
+    assert remote.stats.moves == 0  # the home never changes
+    _totals[share] = {
+        "automatic": automatic.user_time_us + automatic.system_time_us,
+        "remote": remote.user_time_us + remote.system_time_us,
+    }
+
+
+def test_crossover_shape(benchmark):
+    """Remote placement must lose when balanced and win when lopsided."""
+    assert len(_totals) == len(SHARES)
+
+    def check() -> str:
+        # Balanced traffic: everyone pays the remote premium — automatic
+        # (global) placement wins.
+        assert _totals[0.2]["remote"] > _totals[0.2]["automatic"]
+        # Strongly lopsided: the dominant user's local references win.
+        assert _totals[0.7]["remote"] < _totals[0.7]["automatic"]
+        assert _totals[0.9]["remote"] < _totals[0.9]["automatic"]
+        # The advantage is monotone in the dominant share.
+        gains = [
+            _totals[s]["automatic"] - _totals[s]["remote"] for s in SHARES
+        ]
+        assert gains == sorted(gains)
+        lines = ["Remote references vs automatic placement (Section 4.4)"]
+        for share in SHARES:
+            auto = _totals[share]["automatic"] / 1e6
+            rem = _totals[share]["remote"] / 1e6
+            winner = "remote" if rem < auto else "automatic"
+            lines.append(
+                f"  dominant share {share:.0%}: automatic {auto:.3f}s  "
+                f"remote {rem:.3f}s  -> {winner}"
+            )
+        return "\n".join(lines)
+
+    text = once(benchmark, check)
+    save_artifact("remote.txt", text)
+    print(f"\n{text}")

@@ -1,0 +1,181 @@
+"""Experiments E1/E2 — Tables 1 and 2: the protocol's action tables.
+
+The tables are regenerated from the live transition structures and
+checked cell-by-cell against the paper's text; the microbenchmarks then
+measure the cost of actually *executing* each row class through the full
+manager (fault path included), which is the per-transition overhead the
+paper's Section 3.3 talks about streamlining.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import AllGlobalEverythingPolicy, AllLocalPolicy
+from repro.core.state import AccessKind, PageState, PlacementDecision
+from repro.core.transitions import (
+    READ_TABLE,
+    WRITE_TABLE,
+    Cleanup,
+    StateKey,
+)
+from repro.vm.vm_object import shared_object
+
+from conftest import make_bench_rig, once, save_artifact
+
+#: The paper's Table 1 (read requests), transcribed: cell -> three lines.
+PAPER_TABLE_1 = {
+    ("LOCAL", "Read-Only"): ("no action", "copy to local", "read-only"),
+    ("LOCAL", "Global-Writable"): ("unmap all", "copy to local", "read-only"),
+    ("LOCAL", "Local-Writable on own node"): (
+        "no action", "-", "local-writable"),
+    ("LOCAL", "Local-Writable on other node"): (
+        "sync&flush other", "copy to local", "read-only"),
+    ("GLOBAL", "Read-Only"): ("flush all", "-", "global-writable"),
+    ("GLOBAL", "Global-Writable"): ("no action", "-", "global-writable"),
+    ("GLOBAL", "Local-Writable on own node"): (
+        "sync&flush own", "-", "global-writable"),
+    ("GLOBAL", "Local-Writable on other node"): (
+        "sync&flush other", "-", "global-writable"),
+}
+
+#: The paper's Table 2 (write requests).
+PAPER_TABLE_2 = {
+    ("LOCAL", "Read-Only"): ("flush other", "copy to local", "local-writable"),
+    ("LOCAL", "Global-Writable"): (
+        "unmap all", "copy to local", "local-writable"),
+    ("LOCAL", "Local-Writable on own node"): (
+        "no action", "-", "local-writable"),
+    ("LOCAL", "Local-Writable on other node"): (
+        "sync&flush other", "copy to local", "local-writable"),
+    ("GLOBAL", "Read-Only"): ("flush all", "-", "global-writable"),
+    ("GLOBAL", "Global-Writable"): ("no action", "-", "global-writable"),
+    ("GLOBAL", "Local-Writable on own node"): (
+        "sync&flush own", "-", "global-writable"),
+    ("GLOBAL", "Local-Writable on other node"): (
+        "sync&flush other", "-", "global-writable"),
+}
+
+
+def _render(table, title: str) -> str:
+    lines = [title]
+    for (decision, state), spec in table.items():
+        cell = spec.describe()
+        lines.append(
+            f"  {decision.name:6s} x {state.value:30s} -> "
+            f"{cell[0]:18s} | {cell[1]:13s} | {cell[2]}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_matches_paper(benchmark):
+    def check() -> str:
+        for (decision, state), spec in READ_TABLE.items():
+            expected = PAPER_TABLE_1[(decision.name, state.value)]
+            assert spec.describe() == expected, (decision, state)
+        return _render(READ_TABLE, "Table 1: actions for read requests")
+
+    text = once(benchmark, check)
+    save_artifact("table1.txt", text)
+    print(f"\n{text}")
+
+
+def test_table2_matches_paper(benchmark):
+    def check() -> str:
+        for (decision, state), spec in WRITE_TABLE.items():
+            expected = PAPER_TABLE_2[(decision.name, state.value)]
+            assert spec.describe() == expected, (decision, state)
+        return _render(WRITE_TABLE, "Table 2: actions for write requests")
+
+    text = once(benchmark, check)
+    save_artifact("table2.txt", text)
+    print(f"\n{text}")
+
+
+def _transition_driver(kind: AccessKind, target_state: PageState):
+    """Build a loop that repeatedly exercises one transition class."""
+
+    def run() -> None:
+        rig = make_bench_rig(
+            n_processors=2, local_pages_per_cpu=256, global_pages=512
+        )
+        region = rig.space.map_object(shared_object("bench", 128))
+        for offset in range(128):
+            vpage = region.vpage_at(offset)
+            if target_state is PageState.LOCAL_WRITABLE:
+                rig.faults.handle(0, vpage, AccessKind.WRITE)
+                rig.faults.handle(1, vpage, kind)  # LW on other node
+            elif target_state is PageState.READ_ONLY:
+                rig.faults.handle(0, vpage, AccessKind.READ)
+                rig.faults.handle(1, vpage, kind)
+            else:
+                rig.faults.handle(0, vpage, kind)  # first touch
+
+    return run
+
+
+def test_transition_cost_read_of_foreign_dirty_page(benchmark):
+    """Table 1's most expensive cell: sync&flush other + copy to local."""
+    benchmark.pedantic(
+        _transition_driver(AccessKind.READ, PageState.LOCAL_WRITABLE),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_transition_cost_write_steal(benchmark):
+    """Table 2: write to a page Local-Writable on another node."""
+    benchmark.pedantic(
+        _transition_driver(AccessKind.WRITE, PageState.LOCAL_WRITABLE),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_transition_cost_replication(benchmark):
+    """Table 1: read of a Read-Only page (copy to local)."""
+    benchmark.pedantic(
+        _transition_driver(AccessKind.READ, PageState.READ_ONLY),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_transition_cost_first_touch(benchmark):
+    """The zero-fill fast path."""
+    benchmark.pedantic(
+        _transition_driver(AccessKind.WRITE, PageState.UNTOUCHED),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_policy_decision_overhead(benchmark):
+    """cache_policy must be cheap: it runs on every fault."""
+    from repro.core.policies import MoveThresholdPolicy
+
+    rig = make_bench_rig(n_processors=2)
+    region = rig.space.map_object(shared_object("p", 1))
+    rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+    page = region.vm_object.resident_page(0)
+    policy = MoveThresholdPolicy(4)
+
+    def decide():
+        for _ in range(1000):
+            policy.cache_policy(page, AccessKind.WRITE, 0)
+
+    benchmark(decide)
+
+
+def test_all_local_and_all_global_decisions(benchmark):
+    rig = make_bench_rig(n_processors=2)
+    region = rig.space.map_object(shared_object("p", 1))
+    rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+    page = region.vm_object.resident_page(0)
+    local = AllLocalPolicy()
+    global_ = AllGlobalEverythingPolicy()
+
+    def decide():
+        for _ in range(500):
+            local.cache_policy(page, AccessKind.READ, 0)
+            global_.cache_policy(page, AccessKind.READ, 0)
+
+    benchmark(decide)

@@ -1,0 +1,97 @@
+"""Analysis: the paper's model, traces, false sharing, optimal placement."""
+
+from repro.analysis import model, paper
+from repro.analysis.bus import BusReport, analyze_bus
+from repro.analysis.diagrams import figure1, figure2, wiring_report
+from repro.analysis.layout_advisor import (
+    Advice,
+    AdviceKind,
+    LayoutReport,
+    advise,
+)
+from repro.analysis.false_sharing import (
+    FalseSharingReport,
+    PageClass,
+    PageReport,
+    analyze,
+    classify_pages,
+)
+from repro.analysis.model import (
+    ModelParameters,
+    gamma,
+    predict_t_global,
+    predict_t_numa,
+    solve,
+    solve_alpha,
+    solve_beta,
+)
+from repro.analysis.optimal import (
+    OptimalComparison,
+    compare_to_optimal,
+    compress_events,
+    optimal_page_cost,
+)
+from repro.analysis.speedup import (
+    SpeedupCurve,
+    SpeedupPoint,
+    elapsed_us,
+    speedup_curve,
+)
+from repro.analysis.report import (
+    Evaluation,
+    EvaluationRow,
+    format_measured_alpha,
+    format_table3,
+    format_table4,
+    run_evaluation,
+)
+from repro.analysis.tracing import (
+    FaultEvent,
+    PageTraceSummary,
+    RefEvent,
+    TraceCollector,
+)
+
+__all__ = [
+    "model",
+    "paper",
+    "BusReport",
+    "analyze_bus",
+    "figure1",
+    "figure2",
+    "wiring_report",
+    "FalseSharingReport",
+    "PageClass",
+    "PageReport",
+    "analyze",
+    "classify_pages",
+    "Advice",
+    "AdviceKind",
+    "LayoutReport",
+    "advise",
+    "SpeedupCurve",
+    "SpeedupPoint",
+    "elapsed_us",
+    "speedup_curve",
+    "ModelParameters",
+    "gamma",
+    "predict_t_global",
+    "predict_t_numa",
+    "solve",
+    "solve_alpha",
+    "solve_beta",
+    "OptimalComparison",
+    "compare_to_optimal",
+    "compress_events",
+    "optimal_page_cost",
+    "Evaluation",
+    "EvaluationRow",
+    "format_measured_alpha",
+    "format_table3",
+    "format_table4",
+    "run_evaluation",
+    "FaultEvent",
+    "PageTraceSummary",
+    "RefEvent",
+    "TraceCollector",
+]

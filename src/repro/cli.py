@@ -1,0 +1,421 @@
+"""Command-line interface: regenerate every table and figure.
+
+Usage::
+
+    repro-numa table3            # Table 3 (the headline evaluation)
+    repro-numa table4            # Table 4 (system-time overhead)
+    repro-numa tables12          # Tables 1-2 from the live transition rules
+    repro-numa figures           # Figures 1-2 from the live configuration
+    repro-numa latency           # Section 2.2 latency table
+    repro-numa alpha             # model-recovered vs measured alpha
+    repro-numa sweep             # move-threshold ablation
+    repro-numa false-sharing     # Primes2 case study (Section 4.2)
+    repro-numa optimal           # Tnuma vs offline-optimal placement
+    repro-numa advise            # layout advice from a reference trace
+    repro-numa bus               # IPC-bus utilization per application
+    repro-numa speedup           # speedup curves (elapsed-time view)
+    repro-numa all               # tables, figures, latencies, alpha
+
+``--quick`` uses the scaled-down test workloads (seconds instead of
+minutes of wall time for the sweep-style commands).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import model as eqs
+from repro.analysis.diagrams import figure1, figure2, wiring_report
+from repro.analysis.paper import ACE_LATENCIES, PRIMES2_FALSE_SHARING_ALPHA
+from repro.analysis.report import (
+    format_measured_alpha,
+    format_table3,
+    format_table4,
+    run_evaluation,
+)
+from repro.core.state import AccessKind, PlacementDecision
+from repro.core.transitions import READ_TABLE, WRITE_TABLE, StateKey
+from repro.machine.config import TimingParameters, ace_config
+from repro.sim.harness import measure_placement
+from repro.workloads import TABLE_3_WORKLOADS, small_workloads
+from repro.workloads.primes import Primes2
+
+
+def _workload_set(quick: bool) -> Dict[str, Callable]:
+    if quick:
+        small = small_workloads()
+        return {name: (lambda wl=wl: wl) for name, wl in small.items()}
+    return dict(TABLE_3_WORKLOADS)
+
+
+def cmd_table3(args: argparse.Namespace) -> None:
+    """Regenerate Table 3."""
+    evaluation = run_evaluation(
+        _workload_set(args.quick),
+        n_processors=args.processors,
+        threshold=args.threshold,
+    )
+    print(format_table3(evaluation))
+
+
+def cmd_table4(args: argparse.Namespace) -> None:
+    """Regenerate Table 4."""
+    evaluation = run_evaluation(
+        _workload_set(args.quick),
+        n_processors=args.processors,
+        threshold=args.threshold,
+    )
+    print(format_table4(evaluation))
+
+
+def cmd_alpha(args: argparse.Namespace) -> None:
+    """Model-recovered versus directly measured α."""
+    evaluation = run_evaluation(
+        _workload_set(args.quick),
+        n_processors=args.processors,
+        threshold=args.threshold,
+    )
+    print(format_measured_alpha(evaluation))
+
+
+def cmd_tables12(args: argparse.Namespace) -> None:
+    """Print Tables 1-2 from the live transition structures."""
+    del args
+    for title, table, kind in (
+        ("Table 1: NUMA Manager Actions for Read Requests", READ_TABLE,
+         AccessKind.READ),
+        ("Table 2: NUMA Manager Actions for Write Requests", WRITE_TABLE,
+         AccessKind.WRITE),
+    ):
+        del kind
+        print(title)
+        columns = [
+            StateKey.READ_ONLY,
+            StateKey.GLOBAL_WRITABLE,
+            StateKey.LOCAL_WRITABLE_OWN,
+            StateKey.LOCAL_WRITABLE_OTHER,
+        ]
+        header = ["Policy"] + [c.value for c in columns]
+        widths = [max(28, len(h)) for h in header]
+        print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for decision in (PlacementDecision.LOCAL, PlacementDecision.GLOBAL):
+            lines = [["", "", ""] for _ in range(len(columns) + 1)]
+            lines[0] = [decision.name, "", ""]
+            for i, col in enumerate(columns):
+                spec = table[(decision, col)]
+                lines[i + 1] = list(spec.describe())
+            for row in range(3):
+                print(
+                    "  ".join(
+                        lines[c][row].ljust(widths[c])
+                        for c in range(len(columns) + 1)
+                    )
+                )
+            print()
+        print()
+
+
+def cmd_figures(args: argparse.Namespace) -> None:
+    """Print Figures 1-2."""
+    config = ace_config(args.processors)
+    print(figure1(config))
+    print()
+    print(figure2())
+    print()
+    print("module wiring check:")
+    print(wiring_report())
+
+
+def cmd_latency(args: argparse.Namespace) -> None:
+    """Section 2.2: reference latencies and G/L ratios."""
+    del args
+    timing = TimingParameters()
+    print("32-bit reference times (µs), paper's measured values:")
+    for name, value in ACE_LATENCIES.items():
+        ours = getattr(timing, name)
+        print(f"  {name:18s} paper={value:<5} model={ours}")
+    print(f"  G/L fetch ratio     paper=2.3   model={timing.fetch_ratio:.2f}")
+    print(f"  G/L store ratio     paper=1.7   model={timing.store_ratio:.2f}")
+    print(
+        "  G/L 45%-store mix   paper=2.0   "
+        f"model={timing.mix_ratio(0.45):.2f}"
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    """Move-threshold ablation: γ and overhead versus the threshold."""
+    workloads = _workload_set(args.quick)
+    thresholds = [0, 1, 2, 4, 8, 16]
+    names = args.apps or ["Primes3", "IMatMult"]
+    for name in names:
+        factory = workloads[name]
+        print(f"{name}: threshold sweep ({args.processors} processors)")
+        print("  thresh   Tnuma    Snuma   moves   gamma")
+        base_local: Optional[float] = None
+        for threshold in thresholds:
+            m = measure_placement(
+                factory(),
+                n_processors=args.processors,
+                threshold=threshold,
+            )
+            if base_local is None:
+                base_local = m.t_local_s
+            print(
+                f"  {threshold:>6d}  {m.t_numa_s:>6.2f}  "
+                f"{m.numa.system_time_s:>7.2f}  {m.numa.stats.moves:>6d}  "
+                f"{m.t_numa_s / base_local:>6.3f}"
+            )
+        print()
+
+
+def cmd_false_sharing(args: argparse.Namespace) -> None:
+    """The Primes2 case study of Section 4.2."""
+    limit = 20_000 if args.quick else 200_000
+    print("Primes2 divisor placement (Section 4.2):")
+    for private in (False, True):
+        wl = Primes2(limit=limit, private_divisors=private)
+        m = measure_placement(wl, n_processors=args.processors)
+        label = "private divisors" if private else "shared divisors "
+        paper = PRIMES2_FALSE_SHARING_ALPHA[
+            "private_divisors" if private else "shared_divisors"
+        ]
+        alpha = m.numa.measured_alpha or 0.0
+        print(
+            f"  {label}: alpha={alpha:.2f} (paper {paper:.2f})  "
+            f"Tnuma={m.t_numa_s:.1f}s"
+        )
+
+
+def cmd_optimal(args: argparse.Namespace) -> None:
+    """Tnuma versus the offline optimal placement (always quick-scale)."""
+    from repro.analysis.optimal import compare_to_optimal
+    from repro.analysis.tracing import TraceCollector
+    from repro.core.policies import MoveThresholdPolicy
+    from repro.sim.harness import run_once
+
+    print("Placement cost vs offline optimum (scaled-down workloads):")
+    for name, workload in small_workloads().items():
+        trace = TraceCollector()
+        result = run_once(
+            workload,
+            MoveThresholdPolicy(args.threshold),
+            n_processors=args.processors,
+            observer=trace,
+        )
+        machine_timing = ace_config(args.processors)
+        from repro.machine.timing import TimingModel
+
+        timing = TimingModel(
+            machine_timing.timing, machine_timing.page_size_words
+        )
+        comparison = compare_to_optimal(
+            trace, timing, result.system_time_us
+        )
+        print(
+            f"  {name:10s} actual/optimal = {comparison.ratio:>5.2f}  "
+            f"({comparison.n_pages} pages)"
+        )
+
+
+def cmd_bus(args: argparse.Namespace) -> None:
+    """IPC-bus utilization per application (Section 3.1's assumption)."""
+    from repro.analysis.bus import analyze_bus
+    from repro.core.policies import MoveThresholdPolicy
+    from repro.sim.harness import run_once
+
+    config = ace_config(args.processors)
+    workloads = _workload_set(args.quick)
+    print(f"IPC-bus utilization at {args.processors} processors:")
+    for name, factory in workloads.items():
+        result = run_once(
+            factory(),
+            MoveThresholdPolicy(args.threshold),
+            n_processors=args.processors,
+            check_invariants=False,
+        )
+        report = analyze_bus(result, config)
+        verdict = "ok" if report.contention_free else "LOADED"
+        print(
+            f"  {name:10s} rho={report.utilization:5.3f}  "
+            f"x{report.contention_factor:4.2f} est. stretch  {verdict}"
+        )
+
+
+def cmd_speedup(args: argparse.Namespace) -> None:
+    """Speedup curves (the elapsed-time view the paper avoided)."""
+    from repro.analysis.speedup import speedup_curve
+
+    workloads = _workload_set(args.quick)
+    for name in args.apps or ["Primes1", "Primes3"]:
+        curve = speedup_curve(
+            workloads[name], processors=(1, 2, 4, args.processors)
+        )
+        print(curve.format())
+        print()
+
+
+def cmd_advise(args: argparse.Namespace) -> None:
+    """Run the layout advisor on one application's trace."""
+    from repro.analysis.layout_advisor import advise
+    from repro.analysis.tracing import TraceCollector
+    from repro.core.policies import MoveThresholdPolicy
+    from repro.sim.harness import build_simulation
+
+    workloads = _workload_set(args.quick)
+    for name in args.apps or ["Primes2", "Primes3"]:
+        factory = workloads[name]
+        trace = TraceCollector(keep_faults=False)
+        sim = build_simulation(
+            factory(),
+            MoveThresholdPolicy(args.threshold),
+            args.processors,
+            observer=trace,
+            check_invariants=False,
+        )
+        sim.engine.run(sim.threads)
+        report = advise(trace, space=sim.space)
+        print(f"{name}: layout advice (top 5 by estimated saving)")
+        if not report.advice:
+            print("  nothing to improve: no writably-shared traffic found")
+        for item in report.top(5):
+            saving = item.estimated_saving_us / 1000.0
+            print(
+                f"  [{item.kind.value:17s}] {item.object_name or '?':20s} "
+                f"vpage {item.vpage:>6d}  ~{saving:8.1f} ms  {item.rationale}"
+            )
+        print()
+
+
+def cmd_mix(args: argparse.Namespace) -> None:
+    """Run two applications simultaneously and compare with standalone."""
+    from repro.core.policies import MoveThresholdPolicy
+    from repro.sim.harness import run_once
+    from repro.sim.mix import run_mix
+
+    workloads = _workload_set(args.quick)
+    names = args.apps or ["IMatMult", "Primes3"]
+    factories = [workloads[name] for name in names]
+    print(f"application mix on {args.processors} processors: "
+          f"{' + '.join(names)}")
+    standalone = {}
+    for name, factory in zip(names, factories):
+        result = run_once(
+            factory(),
+            MoveThresholdPolicy(args.threshold),
+            n_processors=args.processors,
+            check_invariants=False,
+        )
+        standalone[name] = result.user_time_us
+    mix = run_mix(
+        [factory() for factory in factories],
+        MoveThresholdPolicy(args.threshold),
+        n_processors=args.processors,
+    )
+    for task in mix.tasks:
+        solo = standalone[task.workload]
+        ratio = task.user_time_us / solo if solo else 0.0
+        print(
+            f"  {task.workload:10s} standalone {solo / 1e6:8.3f}s   "
+            f"in mix {task.user_time_s:8.3f}s   ({ratio:.3f}x)"
+        )
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    """Write the full reproduction report to REPORT.md."""
+    from repro.analysis.repro_report import write_report
+
+    path = write_report(
+        "REPORT.md",
+        _workload_set(args.quick),
+        n_processors=args.processors,
+        threshold=args.threshold,
+    )
+    print(f"wrote {path.resolve()}")
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    """Everything: tables, figures, latencies, α check."""
+    evaluation = run_evaluation(
+        _workload_set(args.quick),
+        n_processors=args.processors,
+        threshold=args.threshold,
+    )
+    print(format_table3(evaluation))
+    print()
+    print(format_table4(evaluation))
+    print()
+    print(format_measured_alpha(evaluation))
+    print()
+    cmd_tables12(args)
+    cmd_figures(args)
+    print()
+    cmd_latency(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-numa",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=7,
+        help="simulated processors (paper's Table 4 used 7)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=int,
+        default=4,
+        help="move threshold (the paper's boot-time parameter, default 4)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use scaled-down workloads",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    commands = {
+        "table3": cmd_table3,
+        "table4": cmd_table4,
+        "tables12": cmd_tables12,
+        "figures": cmd_figures,
+        "latency": cmd_latency,
+        "alpha": cmd_alpha,
+        "sweep": cmd_sweep,
+        "false-sharing": cmd_false_sharing,
+        "optimal": cmd_optimal,
+        "advise": cmd_advise,
+        "bus": cmd_bus,
+        "speedup": cmd_speedup,
+        "mix": cmd_mix,
+        "report": cmd_report,
+        "all": cmd_all,
+    }
+    for name, func in commands.items():
+        sub = subparsers.add_parser(name, help=func.__doc__)
+        sub.set_defaults(func=func)
+        if name in ("sweep", "advise", "speedup", "mix"):
+            sub.add_argument(
+                "--apps",
+                nargs="*",
+                default=None,
+                help="applications to analyze",
+            )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Primitive protocol actions: sync, flush, unmap, copy, zero-fill.
+
+:class:`ActionExecutor` performs the operations named in the cells of
+Tables 1-2 against the simulated hardware — moving page contents between
+frames, dropping MMU translations — and charges their costs to the acting
+(faulting) processor's *system* time, which is what Table 4 measures.
+
+Cost model (documented per DESIGN.md §5):
+
+* Page copies are word-by-word CPU loops (the ACE has no copy engine):
+  a fetch from the source memory plus a store to the destination memory
+  per 32-bit word.  Syncing another processor's local copy is charged at
+  remote-fetch speed, since the kernel reads that memory across the bus.
+* Dropping or changing a mapping costs ``mapping_op_us`` on the acting
+  processor, or ``shootdown_us`` when another processor's MMU must be
+  touched.
+* Zero-filling is a store per word to the destination memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.directory import DirectoryEntry
+from repro.core.stats import NUMAStats
+from repro.errors import ProtocolError
+from repro.machine.machine import Machine
+from repro.machine.memory import Frame
+from repro.machine.timing import MemoryLocation
+
+
+class ActionExecutor:
+    """Executes protocol actions and accounts for their cost."""
+
+    def __init__(self, machine: Machine, stats: NUMAStats) -> None:
+        self._machine = machine
+        self._stats = stats
+
+    # -- cost helpers ------------------------------------------------------
+
+    def _charge(self, acting_cpu: int, microseconds: float) -> None:
+        self._machine.cpu(acting_cpu).charge_system(microseconds)
+
+    def _mapping_cost(self, acting_cpu: int, target_cpu: int) -> float:
+        timing = self._machine.timing
+        if acting_cpu == target_cpu:
+            return timing.mapping_op_us
+        return timing.shootdown_us
+
+    # -- primitive actions -------------------------------------------------
+
+    def sync(self, entry: DirectoryEntry, copy_cpu: int, acting_cpu: int) -> None:
+        """Copy *copy_cpu*'s local copy of the page back to global memory."""
+        local = entry.local_copies.get(copy_cpu)
+        if local is None:
+            raise ProtocolError(
+                f"page {entry.page_id}: sync requested for cpu {copy_cpu} "
+                "which holds no copy"
+            )
+        source = local.location_for(acting_cpu)
+        cost = self._machine.timing.page_copy_us(source, MemoryLocation.GLOBAL)
+        self._charge(acting_cpu, cost)
+        self._machine.memory.copy(local, entry.global_frame)
+        self._stats.syncs += 1
+
+    def flush(
+        self, entry: DirectoryEntry, cpus: Iterable[int], acting_cpu: int
+    ) -> None:
+        """Drop mappings and free local copies on the given processors.
+
+        Before a local frame is freed, every *other* processor's mapping
+        of that frame is shot down too — remote mappings (Section 4.4)
+        may point into a neighbour's local memory, and a dangling
+        translation to a freed frame would be a use-after-free.
+        """
+        for cpu in list(cpus):
+            self.drop_mapping(entry, cpu, acting_cpu)
+            local = entry.local_copies.pop(cpu, None)
+            if local is not None:
+                for mapper in list(entry.mappings):
+                    if entry.mappings[mapper].frame == local:
+                        self.drop_mapping(entry, mapper, acting_cpu)
+                self._machine.memory.free(local)
+                self._stats.flushes += 1
+
+    def unmap_all(self, entry: DirectoryEntry, acting_cpu: int) -> None:
+        """Drop every virtual mapping of the page (global copy remains)."""
+        for cpu in list(entry.mappings):
+            self.drop_mapping(entry, cpu, acting_cpu)
+            self._stats.unmaps += 1
+
+    def drop_mapping(
+        self, entry: DirectoryEntry, cpu: int, acting_cpu: int
+    ) -> None:
+        """Remove *cpu*'s translation for the page, if any."""
+        mapping = entry.drop_mapping(cpu)
+        if mapping is None:
+            return
+        self._machine.cpu(cpu).mmu.remove(mapping.vpage)
+        self._charge(acting_cpu, self._mapping_cost(acting_cpu, cpu))
+
+    def copy_to_local(
+        self, entry: DirectoryEntry, cpu: int, acting_cpu: int
+    ) -> Frame:
+        """Materialize a local copy of the page on *cpu* from global memory.
+
+        The caller must have ensured a free local frame exists (the NUMA
+        manager checks, evicts, or falls back to a GLOBAL decision first).
+        """
+        if cpu in entry.local_copies:
+            return entry.local_copies[cpu]
+        frame = self._machine.memory.allocate_local(cpu)
+        cost = self._machine.timing.page_copy_us(
+            MemoryLocation.GLOBAL, frame.location_for(acting_cpu)
+        )
+        self._charge(acting_cpu, cost)
+        self._machine.memory.copy(entry.global_frame, frame)
+        entry.local_copies[cpu] = frame
+        self._stats.copies_to_local += 1
+        return frame
+
+    def zero_fill_local(self, entry: DirectoryEntry, cpu: int) -> Frame:
+        """Lazily zero-fill the page directly into *cpu*'s local memory.
+
+        This is the paper's deferral of ``pmap_zero_page``: zeros are
+        written straight into the memory the policy chose, avoiding a
+        write to global memory followed by an immediate copy.
+        """
+        frame = self._machine.memory.allocate_local(cpu)
+        cost = self._machine.timing.zero_fill_us(frame.location_for(cpu))
+        self._charge(cpu, cost)
+        self._machine.memory.write_token(frame, 0)
+        entry.local_copies[cpu] = frame
+        self._stats.zero_fills += 1
+        return frame
+
+    def zero_fill_global(self, entry: DirectoryEntry, cpu: int) -> Frame:
+        """Zero-fill the page's global frame (policy said GLOBAL)."""
+        cost = self._machine.timing.zero_fill_us(MemoryLocation.GLOBAL)
+        self._charge(cpu, cost)
+        self._machine.memory.write_token(entry.global_frame, 0)
+        self._stats.zero_fills += 1
+        self._stats.global_zero_fills += 1
+        return entry.global_frame
+
+    def free_local_copies(self, entry: DirectoryEntry) -> List[Frame]:
+        """Release all local frames of a dying page without cost.
+
+        Used by the lazy page-free path, whose cleanup cost is charged
+        when ``pmap_free_page_sync`` runs, not here.
+        """
+        frames = list(entry.local_copies.values())
+        for frame in frames:
+            self._machine.memory.free(frame)
+        entry.local_copies.clear()
+        return frames

@@ -1,0 +1,455 @@
+"""The NUMA manager: local memories as a consistent cache of global memory.
+
+This module is the paper's primary contribution.  On every page fault the
+pmap layer calls :meth:`NUMAManager.request`; the manager asks the policy
+for a LOCAL/GLOBAL decision, looks the (request kind, decision, page
+state) triple up in the declarative Tables 1-2
+(:mod:`repro.core.transitions`), executes the cell's cleanup and copy
+actions through :class:`~repro.core.actions.ActionExecutor`, moves the page
+to its new state, and finally establishes the requesting processor's
+mapping with the *strictest* permission that resolves the fault — which is
+what lets writable-but-unwritten pages stay replicated read-only.
+
+Ownership moves are detected here (mechanism) and reported to the policy,
+which counts them (policy).  The manager never decides to pin a page; it
+only does what the policy's LOCAL/GLOBAL answer plus the tables dictate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.actions import ActionExecutor
+from repro.core.directory import DirectoryEntry, PageDirectory
+from repro.core.policy import NUMAPolicy
+from repro.core.state import AccessKind, PageLike, PageState, PlacementDecision
+from repro.core.stats import NUMAStats
+from repro.core.transitions import (
+    ActionSpec,
+    Cleanup,
+    classify_state,
+    first_touch_spec,
+    lookup,
+)
+from repro.errors import OutOfMemoryError, ProtocolError
+from repro.machine.machine import Machine
+from repro.machine.memory import Frame
+from repro.machine.protection import PROT_READ, PROT_READ_WRITE, Protection
+from repro.machine.timing import MemoryLocation
+
+
+@dataclass
+class FreeTag:
+    """Token returned by the lazy page-free path (``pmap_free_page``).
+
+    Holds the work deferred until ``pmap_free_page_sync``: local frames
+    that still need releasing and, if the page was dirty in a local
+    memory, nothing — a freed page's contents are dead, so no sync is
+    performed (the paper frees cache resources, it does not preserve
+    data nobody can name any more).
+    """
+
+    page_id: int
+    deferred_frames: List[Frame]
+    completed: bool = False
+
+
+class NUMAManager:
+    """Directory-based ownership protocol over two-level NUMA memory."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: NUMAPolicy,
+        stats: Optional[NUMAStats] = None,
+        check_invariants: bool = True,
+    ) -> None:
+        self._machine = machine
+        self._policy = policy
+        self._stats = stats if stats is not None else NUMAStats()
+        self._executor = ActionExecutor(machine, self._stats)
+        self._directory = PageDirectory()
+        self._pages: Dict[int, PageLike] = {}
+        self._check = check_invariants
+        #: Page ids with local copies, per cpu, in insertion order — the
+        #: FIFO eviction candidates when a local memory fills up.
+        self._resident_by_cpu: Dict[int, Dict[int, None]] = {
+            cpu: {} for cpu in machine.config.cpus
+        }
+
+    @property
+    def machine(self) -> Machine:
+        """The hardware this manager drives."""
+        return self._machine
+
+    @property
+    def policy(self) -> NUMAPolicy:
+        """The placement policy consulted on every fault."""
+        return self._policy
+
+    @property
+    def stats(self) -> NUMAStats:
+        """Action counters for the run so far."""
+        return self._stats
+
+    @property
+    def directory(self) -> PageDirectory:
+        """The per-page protocol directory."""
+        return self._directory
+
+    # -- page lifecycle ----------------------------------------------------
+
+    def page_created(self, page: PageLike) -> DirectoryEntry:
+        """Register a newly allocated logical page.
+
+        Zero-fill pages start ``UNTOUCHED`` (their fill is deferred until
+        the policy has chosen a memory).  Pages whose contents already
+        exist (program text, initialized data read from the load image)
+        start ``GLOBAL_WRITABLE``: the content is in the global frame and
+        the first fault will replicate or migrate it per the tables.
+        """
+        entry = self._directory.add(page.page_id, page.global_frame)
+        self._pages[page.page_id] = page
+        if not page.zero_fill:
+            entry.state = PageState.GLOBAL_WRITABLE
+        return entry
+
+    def page_freed(self, page: PageLike, acting_cpu: int) -> FreeTag:
+        """Begin lazy teardown of a page (the paper's ``pmap_free_page``).
+
+        Mappings are dropped immediately — the page must stop being
+        reachable — but local frames are released lazily, when
+        :meth:`free_page_sync` runs (typically just before the frame pool
+        hands the logical page out again).
+        """
+        entry = self._directory.remove(page.page_id)
+        self._pages.pop(page.page_id, None)
+        for cpu in list(entry.mappings):
+            self._executor.drop_mapping(entry, cpu, acting_cpu)
+        deferred = list(entry.local_copies.values())
+        for cpu in list(entry.local_copies):
+            self._resident_by_cpu[cpu].pop(page.page_id, None)
+        entry.local_copies.clear()
+        self._policy.note_page_freed(page)
+        self._stats.pages_freed += 1
+        return FreeTag(page_id=page.page_id, deferred_frames=deferred)
+
+    def free_page_sync(self, tag: FreeTag, acting_cpu: int) -> None:
+        """Complete lazy teardown (the paper's ``pmap_free_page_sync``)."""
+        if tag.completed:
+            return
+        for frame in tag.deferred_frames:
+            self._machine.memory.free(frame)
+            self._machine.cpu(acting_cpu).charge_system(
+                self._machine.timing.mapping_op_us
+            )
+        tag.deferred_frames.clear()
+        tag.completed = True
+        self._stats.free_syncs += 1
+
+    # -- the fault path ----------------------------------------------------
+
+    def request(
+        self,
+        cpu: int,
+        vpage: int,
+        page: PageLike,
+        kind: AccessKind,
+        max_prot: Protection,
+    ) -> Frame:
+        """Resolve a fault: run the protocol and map the page for *cpu*.
+
+        Returns the frame the new mapping points at.  ``max_prot`` is the
+        loosest protection machine-independent code permits; the mapping
+        is entered with the strictest protection that resolves the fault
+        (the paper's min/max-protection pmap extension).
+        """
+        entry = self._directory.get(page.page_id)
+        self._stats.faults[kind] += 1
+        decision = self._policy.cache_policy(page, kind, cpu)
+        if decision is PlacementDecision.REMOTE:
+            frame = self._try_remote(entry, cpu, vpage, kind, max_prot)
+            if frame is not None:
+                if self._check:
+                    entry.check_invariants()
+                return frame
+            # No home to reference remotely yet (or we *are* the home):
+            # fall through as a LOCAL request, which establishes one.
+            decision = PlacementDecision.LOCAL
+        decision = self._ensure_local_frame(entry, decision, cpu)
+
+        if entry.state is PageState.UNTOUCHED:
+            spec = first_touch_spec(kind, decision)
+            self._apply_first_touch(entry, spec, cpu)
+        else:
+            state_key = classify_state(entry.state, entry.owner, cpu)
+            spec = lookup(kind, decision, state_key)
+            self._apply(entry, spec, cpu, page)
+
+        frame = self._map(entry, cpu, vpage, kind, max_prot)
+        if self._check:
+            entry.check_invariants()
+        return frame
+
+    def invalidate_page_id(self, page_id: int, acting_cpu: int) -> bool:
+        """Drop all mappings of a page by id, if it is still live.
+
+        Used to make a changed policy decision take effect: the next
+        reference re-faults and consults the policy afresh.  Returns
+        whether the page existed.
+        """
+        page = self._pages.get(page_id)
+        if page is None:
+            return False
+        self.remove_all_mappings(page, acting_cpu)
+        return True
+
+    def remove_all_mappings(self, page: PageLike, acting_cpu: int) -> None:
+        """Drop every processor's mapping of *page* (pmap_remove_all).
+
+        The page's protocol state and any local copies are untouched; a
+        pmap may drop mappings "at almost any time" and the next fault
+        re-enters them.
+        """
+        entry = self._directory.get(page.page_id)
+        for cpu in list(entry.mappings):
+            self._executor.drop_mapping(entry, cpu, acting_cpu)
+        if self._check:
+            entry.check_invariants()
+
+    def location_for(self, page: PageLike, cpu: int) -> MemoryLocation:
+        """Where references by *cpu* to *page* currently land."""
+        entry = self._directory.get(page.page_id)
+        return entry.frame_for(cpu).location_for(cpu)
+
+    # -- internals ---------------------------------------------------------
+
+    def _try_remote(
+        self,
+        entry: DirectoryEntry,
+        cpu: int,
+        vpage: int,
+        kind: AccessKind,
+        max_prot: Protection,
+    ) -> Optional[Frame]:
+        """The Section 4.4 extension: reference another node's memory.
+
+        Applicable only when the page is LOCAL_WRITABLE in some *other*
+        processor's memory: the requester is mapped straight onto the
+        owner's frame, across the bus.  No copy is made and no ownership
+        moves, so there is no consistency question — both processors
+        reference the same physical memory — and no move is counted
+        against the policy's threshold.  Returns ``None`` when there is
+        no foreign home to reference (caller falls back to LOCAL).
+        """
+        if entry.state is not PageState.LOCAL_WRITABLE:
+            return None
+        if entry.owner is None or entry.owner == cpu:
+            return None
+        frame = entry.local_copies[entry.owner]
+        wanted = PROT_READ_WRITE if kind is AccessKind.WRITE else PROT_READ
+        if not max_prot.normalized().allows(wanted):
+            raise ProtocolError(
+                f"remote fault wants {wanted!r} but region allows {max_prot!r}"
+            )
+        mmu = self._machine.cpu(cpu).mmu
+        existing = mmu.lookup(vpage)
+        if existing is not None and existing.frame != frame:
+            mmu.remove(vpage)
+        if (
+            existing is not None
+            and existing.frame == frame
+            and existing.protection.allows(wanted)
+        ):
+            wanted = existing.protection
+        mmu.enter(vpage, frame, wanted)
+        self._machine.cpu(cpu).charge_system(self._machine.timing.mapping_op_us)
+        entry.record_mapping(cpu, vpage, wanted, frame)
+        self._stats.remote_mappings += 1
+        return frame
+
+    def _ensure_local_frame(
+        self, entry: DirectoryEntry, decision: PlacementDecision, cpu: int
+    ) -> PlacementDecision:
+        """Guarantee a LOCAL decision can be honoured, or downgrade it.
+
+        Local memory is a cache; if *cpu* has no free frame we first try
+        to evict another page's local copy (FIFO), and only if nothing is
+        evictable do we fall back to a GLOBAL decision, counting the
+        event so misconfigured machines are visible.
+        """
+        if decision is PlacementDecision.GLOBAL:
+            return decision
+        if cpu in entry.local_copies:
+            return decision
+        if self._machine.memory.local_available(cpu) > 0:
+            return decision
+        if self._evict_one(cpu, protect=entry.page_id):
+            return decision
+        self._stats.local_memory_fallbacks += 1
+        return PlacementDecision.GLOBAL
+
+    def _evict_one(self, cpu: int, protect: int) -> bool:
+        """Evict one resident local copy on *cpu* (not page *protect*).
+
+        An evicted ``READ_ONLY`` copy is simply flushed (global is
+        current); if it was the last copy the page reverts to
+        ``GLOBAL_WRITABLE``.  An evicted ``LOCAL_WRITABLE`` page is synced
+        first and also reverts to ``GLOBAL_WRITABLE``.
+        """
+        for page_id in self._resident_by_cpu[cpu]:
+            if page_id == protect:
+                continue
+            victim = self._directory.get(page_id)
+            if victim.state is PageState.LOCAL_WRITABLE:
+                self._executor.sync(victim, cpu, cpu)
+                victim.owner = None
+            self._executor.flush(victim, [cpu], cpu)
+            self._note_nonresident(cpu, page_id)
+            if not victim.local_copies:
+                victim.state = PageState.GLOBAL_WRITABLE
+            self._stats.evictions += 1
+            if self._check:
+                victim.check_invariants()
+            return True
+        return False
+
+    def _apply_first_touch(
+        self, entry: DirectoryEntry, spec: ActionSpec, cpu: int
+    ) -> None:
+        """Resolve the deferred zero-fill of an untouched page."""
+        if spec.copy_to_local:
+            self._executor.zero_fill_local(entry, cpu)
+            self._note_resident(cpu, entry.page_id)
+        else:
+            self._executor.zero_fill_global(entry, cpu)
+        self._enter_state(entry, spec.new_state, cpu)
+
+    def _apply(
+        self, entry: DirectoryEntry, spec: ActionSpec, cpu: int, page: PageLike
+    ) -> None:
+        """Execute one Table 1/2 cell."""
+        cleanup = spec.cleanup
+        if cleanup is Cleanup.SYNC_FLUSH_OWN:
+            self._executor.sync(entry, cpu, cpu)
+            self._flush(entry, [cpu], cpu)
+        elif cleanup is Cleanup.SYNC_FLUSH_OTHER:
+            owner = entry.owner
+            if owner is None:
+                raise ProtocolError(
+                    f"page {entry.page_id}: sync&flush other with no owner"
+                )
+            self._executor.sync(entry, owner, cpu)
+            self._flush(entry, [owner], cpu)
+        elif cleanup is Cleanup.FLUSH_ALL:
+            self._flush(entry, list(entry.local_copies), cpu)
+        elif cleanup is Cleanup.FLUSH_OTHER:
+            others = [c for c in entry.local_copies if c != cpu]
+            self._flush(entry, others, cpu)
+        elif cleanup is Cleanup.UNMAP_ALL:
+            self._executor.unmap_all(entry, cpu)
+
+        if spec.copy_to_local and cpu not in entry.local_copies:
+            try:
+                self._executor.copy_to_local(entry, cpu, cpu)
+            except OutOfMemoryError:
+                # The pre-check in _ensure_local_frame should prevent
+                # this; reaching here means concurrent growth we cannot
+                # model, so surface it as a protocol bug.
+                raise ProtocolError(
+                    f"no local frame for page {entry.page_id} on cpu {cpu} "
+                    "despite pre-check"
+                ) from None
+            self._note_resident(cpu, entry.page_id)
+
+        self._enter_state(entry, spec.new_state, cpu, page)
+
+    def _flush(
+        self, entry: DirectoryEntry, cpus: List[int], acting_cpu: int
+    ) -> None:
+        self._executor.flush(entry, cpus, acting_cpu)
+        for cpu in cpus:
+            self._note_nonresident(cpu, entry.page_id)
+
+    def _enter_state(
+        self,
+        entry: DirectoryEntry,
+        new_state: PageState,
+        cpu: int,
+        page: Optional[PageLike] = None,
+    ) -> None:
+        entry.state = new_state
+        if new_state is PageState.LOCAL_WRITABLE:
+            moved = entry.note_ownership(cpu)
+            if page is None:
+                page = self._pages[entry.page_id]
+            if moved:
+                self._stats.moves += 1
+                self._policy.note_move(page)
+            self._policy.note_owner(page, cpu)
+        else:
+            entry.owner = None
+
+    def _map(
+        self,
+        entry: DirectoryEntry,
+        cpu: int,
+        vpage: int,
+        kind: AccessKind,
+        max_prot: Protection,
+    ) -> Frame:
+        """Enter the requester's mapping with minimal sufficient rights."""
+        if kind is AccessKind.WRITE:
+            wanted = PROT_READ_WRITE
+        else:
+            wanted = PROT_READ
+        if not max_prot.normalized().allows(wanted):
+            raise ProtocolError(
+                f"fault wants {wanted!r} but region allows {max_prot!r}"
+            )
+        if entry.state is PageState.READ_ONLY:
+            prot = PROT_READ
+        elif entry.state is PageState.LOCAL_WRITABLE:
+            # The owner may keep (or gain) write permission; reads by the
+            # owner of a dirty page do not force a downgrade.
+            prot = wanted if kind is AccessKind.WRITE else PROT_READ
+            if cpu != entry.owner:
+                raise ProtocolError(
+                    f"page {entry.page_id}: mapping cpu {cpu} while "
+                    f"LOCAL_WRITABLE on {entry.owner}"
+                )
+        else:
+            prot = wanted
+        frame = entry.frame_for(cpu)
+        mmu = self._machine.cpu(cpu).mmu
+        existing = mmu.lookup(vpage)
+        if existing is not None and existing.frame != frame:
+            mmu.remove(vpage)
+        if (
+            existing is not None
+            and existing.frame == frame
+            and existing.protection.allows(prot)
+        ):
+            prot = existing.protection  # keep the stronger mapping
+        mmu.enter(vpage, frame, prot)
+        self._machine.cpu(cpu).charge_system(self._machine.timing.mapping_op_us)
+        entry.record_mapping(cpu, vpage, prot, frame)
+        return frame
+
+    def _note_resident(self, cpu: int, page_id: int) -> None:
+        self._resident_by_cpu[cpu][page_id] = None
+
+    def _note_nonresident(self, cpu: int, page_id: int) -> None:
+        self._resident_by_cpu[cpu].pop(page_id, None)
+
+    # -- introspection -----------------------------------------------------
+
+    def resident_pages(self, cpu: int) -> Set[int]:
+        """Ids of pages with a local copy on *cpu*."""
+        return set(self._resident_by_cpu[cpu])
+
+    def check_all_invariants(self) -> None:
+        """Run the directory invariant checks over every page."""
+        for entry in self._directory.entries():
+            entry.check_invariants()

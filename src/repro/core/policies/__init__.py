@@ -1,0 +1,41 @@
+"""NUMA placement policies.
+
+The manager/policy split follows Section 2.3 of the paper: the manager is
+mechanism (cache consistency), a policy is a single ``cache_policy``
+decision function plus event hooks.  The paper ships one real policy
+(:class:`MoveThresholdPolicy`) and two measurement baselines; the rest are
+the extensions it sketches in Sections 4.3 and 5.
+"""
+
+from repro.core.policies.competitors import (
+    DecayPolicy,
+    MigrationOnlyPolicy,
+    ReplicationOnlyPolicy,
+)
+from repro.core.policies.baselines import (
+    AllGlobalEverythingPolicy,
+    AllGlobalPolicy,
+    AllLocalPolicy,
+)
+from repro.core.policies.move_threshold import (
+    DEFAULT_MOVE_THRESHOLD,
+    MoveThresholdPolicy,
+)
+from repro.core.policies.pragma import Pragma, PragmaPolicy
+from repro.core.policies.reconsider import ReconsiderPolicy
+from repro.core.policies.remote import HomeNodePolicy
+
+__all__ = [
+    "AllGlobalEverythingPolicy",
+    "AllGlobalPolicy",
+    "AllLocalPolicy",
+    "DEFAULT_MOVE_THRESHOLD",
+    "MoveThresholdPolicy",
+    "Pragma",
+    "PragmaPolicy",
+    "ReconsiderPolicy",
+    "HomeNodePolicy",
+    "DecayPolicy",
+    "MigrationOnlyPolicy",
+    "ReplicationOnlyPolicy",
+]

@@ -1,0 +1,66 @@
+"""Baseline policies used to measure ``Tglobal`` and ``Tlocal``.
+
+Section 3.1: ``Tglobal`` was measured "by using a specially modified NUMA
+policy that placed all data pages in global memory", and ``Tlocal`` by
+running single-threaded so every page could live in local memory.  These
+two policies are those special modifications.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import NUMAPolicy
+from repro.core.state import AccessKind, PageLike, PlacementDecision
+
+
+class AllGlobalPolicy(NUMAPolicy):
+    """Place all *writable data* pages in global memory.
+
+    Read-only pages (program text, and pages the layout marks as never
+    written) are still replicated locally — "most reasonable NUMA systems
+    will replicate read-only data and code", and the paper's Tglobal
+    baseline targets writable data specifically.  Pages whose region the
+    workload declares writable answer GLOBAL.
+    """
+
+    name = "all-global"
+
+    def cache_policy(
+        self, page: PageLike, kind: AccessKind, cpu: int
+    ) -> PlacementDecision:
+        if page.writable_data:
+            return PlacementDecision.GLOBAL
+        return PlacementDecision.LOCAL
+
+
+class AllLocalPolicy(NUMAPolicy):
+    """Always answer LOCAL.
+
+    On a single-processor machine this places every page in local memory,
+    which is exactly how the paper measures ``Tlocal`` ("running the
+    parallel applications with a single thread on a single processor
+    system, causing all data to be placed in local memory").  On a
+    multiprocessor it degenerates into unlimited page ping-ponging and is
+    useful only to demonstrate why the move threshold exists.
+    """
+
+    name = "all-local"
+
+    def cache_policy(
+        self, page: PageLike, kind: AccessKind, cpu: int
+    ) -> PlacementDecision:
+        return PlacementDecision.LOCAL
+
+
+class AllGlobalEverythingPolicy(NUMAPolicy):
+    """Answer GLOBAL for every page, even text.
+
+    Not a paper baseline; used by stress tests and as a worst case in
+    ablations (it also defeats code replication).
+    """
+
+    name = "all-global-everything"
+
+    def cache_policy(
+        self, page: PageLike, kind: AccessKind, cpu: int
+    ) -> PlacementDecision:
+        return PlacementDecision.GLOBAL

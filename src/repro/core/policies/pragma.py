@@ -1,0 +1,71 @@
+"""Placement pragmas (Section 4.3).
+
+The paper considered — but did not implement — pragmas "that would cause a
+region of virtual memory to be marked cacheable and placed in local memory
+or marked noncacheable and placed in global memory", noting "it would be
+easy to do so".  It is: :class:`PragmaPolicy` honours a per-region pragma
+when one is present and delegates to an underlying policy otherwise.
+
+Workloads attach pragmas to VM objects via the layout builder; each logical
+page inherits its region's pragma.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.policy import NUMAPolicy
+from repro.core.state import AccessKind, PageLike, PlacementDecision
+
+
+class Pragma(enum.Enum):
+    """Application-supplied placement advice for a region."""
+
+    #: Keep the region cacheable in local memory regardless of movement.
+    CACHEABLE = "cacheable"
+    #: Place the region directly in global memory; never cache it.
+    NONCACHEABLE = "noncacheable"
+    #: Home the region on its first toucher; other processors reference
+    #: it remotely (the Section 4.4 extension, honoured by
+    #: :class:`~repro.core.policies.remote.HomeNodePolicy`).
+    REMOTE = "remote"
+
+
+class PragmaPolicy(NUMAPolicy):
+    """Honour region pragmas, otherwise defer to a base policy."""
+
+    def __init__(self, base: NUMAPolicy) -> None:
+        self._base = base
+        self.name = f"pragma+{base.name}"
+
+    @property
+    def base(self) -> NUMAPolicy:
+        """The policy consulted for unpragma'd pages."""
+        return self._base
+
+    @staticmethod
+    def _pragma_of(page: PageLike) -> Optional[Pragma]:
+        return getattr(page, "pragma", None)
+
+    def cache_policy(
+        self, page: PageLike, kind: AccessKind, cpu: int
+    ) -> PlacementDecision:
+        pragma = self._pragma_of(page)
+        if pragma is Pragma.CACHEABLE:
+            return PlacementDecision.LOCAL
+        if pragma is Pragma.NONCACHEABLE:
+            return PlacementDecision.GLOBAL
+        return self._base.cache_policy(page, kind, cpu)
+
+    def note_move(self, page: PageLike) -> None:
+        # Pragma'd pages do not consume the base policy's move budget for
+        # pages it will never be asked about; unpragma'd moves pass through.
+        if self._pragma_of(page) is None:
+            self._base.note_move(page)
+
+    def note_page_freed(self, page: PageLike) -> None:
+        self._base.note_page_freed(page)
+
+    def tick(self, now_us: float) -> None:
+        self._base.tick(now_us)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the NUMA reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the simulator may raise with a single handler.  Faults that
+are part of normal control flow (page faults, MMU misses) are *not* errors
+and live next to the components that raise them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, policy, or workload was configured inconsistently."""
+
+
+class OutOfMemoryError(ReproError):
+    """A physical frame pool or the logical page pool was exhausted."""
+
+
+class MappingError(ReproError):
+    """An MMU or pmap operation violated a hardware mapping constraint.
+
+    The Rosetta MMU on the ACE allows only a single virtual address per
+    physical page per processor; attempting to establish a second mapping
+    raises this error.
+    """
+
+
+class ProtocolError(ReproError):
+    """The NUMA consistency protocol reached an impossible state.
+
+    Raised by internal invariant checks; seeing one of these indicates a
+    bug in the protocol implementation, never a user mistake.
+    """
+
+
+class SimulationError(ReproError):
+    """A workload emitted an operation the engine cannot execute."""

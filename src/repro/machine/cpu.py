@@ -1,0 +1,105 @@
+"""Per-processor state: time accounting and the MMU.
+
+The paper's entire evaluation rests on ``time(1)``-style user and system
+times summed across processors (Section 3.1).  :class:`CPU` keeps those two
+clocks exactly, in microseconds, along with reference counters the analysis
+layer uses to measure α directly (local vs global references to writable
+data) rather than inferring it from times alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.machine.mmu import MMU
+from repro.machine.timing import MemoryLocation
+
+
+@dataclass
+class ReferenceCounters:
+    """Counts of 32-bit references issued by one CPU, by destination."""
+
+    fetches: Dict[MemoryLocation, int] = field(
+        default_factory=lambda: {loc: 0 for loc in MemoryLocation}
+    )
+    stores: Dict[MemoryLocation, int] = field(
+        default_factory=lambda: {loc: 0 for loc in MemoryLocation}
+    )
+
+    def record(self, location: MemoryLocation, reads: int, writes: int) -> None:
+        """Record a block of references to *location*."""
+        self.fetches[location] += reads
+        self.stores[location] += writes
+
+    def total(self) -> int:
+        """All references issued."""
+        return sum(self.fetches.values()) + sum(self.stores.values())
+
+    def total_to(self, location: MemoryLocation) -> int:
+        """All references to *location*."""
+        return self.fetches[location] + self.stores[location]
+
+    def merged_with(self, other: "ReferenceCounters") -> "ReferenceCounters":
+        """Return counters summing self and *other*."""
+        merged = ReferenceCounters()
+        for loc in MemoryLocation:
+            merged.fetches[loc] = self.fetches[loc] + other.fetches[loc]
+            merged.stores[loc] = self.stores[loc] + other.stores[loc]
+        return merged
+
+
+class CPU:
+    """A simulated ACE processor module."""
+
+    def __init__(self, cpu_id: int) -> None:
+        self._id = cpu_id
+        self._mmu = MMU(cpu_id)
+        self._user_us = 0.0
+        self._system_us = 0.0
+        #: References made in user mode to writable data, for measuring α.
+        self.data_refs = ReferenceCounters()
+        #: All user-mode references (data_refs plus read-only/code).
+        self.all_refs = ReferenceCounters()
+
+    @property
+    def id(self) -> int:
+        """Processor number, 0-based."""
+        return self._id
+
+    @property
+    def mmu(self) -> MMU:
+        """This processor's translation hardware."""
+        return self._mmu
+
+    @property
+    def user_time_us(self) -> float:
+        """Accumulated user-mode virtual time, microseconds."""
+        return self._user_us
+
+    @property
+    def system_time_us(self) -> float:
+        """Accumulated system-mode virtual time, microseconds."""
+        return self._system_us
+
+    @property
+    def total_time_us(self) -> float:
+        """User plus system time."""
+        return self._user_us + self._system_us
+
+    def charge_user(self, microseconds: float) -> None:
+        """Add time spent in user mode."""
+        if microseconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._user_us += microseconds
+
+    def charge_system(self, microseconds: float) -> None:
+        """Add time spent in the kernel (faults, copies, syscalls)."""
+        if microseconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._system_us += microseconds
+
+    def reset_times(self) -> None:
+        """Zero both clocks (used between measurement phases)."""
+        self._user_us = 0.0
+        self._system_us = 0.0

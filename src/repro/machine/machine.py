@@ -1,0 +1,65 @@
+"""The assembled machine: CPUs, memories, and the timing model.
+
+:class:`Machine` is the hardware substrate everything above it (VM layer,
+NUMA manager, simulation engine) operates on.  It owns no policy — it only
+knows how long things take and which frames exist where, mirroring the
+split in Figure 1 of the paper between the hardware and the pmap layer
+that manages it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.config import MachineConfig
+from repro.machine.cpu import CPU
+from repro.machine.memory import PhysicalMemory
+from repro.machine.timing import TimingModel
+
+
+class Machine:
+    """A simulated ACE multiprocessor workstation."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        config.validate()
+        self._config = config
+        self._timing = TimingModel(config.timing, config.page_size_words)
+        self._memory = PhysicalMemory(config)
+        self._cpus: List[CPU] = [CPU(cpu_id) for cpu_id in config.cpus]
+
+    @property
+    def config(self) -> MachineConfig:
+        """The configuration this machine was built from."""
+        return self._config
+
+    @property
+    def timing(self) -> TimingModel:
+        """Cost model for references, copies and kernel paths."""
+        return self._timing
+
+    @property
+    def memory(self) -> PhysicalMemory:
+        """All physical frames."""
+        return self._memory
+
+    @property
+    def cpus(self) -> List[CPU]:
+        """The processor modules, indexed by CPU id."""
+        return self._cpus
+
+    def cpu(self, cpu_id: int) -> CPU:
+        """Return the processor with the given id."""
+        return self._cpus[cpu_id]
+
+    @property
+    def n_cpus(self) -> int:
+        """Number of processors."""
+        return len(self._cpus)
+
+    def total_user_time_us(self) -> float:
+        """Total user time across all processors (the paper's T metric)."""
+        return sum(cpu.user_time_us for cpu in self._cpus)
+
+    def total_system_time_us(self) -> float:
+        """Total system time across all processors (Table 4's S metric)."""
+        return sum(cpu.system_time_us for cpu in self._cpus)

@@ -1,0 +1,173 @@
+"""Physical memory: global modules and per-processor local memories.
+
+Frames are identified by :class:`Frame` values and handed out by
+:class:`PhysicalMemory`.  Each frame carries an abstract *content token* —
+an opaque integer standing in for the page's data — so tests can verify
+that the consistency protocol's syncs and copies never lose or duplicate
+writes (a read must always observe the most recently written token).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import OutOfMemoryError
+from repro.machine.config import MachineConfig
+from repro.machine.timing import MemoryLocation
+
+
+class FrameKind(enum.Enum):
+    """Whether a frame is in a processor's local memory or in global memory."""
+
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A physical page frame.
+
+    ``node`` is the owning processor for local frames and ``None`` for
+    global frames.  Frames are value objects: equality and hashing follow
+    from the identifying triple.
+    """
+
+    kind: FrameKind
+    node: Optional[int]
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind is FrameKind.LOCAL and self.node is None:
+            raise ValueError("local frames must name their processor")
+        if self.kind is FrameKind.GLOBAL and self.node is not None:
+            raise ValueError("global frames have no owning processor")
+
+    def location_for(self, cpu: int) -> MemoryLocation:
+        """Where this frame appears to be from *cpu*'s point of view."""
+        if self.kind is FrameKind.GLOBAL:
+            return MemoryLocation.GLOBAL
+        if self.node == cpu:
+            return MemoryLocation.LOCAL
+        return MemoryLocation.REMOTE
+
+    def __str__(self) -> str:
+        if self.kind is FrameKind.GLOBAL:
+            return f"global[{self.index}]"
+        return f"local[cpu{self.node}][{self.index}]"
+
+
+class _FramePool:
+    """Free-list allocator for one bank of frames."""
+
+    def __init__(self, kind: FrameKind, node: Optional[int], capacity: int) -> None:
+        self._kind = kind
+        self._node = node
+        self._capacity = capacity
+        self._free = list(range(capacity - 1, -1, -1))
+        self._allocated: set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def allocate(self) -> Frame:
+        if not self._free:
+            where = "global memory" if self._kind is FrameKind.GLOBAL else (
+                f"local memory of cpu {self._node}"
+            )
+            raise OutOfMemoryError(f"no free frames in {where}")
+        index = self._free.pop()
+        self._allocated.add(index)
+        return Frame(self._kind, self._node, index)
+
+    def free(self, frame: Frame) -> None:
+        if frame.index not in self._allocated:
+            raise OutOfMemoryError(f"double free of {frame}")
+        self._allocated.remove(frame.index)
+        self._free.append(frame.index)
+
+
+class PhysicalMemory:
+    """All physical frames of a machine, with content-token bookkeeping."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self._global = _FramePool(FrameKind.GLOBAL, None, config.global_pages)
+        self._local = {
+            cpu: _FramePool(FrameKind.LOCAL, cpu, config.local_pages_per_cpu)
+            for cpu in config.cpus
+        }
+        self._tokens: Dict[Frame, int] = {}
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate_global(self) -> Frame:
+        """Allocate a frame of global memory."""
+        frame = self._global.allocate()
+        self._tokens[frame] = 0
+        return frame
+
+    def allocate_local(self, cpu: int) -> Frame:
+        """Allocate a frame in *cpu*'s local memory."""
+        frame = self._local[cpu].allocate()
+        self._tokens[frame] = 0
+        return frame
+
+    def free(self, frame: Frame) -> None:
+        """Return *frame* to its pool; its contents are discarded."""
+        if frame.kind is FrameKind.GLOBAL:
+            self._global.free(frame)
+        else:
+            assert frame.node is not None
+            self._local[frame.node].free(frame)
+        self._tokens.pop(frame, None)
+
+    # -- contents --------------------------------------------------------
+
+    def write_token(self, frame: Frame, token: int) -> None:
+        """Record that *frame* now holds data version *token*."""
+        if frame not in self._tokens:
+            raise OutOfMemoryError(f"write to unallocated frame {frame}")
+        self._tokens[frame] = token
+
+    def read_token(self, frame: Frame) -> int:
+        """Return the data version currently held by *frame*."""
+        if frame not in self._tokens:
+            raise OutOfMemoryError(f"read from unallocated frame {frame}")
+        return self._tokens[frame]
+
+    def copy(self, source: Frame, destination: Frame) -> None:
+        """Copy page contents (the token) from *source* to *destination*."""
+        self.write_token(destination, self.read_token(source))
+
+    # -- occupancy -------------------------------------------------------
+
+    def global_available(self) -> int:
+        """Free global frames remaining."""
+        return self._global.available
+
+    def local_available(self, cpu: int) -> int:
+        """Free local frames remaining on *cpu*."""
+        return self._local[cpu].available
+
+    def global_in_use(self) -> int:
+        """Global frames currently allocated."""
+        return self._global.in_use
+
+    def local_in_use(self, cpu: int) -> int:
+        """Local frames currently allocated on *cpu*."""
+        return self._local[cpu].in_use
+
+    def allocated_frames(self) -> Iterator[Frame]:
+        """Iterate over every allocated frame (order unspecified)."""
+        return iter(list(self._tokens.keys()))

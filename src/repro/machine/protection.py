@@ -1,0 +1,53 @@
+"""Hardware page protections.
+
+Models the protection values the Rosetta MMU (and the Mach pmap interface)
+understand.  ``WRITE`` implies ``READ``: the ACE has no write-only pages, and
+the Mach VM system never requests one.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Protection(enum.IntFlag):
+    """Access rights for a virtual-to-physical mapping.
+
+    The values form a lattice ordered by permissiveness::
+
+        NONE < READ < READ_WRITE
+
+    ``WRITE`` never appears alone; use :data:`READ_WRITE` (aliased to
+    ``Protection.WRITE | Protection.READ``) when a writable mapping is
+    needed.
+    """
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+
+    @property
+    def readable(self) -> bool:
+        """Whether a fetch through this mapping succeeds."""
+        return bool(self & Protection.READ)
+
+    @property
+    def writable(self) -> bool:
+        """Whether a store through this mapping succeeds."""
+        return bool(self & Protection.WRITE)
+
+    def allows(self, wanted: "Protection") -> bool:
+        """Whether this protection grants every right in *wanted*."""
+        return (self & wanted) == wanted
+
+    def normalized(self) -> "Protection":
+        """Return the protection with ``WRITE implies READ`` applied."""
+        if self & Protection.WRITE:
+            return Protection.READ | Protection.WRITE
+        return self
+
+
+#: Convenience aliases matching Mach's VM_PROT_* constants.
+PROT_NONE = Protection.NONE
+PROT_READ = Protection.READ
+PROT_READ_WRITE = (Protection.READ | Protection.WRITE).normalized()

@@ -1,0 +1,98 @@
+"""Memory access cost model.
+
+All simulated time in the library flows through :class:`TimingModel`: word
+fetch/store costs by memory location, block reference costs, and the
+word-by-word page copy costs the NUMA manager pays for ``sync`` and
+``copy-to-local`` actions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.machine.config import TimingParameters
+
+
+class MemoryLocation(enum.Enum):
+    """Where a physical frame lives, from a referencing CPU's viewpoint.
+
+    ``LOCAL`` is the referencing processor's own local memory, ``GLOBAL``
+    the shared global modules on the IPC bus, and ``REMOTE`` another
+    processor's local memory (reachable on the ACE but unused by the
+    paper's system; see Section 4.4).
+    """
+
+    LOCAL = "local"
+    GLOBAL = "global"
+    REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Turns reference counts and page operations into microseconds."""
+
+    params: TimingParameters
+    page_size_words: int
+
+    def fetch_us(self, location: MemoryLocation) -> float:
+        """Cost of one 32-bit fetch from *location*."""
+        if location is MemoryLocation.LOCAL:
+            return self.params.local_fetch_us
+        if location is MemoryLocation.GLOBAL:
+            return self.params.global_fetch_us
+        return self.params.remote_fetch_us
+
+    def store_us(self, location: MemoryLocation) -> float:
+        """Cost of one 32-bit store to *location*."""
+        if location is MemoryLocation.LOCAL:
+            return self.params.local_store_us
+        if location is MemoryLocation.GLOBAL:
+            return self.params.global_store_us
+        return self.params.remote_store_us
+
+    def block_us(self, location: MemoryLocation, reads: int, writes: int) -> float:
+        """Cost of a block of *reads* fetches and *writes* stores."""
+        if reads < 0 or writes < 0:
+            raise ValueError("reference counts cannot be negative")
+        return reads * self.fetch_us(location) + writes * self.store_us(location)
+
+    def page_copy_us(
+        self, source: MemoryLocation, destination: MemoryLocation
+    ) -> float:
+        """Cost of copying one page word-by-word between memories.
+
+        The ACE has no DMA page copier ("fast page-copying hardware" is
+        suggested as future relief in Section 3.3), so a copy is a CPU loop
+        of fetch+store over every word in the page — discounted by the
+        bulk-transfer factor because the kernel's copy loop uses
+        load/store-multiple instructions and the IPC bus bursts
+        consecutive words.
+        """
+        per_word = self.fetch_us(source) + self.store_us(destination)
+        return (
+            self.page_size_words * per_word * self.params.bulk_transfer_factor
+        )
+
+    def zero_fill_us(self, destination: MemoryLocation) -> float:
+        """Cost of zero-filling one page (a bulk store per word)."""
+        return (
+            self.page_size_words
+            * self.store_us(destination)
+            * self.params.bulk_transfer_factor
+        )
+
+    @property
+    def fault_overhead_us(self) -> float:
+        """Fixed trap + machine-independent fault path cost."""
+        return self.params.fault_overhead_us
+
+    @property
+    def mapping_op_us(self) -> float:
+        """Cost of one local pmap mapping change."""
+        return self.params.mapping_op_us
+
+    @property
+    def shootdown_us(self) -> float:
+        """Cost of asking another CPU to drop or downgrade a mapping."""
+        return self.params.shootdown_us

@@ -1,0 +1,301 @@
+"""The simulation engine: deterministic interleaving of thread operations.
+
+Threads advance round-robin, one operation per round, which is the
+interleaving-granularity knob of DESIGN.md §5.3: total user time — the
+paper's metric — is insensitive to interleaving for the contention-free
+applications the paper chose, while ownership ping-pong (which the policy
+counts) still happens at a realistic rate because writers genuinely
+alternate.
+
+Memory references run against the MMU; misses trap into the
+machine-independent fault handler, which drives the NUMA protocol, and the
+reference is then charged at the speed of wherever the page ended up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.core.state import AccessKind
+from repro.errors import ProtocolError, SimulationError
+from repro.machine.machine import Machine
+from repro.machine.memory import Frame
+from repro.machine.mmu import MMUFault
+from repro.machine.protection import PROT_READ, PROT_READ_WRITE
+from repro.machine.timing import MemoryLocation
+from repro.sim.ops import Barrier, Compute, FreeObjectPages, MemBlock, Op, Syscall
+from repro.threads.cthreads import CThread, ThreadState
+from repro.threads.scheduler import Scheduler
+from repro.threads.unix_master import UnixMaster
+from repro.vm.fault import FaultHandler
+
+
+class EngineObserver(Protocol):
+    """Hook for trace collection; see :mod:`repro.analysis.tracing`."""
+
+    def on_reference(
+        self,
+        round_index: int,
+        cpu: int,
+        vpage: int,
+        page_id: int,
+        reads: int,
+        writes: int,
+        location: MemoryLocation,
+        writable_data: bool,
+    ) -> None:
+        """A block of user references was issued."""
+
+    def on_fault(
+        self, round_index: int, cpu: int, vpage: int, kind: AccessKind
+    ) -> None:
+        """A page fault was taken."""
+
+
+class Engine:
+    """Executes a set of threads to completion on a machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        fault_handler: FaultHandler,
+        scheduler: Scheduler,
+        unix_master: Optional[UnixMaster] = None,
+        observer: Optional[EngineObserver] = None,
+        policy_tick_ops: int = 256,
+        extra_handlers: Optional[Dict[int, FaultHandler]] = None,
+    ) -> None:
+        self._machine = machine
+        self._faults = fault_handler
+        #: Fault handler per Mach task; single-task runs use only task 0.
+        self._handlers: Dict[int, FaultHandler] = {0: fault_handler}
+        if extra_handlers:
+            self._handlers.update(extra_handlers)
+        self._scheduler = scheduler
+        self._unix_master = unix_master or UnixMaster(master_cpu=0)
+        self._observer = observer
+        self._policy_tick_ops = policy_tick_ops
+        self._round = 0
+        self._ops_since_tick = 0
+        #: (task, vpage) -> (vm_object, offset, writable_data); regions
+        #: are static once workloads finish building, so memoization is
+        #: safe.
+        self._vpage_info: Dict[Tuple[int, int], Tuple[object, int, bool]] = {}
+        #: User time attributed to each task (for multiprogrammed mixes).
+        self.task_user_us: Dict[int, float] = {}
+
+    @property
+    def rounds(self) -> int:
+        """Scheduling rounds completed."""
+        return self._round
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The scheduler assigning threads to processors."""
+        return self._scheduler
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, threads: List[CThread]) -> int:
+        """Run all *threads* to completion; returns rounds executed."""
+        if not threads:
+            return 0
+        while True:
+            live = [t for t in threads if not t.finished]
+            if not live:
+                break
+            progressed = False
+            for thread in threads:
+                if thread.state is not ThreadState.RUNNABLE:
+                    continue
+                cpu = self._scheduler.cpu_for(thread, self._round)
+                op = thread.next_op()
+                if op is None:
+                    # Finishing can release a barrier the rest are at.
+                    if self._release_barriers(threads):
+                        progressed = True
+                    continue
+                self._execute(thread, cpu, op)
+                progressed = True
+            self._round += 1
+            if not progressed:
+                if self._release_barriers(threads):
+                    continue
+                if any(
+                    t.state is ThreadState.RUNNABLE and not t.finished
+                    for t in threads
+                ):
+                    continue
+                if not any(not t.finished for t in threads):
+                    break
+                waiting = sorted(
+                    {t.waiting_on for t in threads if t.waiting_on}
+                )
+                raise SimulationError(
+                    f"deadlock: threads waiting on barriers {waiting}"
+                )
+        return self._round
+
+    # -- op execution ------------------------------------------------------
+
+    def _execute(self, thread: CThread, cpu: int, op: Op) -> None:
+        task = thread.task
+        if isinstance(op, Compute):
+            self._machine.cpu(cpu).charge_user(op.us)
+            self._charge_task(task, op.us)
+        elif isinstance(op, MemBlock):
+            self._mem_block(cpu, op, task)
+        elif isinstance(op, Barrier):
+            thread.state = ThreadState.WAITING
+            thread.waiting_on = op.name
+        elif isinstance(op, Syscall):
+            self._syscall(op, task)
+        elif isinstance(op, FreeObjectPages):
+            self._free_object(cpu, op, task)
+        else:
+            raise SimulationError(f"unknown operation {op!r}")
+        self._ops_since_tick += 1
+        if self._ops_since_tick >= self._policy_tick_ops:
+            self._ops_since_tick = 0
+            numa = self._faults.pmap.numa
+            now = max(c.total_time_us for c in self._machine.cpus)
+            numa.policy.tick(now)
+            for page_id in numa.policy.take_invalidations():
+                numa.invalidate_page_id(page_id, acting_cpu=0)
+
+    def _mem_block(self, cpu: int, op: MemBlock, task: int = 0) -> None:
+        _, _, writable = self._info_for(op.vpage, task)
+        if op.reads:
+            frame = self._resolve(cpu, op.vpage, AccessKind.READ, task)
+            self._charge_refs(
+                cpu, op.vpage, frame, op.reads, 0, writable, task
+            )
+        if op.writes:
+            frame = self._resolve(cpu, op.vpage, AccessKind.WRITE, task)
+            self._charge_refs(
+                cpu, op.vpage, frame, 0, op.writes, writable, task
+            )
+
+    def _syscall(self, op: Syscall, task: int = 0) -> None:
+        call = self._unix_master.effective_syscall(op)
+        master = self._unix_master.master_cpu
+        self._machine.cpu(master).charge_system(call.service_us)
+        for vpage, reads, writes in call.touched:
+            # Kernel references to user memory, issued from the master
+            # processor.  They drive placement like any others but are
+            # charged as system time and kept out of the user α counters.
+            if reads:
+                frame = self._resolve(master, vpage, AccessKind.READ, task)
+                cost = self._machine.timing.block_us(
+                    frame.location_for(master), reads, 0
+                )
+                self._machine.cpu(master).charge_system(cost)
+            if writes:
+                frame = self._resolve(master, vpage, AccessKind.WRITE, task)
+                cost = self._machine.timing.block_us(
+                    frame.location_for(master), 0, writes
+                )
+                self._machine.cpu(master).charge_system(cost)
+
+    def _free_object(self, cpu: int, op: FreeObjectPages, task: int = 0) -> None:
+        pool = self._handlers[task].pool
+        vm_object = op.vm_object
+        for offset in list(vm_object.resident.keys()):
+            page = vm_object.resident_page(offset)
+            if page is not None:
+                pool.free(page, cpu)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _resolve(
+        self, cpu: int, vpage: int, kind: AccessKind, task: int = 0
+    ) -> Frame:
+        """Translate, faulting as needed; returns the frame accessed."""
+        wanted = PROT_READ_WRITE if kind is AccessKind.WRITE else PROT_READ
+        mmu = self._machine.cpu(cpu).mmu
+        for _ in range(3):
+            try:
+                return mmu.translate(vpage, wanted)
+            except MMUFault:
+                if self._observer is not None:
+                    self._observer.on_fault(self._round, cpu, vpage, kind)
+                self._handlers[task].handle(cpu, vpage, kind)
+        raise ProtocolError(
+            f"fault on vpage {vpage} (cpu {cpu}, {kind.value}) did not "
+            "resolve after repeated handling"
+        )
+
+    def _charge_refs(
+        self,
+        cpu_id: int,
+        vpage: int,
+        frame: Frame,
+        reads: int,
+        writes: int,
+        writable_data: bool,
+        task: int = 0,
+    ) -> None:
+        location = frame.location_for(cpu_id)
+        cpu = self._machine.cpu(cpu_id)
+        cost = self._machine.timing.block_us(location, reads, writes)
+        cpu.charge_user(cost)
+        self._charge_task(task, cost)
+        cpu.all_refs.record(location, reads, writes)
+        if writable_data:
+            cpu.data_refs.record(location, reads, writes)
+        if self._observer is not None:
+            vm_object, offset, _ = self._info_for(vpage, task)
+            page = vm_object.resident_page(offset)  # type: ignore[attr-defined]
+            page_id = page.page_id if page is not None else -1
+            self._observer.on_reference(
+                self._round,
+                cpu_id,
+                vpage,
+                page_id,
+                reads,
+                writes,
+                location,
+                writable_data,
+            )
+
+    def _charge_task(self, task: int, microseconds: float) -> None:
+        self.task_user_us[task] = (
+            self.task_user_us.get(task, 0.0) + microseconds
+        )
+
+    def _info_for(self, vpage: int, task: int = 0) -> Tuple[object, int, bool]:
+        key = (task, vpage)
+        info = self._vpage_info.get(key)
+        if info is None:
+            region, offset = self._handlers[task].space.resolve(vpage)
+            info = (region.vm_object, offset, region.vm_object.writable_data)
+            self._vpage_info[key] = info
+        return info
+
+    def _release_barriers(self, threads: List[CThread]) -> bool:
+        """Release barriers; they synchronize within a task only.
+
+        Two applications in a multiprogrammed mix may both use a barrier
+        named "init" — they must not synchronize with each other.
+        """
+        released = False
+        by_task: Dict[int, List[CThread]] = {}
+        for thread in threads:
+            by_task.setdefault(thread.task, []).append(thread)
+        for group in by_task.values():
+            live = [t for t in group if not t.finished]
+            if not live or any(
+                t.state is not ThreadState.WAITING for t in live
+            ):
+                continue
+            names = {t.waiting_on for t in live}
+            if len(names) != 1:
+                raise SimulationError(
+                    "deadlock: live threads of one task parked at "
+                    f"different barriers {sorted(names)}"
+                )
+            for t in live:
+                t.state = ThreadState.RUNNABLE
+                t.waiting_on = None
+            released = True
+        return released

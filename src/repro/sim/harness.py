@@ -1,0 +1,233 @@
+"""High-level run harness: build, run, and measure workloads.
+
+:func:`run_once` wires a workload, a policy and a machine together and
+returns a :class:`~repro.sim.result.RunResult`.  :func:`measure_placement`
+performs the paper's full Section 3.1 methodology for one application:
+
+* ``Tnuma`` — the real policy on an N-processor machine;
+* ``Tglobal`` — the all-writable-data-in-global baseline, same machine;
+* ``Tlocal`` — a single thread on a single-processor machine, everything
+  local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.numa_manager import NUMAManager
+from repro.core.policies import (
+    AllGlobalPolicy,
+    AllLocalPolicy,
+    MoveThresholdPolicy,
+)
+from repro.core.policy import NUMAPolicy
+from repro.machine.config import MachineConfig, ace_config, uniprocessor_config
+from repro.machine.machine import Machine
+from repro.sim.engine import Engine, EngineObserver
+from repro.sim.result import CPUTimes, RunResult
+from repro.threads.cthreads import CThread
+from repro.threads.scheduler import AffinityScheduler, Scheduler
+from repro.threads.unix_master import UnixMaster
+from repro.vm.address_space import AddressSpace
+from repro.vm.fault import FaultHandler
+from repro.vm.page_pool import PagePool
+from repro.vm.pmap import ACEPmap
+from repro.workloads.base import BuildContext, Workload
+
+PolicyFactory = Callable[[], NUMAPolicy]
+SchedulerFactory = Callable[[int], Scheduler]
+
+
+@dataclass
+class Simulation:
+    """A fully wired simulation, exposed for tests and custom drivers."""
+
+    machine: Machine
+    numa: NUMAManager
+    pool: PagePool
+    pmap: ACEPmap
+    space: AddressSpace
+    engine: Engine
+    threads: list
+    context: BuildContext
+
+
+def build_simulation(
+    workload: Workload,
+    policy: NUMAPolicy,
+    n_processors: int = 7,
+    n_threads: Optional[int] = None,
+    machine_config: Optional[MachineConfig] = None,
+    scheduler_factory: Optional[SchedulerFactory] = None,
+    unix_master: Optional[UnixMaster] = None,
+    observer: Optional[EngineObserver] = None,
+    check_invariants: bool = True,
+) -> Simulation:
+    """Assemble machine, VM, NUMA layer, and threads for one run."""
+    if machine_config is None:
+        machine_config = ace_config(n_processors)
+    machine = Machine(machine_config)
+    numa = NUMAManager(machine, policy, check_invariants=check_invariants)
+    pool = PagePool(numa)
+    pmap = ACEPmap(numa)
+    space = AddressSpace(name=workload.name)
+    fault_handler = FaultHandler(machine, space, pool, pmap)
+    if n_threads is None:
+        n_threads = machine.n_cpus
+    ctx = BuildContext(
+        space=space,
+        n_threads=n_threads,
+        n_processors=machine.n_cpus,
+        machine_config=machine_config,
+    )
+    bodies = workload.build(ctx)
+    threads = [
+        CThread(name=f"{workload.name}-{i}", index=i, body=body)
+        for i, body in enumerate(bodies)
+    ]
+    scheduler = (
+        scheduler_factory(machine.n_cpus)
+        if scheduler_factory is not None
+        else AffinityScheduler(machine.n_cpus)
+    )
+    engine = Engine(
+        machine,
+        fault_handler,
+        scheduler,
+        unix_master=unix_master,
+        observer=observer,
+    )
+    return Simulation(
+        machine=machine,
+        numa=numa,
+        pool=pool,
+        pmap=pmap,
+        space=space,
+        engine=engine,
+        threads=threads,
+        context=ctx,
+    )
+
+
+def run_once(
+    workload: Workload,
+    policy: NUMAPolicy,
+    n_processors: int = 7,
+    n_threads: Optional[int] = None,
+    machine_config: Optional[MachineConfig] = None,
+    scheduler_factory: Optional[SchedulerFactory] = None,
+    unix_master: Optional[UnixMaster] = None,
+    observer: Optional[EngineObserver] = None,
+    check_invariants: bool = True,
+) -> RunResult:
+    """Run *workload* under *policy* and collect the result."""
+    sim = build_simulation(
+        workload,
+        policy,
+        n_processors=n_processors,
+        n_threads=n_threads,
+        machine_config=machine_config,
+        scheduler_factory=scheduler_factory,
+        unix_master=unix_master,
+        observer=observer,
+        check_invariants=check_invariants,
+    )
+    rounds = sim.engine.run(sim.threads)
+    machine = sim.machine
+    per_cpu = [
+        CPUTimes(cpu=c.id, user_us=c.user_time_us, system_us=c.system_time_us)
+        for c in machine.cpus
+    ]
+    data_refs = machine.cpus[0].data_refs
+    all_refs = machine.cpus[0].all_refs
+    for c in machine.cpus[1:]:
+        data_refs = data_refs.merged_with(c.data_refs)
+        all_refs = all_refs.merged_with(c.all_refs)
+    return RunResult(
+        workload=workload.name,
+        policy=policy.name,
+        n_processors=machine.n_cpus,
+        n_threads=len(sim.threads),
+        per_cpu=per_cpu,
+        stats=sim.numa.stats,
+        data_refs=data_refs,
+        all_refs=all_refs,
+        rounds=rounds,
+        migrations=sim.engine.scheduler.migrations(),
+    )
+
+
+@dataclass(frozen=True)
+class PlacementMeasurement:
+    """The three runs of the paper's methodology for one application."""
+
+    workload: str
+    g_over_l: float
+    numa: RunResult
+    all_global: RunResult
+    local: RunResult
+
+    @property
+    def t_numa_s(self) -> float:
+        """Tnuma in seconds."""
+        return self.numa.user_time_s
+
+    @property
+    def t_global_s(self) -> float:
+        """Tglobal in seconds."""
+        return self.all_global.user_time_s
+
+    @property
+    def t_local_s(self) -> float:
+        """Tlocal in seconds."""
+        return self.local.user_time_s
+
+
+def measure_placement(
+    workload: Workload,
+    n_processors: int = 7,
+    threshold: int = 4,
+    machine_config: Optional[MachineConfig] = None,
+    check_invariants: bool = True,
+) -> PlacementMeasurement:
+    """Run the paper's three measurements for one application.
+
+    ``Tlocal`` runs with one thread on a one-processor machine under the
+    always-LOCAL policy, exactly the paper's procedure for avoiding
+    spin-lock time-slicing artifacts (Section 3.1).
+    """
+    numa_result = run_once(
+        workload,
+        MoveThresholdPolicy(threshold),
+        n_processors=n_processors,
+        machine_config=machine_config,
+        check_invariants=check_invariants,
+    )
+    global_result = run_once(
+        workload,
+        AllGlobalPolicy(),
+        n_processors=n_processors,
+        machine_config=machine_config,
+        check_invariants=check_invariants,
+    )
+    local_config = (
+        uniprocessor_config()
+        if machine_config is None
+        else machine_config.scaled(n_processors=1)
+    )
+    local_result = run_once(
+        workload,
+        AllLocalPolicy(),
+        n_processors=1,
+        n_threads=1,
+        machine_config=local_config,
+        check_invariants=check_invariants,
+    )
+    return PlacementMeasurement(
+        workload=workload.name,
+        g_over_l=workload.g_over_l,
+        numa=numa_result,
+        all_global=global_result,
+        local=local_result,
+    )

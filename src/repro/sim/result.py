@@ -1,0 +1,102 @@
+"""Results of one simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.stats import NUMAStats
+from repro.machine.cpu import ReferenceCounters
+from repro.machine.timing import MemoryLocation
+
+#: Microseconds per second, for the human-facing properties.
+_US_PER_S = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class CPUTimes:
+    """User/system split for one processor."""
+
+    cpu: int
+    user_us: float
+    system_us: float
+
+    @property
+    def total_us(self) -> float:
+        """User plus system time."""
+        return self.user_us + self.system_us
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything measured during one run of a workload under one policy.
+
+    ``user_time_us`` is *total user time across all processors* — the
+    paper's T metric (Section 3.1); ``system_time_us`` is the S of
+    Table 4.  ``measured_alpha`` is the directly observed fraction of
+    writable-data references that hit local memory, which the paper could
+    only infer from times (Equation 4); both are reported so Table 3 can
+    show model-recovered α next to ground truth.
+    """
+
+    workload: str
+    policy: str
+    n_processors: int
+    n_threads: int
+    per_cpu: List[CPUTimes]
+    stats: NUMAStats
+    data_refs: ReferenceCounters
+    all_refs: ReferenceCounters
+    rounds: int
+    migrations: int = 0
+
+    @property
+    def user_time_us(self) -> float:
+        """Total user time across processors, microseconds."""
+        return sum(t.user_us for t in self.per_cpu)
+
+    @property
+    def system_time_us(self) -> float:
+        """Total system time across processors, microseconds."""
+        return sum(t.system_us for t in self.per_cpu)
+
+    @property
+    def user_time_s(self) -> float:
+        """Total user time in seconds (Table 3 units)."""
+        return self.user_time_us / _US_PER_S
+
+    @property
+    def system_time_s(self) -> float:
+        """Total system time in seconds (Table 4 units)."""
+        return self.system_time_us / _US_PER_S
+
+    @property
+    def measured_alpha(self) -> Optional[float]:
+        """Observed α: local writable-data references / all such references.
+
+        ``None`` when the workload made no references to writable data
+        (the paper marks ParMult's α "na" for the same reason).
+        """
+        total = self.data_refs.total()
+        if total == 0:
+            return None
+        return self.data_refs.total_to(MemoryLocation.LOCAL) / total
+
+    @property
+    def store_fraction(self) -> float:
+        """Fraction of all user references that were stores."""
+        total = self.all_refs.total()
+        if total == 0:
+            return 0.0
+        stores = sum(self.all_refs.stores.values())
+        return stores / total
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        alpha = self.measured_alpha
+        alpha_text = "na" if alpha is None else f"{alpha:.2f}"
+        return (
+            f"{self.workload} [{self.policy}] on {self.n_processors}p: "
+            f"user {self.user_time_s:.3f}s system {self.system_time_s:.3f}s "
+            f"alpha {alpha_text} moves {self.stats.moves}"
+        )

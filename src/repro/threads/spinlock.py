@@ -1,0 +1,60 @@
+"""Spin locks as the paper's applications use them.
+
+The applications "synchronize their threads using non-blocking spin
+locks" and "none of the applications spend much time contending for locks"
+(Section 3.1).  Because the engine executes one operation at a time, a
+lock can never be observed held; what a spin lock contributes to the
+simulation is its *memory traffic*: the lock word is writably shared, so
+the page holding it ping-pongs and is quickly pinned in global memory —
+a genuine, paper-faithful source of global references in every C-Threads
+workload that uses a work queue.
+
+:class:`SpinLock` therefore emits the references of an uncontended
+acquire/release pair (one test-and-set read-modify-write, one store to
+release) plus a small instruction cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.ops import Compute, MemBlock, Op
+
+#: Instruction overhead of an uncontended acquire or release, µs.
+_LOCK_PATH_US = 3.0
+
+
+class SpinLock:
+    """A lock word living at a fixed virtual page."""
+
+    def __init__(self, vpage: int, word_offset: int = 0) -> None:
+        self._vpage = vpage
+        self._word_offset = word_offset
+        self._acquisitions = 0
+
+    @property
+    def vpage(self) -> int:
+        """The virtual page holding the lock word."""
+        return self._vpage
+
+    @property
+    def acquisitions(self) -> int:
+        """Completed acquire/release pairs."""
+        return self._acquisitions
+
+    def acquire(self) -> Iterator[Op]:
+        """Ops for an uncontended acquire (test-and-set: fetch + store)."""
+        yield Compute(_LOCK_PATH_US)
+        yield MemBlock(self._vpage, reads=1, writes=1)
+
+    def release(self) -> Iterator[Op]:
+        """Ops for a release (a single store)."""
+        self._acquisitions += 1
+        yield Compute(_LOCK_PATH_US)
+        yield MemBlock(self._vpage, reads=0, writes=1)
+
+    def critical_section(self, body_ops: Iterator[Op]) -> Iterator[Op]:
+        """Acquire, run *body_ops*, release."""
+        yield from self.acquire()
+        yield from body_ops
+        yield from self.release()

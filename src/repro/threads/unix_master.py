@@ -1,0 +1,72 @@
+"""The Unix-master model (Section 4.6).
+
+The authors' Mach still ran its in-kernel Unix compatibility code on one
+processor, the "Unix Master".  That causes two problems: system calls
+bottleneck on the master, and some calls reference *user* memory from the
+master processor, writably sharing otherwise-private pages (stacks, user
+buffers) with it — which makes the NUMA manager move or pin them.
+
+:class:`UnixMaster` accounts for syscall service time on the master CPU
+and issues the calls' user-memory references from it.  The paper's ad hoc
+fix — rewriting the worst offenders (``sigvec``, ``fstat``, ``ioctl``) to
+not touch user memory from the master — is modelled by the
+``patched_calls`` set: patched calls keep their service time but lose
+their user-memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.sim.ops import Syscall
+
+#: Calls the paper patched to stop referencing user memory from the master.
+PAPER_PATCHED_CALLS: FrozenSet[str] = frozenset({"sigvec", "fstat", "ioctl"})
+
+
+class UnixMaster:
+    """Syscall execution model bound to one master processor."""
+
+    def __init__(
+        self,
+        master_cpu: int = 0,
+        patched_calls: Iterable[str] = (),
+    ) -> None:
+        self._master_cpu = master_cpu
+        self._patched = frozenset(patched_calls)
+        self._calls_served = 0
+
+    @property
+    def master_cpu(self) -> int:
+        """The processor all Unix system calls run on."""
+        return self._master_cpu
+
+    @property
+    def patched_calls(self) -> FrozenSet[str]:
+        """Calls modified to avoid touching user memory from the master."""
+        return self._patched
+
+    @property
+    def calls_served(self) -> int:
+        """System calls executed so far."""
+        return self._calls_served
+
+    def effective_syscall(self, call: Syscall) -> Syscall:
+        """The syscall as actually executed, given the patch set."""
+        self._calls_served += 1
+        if call.name in self._patched and call.touched:
+            return Syscall(
+                service_us=call.service_us, touched=(), name=call.name
+            )
+        return call
+
+
+def syscall(
+    name: str, service_us: float, touched: Iterable[tuple] = ()
+) -> Syscall:
+    """Convenience constructor for a named syscall in a workload body."""
+    return Syscall(
+        service_us=service_us,
+        touched=tuple(tuple(t) for t in touched),
+        name=name,
+    )

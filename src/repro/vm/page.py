@@ -1,0 +1,48 @@
+"""Logical pages: the machine-independent physical page abstraction.
+
+Mach "treats the physical page pool as if it were real memory with uniform
+memory access times"; on the ACE each of these *logical* pages corresponds
+to exactly one page of global memory and may additionally be cached in
+local memories (Section 2.3.1).  :class:`LogicalPage` is the concrete type
+behind :class:`repro.core.state.PageLike`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policies.pragma import Pragma
+from repro.machine.memory import Frame
+from repro.vm.vm_object import VMObject
+
+
+@dataclass(frozen=True)
+class LogicalPage:
+    """One page of the fixed-size logical page pool."""
+
+    page_id: int
+    global_frame: Frame
+    vm_object: VMObject
+    offset: int
+    #: True when the page's contents were just read back from backing
+    #: store: the first touch must not zero-fill over them.
+    restored: bool = False
+
+    @property
+    def zero_fill(self) -> bool:
+        """Whether first touch should zero-fill (else content is global)."""
+        return self.vm_object.zero_fill and not self.restored
+
+    @property
+    def writable_data(self) -> bool:
+        """Whether this page counts as writable data for α accounting."""
+        return self.vm_object.writable_data
+
+    @property
+    def pragma(self) -> Optional[Pragma]:
+        """Placement pragma inherited from the backing object, if any."""
+        return self.vm_object.pragma
+
+    def __str__(self) -> str:
+        return f"page{self.page_id}({self.vm_object.name}+{self.offset})"

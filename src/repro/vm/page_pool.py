@@ -1,0 +1,148 @@
+"""The fixed-size logical page pool.
+
+Mach "views physical memory as a fixed-size pool of pages" whose size, on
+the ACE, equals the global memory size — there is "no provision for
+changing the size of the page pool dynamically, so the maximum amount of
+memory that can be used for page replication must be fixed at boot time"
+(Section 2.1).  :class:`PagePool` reproduces that: it can never hand out
+more logical pages than there are global frames, no matter how empty the
+local memories are.
+
+Freeing is lazy, following the paper's ``pmap_free_page`` /
+``pmap_free_page_sync`` split: :meth:`free` starts cleanup and banks the
+returned tag; each :meth:`allocate` completes the oldest outstanding
+cleanup first, modelling "waits for cleanup of the page to complete"
+before a frame is reallocated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from repro.core.numa_manager import FreeTag, NUMAManager
+from repro.errors import OutOfMemoryError
+from repro.vm.page import LogicalPage
+from repro.vm.vm_object import VMObject
+
+if TYPE_CHECKING:
+    from repro.vm.pageout import BackingStore
+
+
+class PagePool:
+    """Allocator for logical pages, one global frame each.
+
+    An optional :class:`~repro.vm.pageout.BackingStore` makes evicted
+    pages' contents reappear on reallocation: a page whose (object,
+    offset) has stored contents is created *restored* — initialized from
+    the store rather than zero-filled, starting GLOBAL_WRITABLE like any
+    other initialized page.
+    """
+
+    def __init__(
+        self,
+        numa: NUMAManager,
+        backing_store: Optional["BackingStore"] = None,
+    ) -> None:
+        self._numa = numa
+        self._machine = numa.machine
+        self._page_ids = itertools.count()
+        self._pending: Deque[FreeTag] = deque()
+        self._live = 0
+        self._live_by_id: Dict[int, LogicalPage] = {}
+        self._backing_store = backing_store
+
+    @property
+    def numa(self) -> NUMAManager:
+        """The NUMA manager pages are registered with."""
+        return self._numa
+
+    @property
+    def live_pages(self) -> int:
+        """Logical pages currently allocated."""
+        return self._live
+
+    @property
+    def capacity(self) -> int:
+        """Maximum simultaneously-live logical pages (global memory size)."""
+        return self._machine.config.global_pages
+
+    @property
+    def pending_cleanups(self) -> int:
+        """Freed pages whose lazy teardown has not completed."""
+        return len(self._pending)
+
+    def allocate(
+        self, vm_object: VMObject, offset: int, cpu: int = 0
+    ) -> LogicalPage:
+        """Materialize the logical page backing ``vm_object[offset]``.
+
+        Registers the page with the NUMA manager (whose directory entry
+        starts ``UNTOUCHED`` or ``GLOBAL_WRITABLE`` depending on the
+        object's ``zero_fill``) and attaches it to the object.  *cpu* is
+        the processor doing the allocating, charged for any lazy cleanup
+        that must finish first.
+        """
+        if self._pending:
+            self._numa.free_page_sync(self._pending.popleft(), cpu)
+        try:
+            frame = self._machine.memory.allocate_global()
+        except OutOfMemoryError:
+            self.drain_cleanups(cpu)
+            frame = self._machine.memory.allocate_global()
+        stored = (
+            self._backing_store.fetch(vm_object, offset)
+            if self._backing_store is not None
+            else None
+        )
+        page = LogicalPage(
+            page_id=next(self._page_ids),
+            global_frame=frame,
+            vm_object=vm_object,
+            offset=offset,
+            restored=stored is not None,
+        )
+        if stored is not None:
+            self._machine.memory.write_token(frame, stored)
+        vm_object.attach(offset, page)
+        self._numa.page_created(page)
+        self._live += 1
+        self._live_by_id[page.page_id] = page
+        return page
+
+    def free(self, page: LogicalPage, cpu: int = 0) -> None:
+        """Release *page*; cache teardown is deferred (lazy free)."""
+        page.vm_object.detach(page.offset)
+        tag = self._numa.page_freed(page, cpu)
+        self._machine.memory.free(page.global_frame)
+        self._pending.append(tag)
+        self._live -= 1
+        self._live_by_id.pop(page.page_id, None)
+
+    def oldest_live_page(
+        self, exclude_wired: bool = True
+    ) -> Optional[LogicalPage]:
+        """The FIFO-oldest live page, for pageout victim selection."""
+        for page in self._live_by_id.values():
+            if exclude_wired and page.vm_object.wired:
+                continue
+            return page
+        return None
+
+    def drain_cleanups(self, cpu: int = 0) -> int:
+        """Complete every outstanding lazy cleanup; returns how many."""
+        done = 0
+        while self._pending:
+            self._numa.free_page_sync(self._pending.popleft(), cpu)
+            done += 1
+        return done
+
+    def resident_or_allocate(
+        self, vm_object: VMObject, offset: int, cpu: int = 0
+    ) -> LogicalPage:
+        """Return the resident page at *offset*, allocating if absent."""
+        page: Optional[LogicalPage] = vm_object.resident_page(offset)
+        if page is None:
+            page = self.allocate(vm_object, offset, cpu)
+        return page

@@ -1,0 +1,126 @@
+"""Pageout: a backing store and a reclamation daemon.
+
+Mach's fixed-size page pool (Section 2.1) means that under memory
+pressure logical pages must be evicted to backing store and faulted back
+in later.  Two paper details hang off this path:
+
+* footnote 4 — a pinning decision is never reconsidered "*unless the
+  pinned page is paged out and back in*": freeing the logical page resets
+  the policy's history, so a paged-in page starts cacheable again;
+* Section 2.3.3's lazy ``pmap_free_page`` — teardown of the evicted
+  page's cache state is deferred until the frame is reused.
+
+:class:`BackingStore` persists page contents (the abstract token) keyed
+by (VM object, offset); :class:`PageoutDaemon` reclaims the
+least-recently-allocated pages until a target number of global frames is
+free.  A reclaimed page's next access takes the normal fault path, finds
+the contents in the store, and re-enters the protocol as an initialized
+(``GLOBAL_WRITABLE``) page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.timing import MemoryLocation
+from repro.vm.page import LogicalPage
+from repro.vm.page_pool import PagePool
+from repro.vm.vm_object import VMObject
+
+#: Default cost of one page transfer to or from backing store, µs.  A
+#: period disk does a few milliseconds; what matters to the experiments
+#: is only that it dwarfs memory copies.
+DEFAULT_IO_US = 20_000.0
+
+
+@dataclass
+class BackingStore:
+    """Holds evicted page contents by (object id, page offset)."""
+
+    _contents: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    pageouts: int = 0
+    pageins: int = 0
+
+    def store(self, vm_object: VMObject, offset: int, token: int) -> None:
+        """Record the contents of an evicted page."""
+        self._contents[(vm_object.object_id, offset)] = token
+        self.pageouts += 1
+
+    def fetch(self, vm_object: VMObject, offset: int) -> Optional[int]:
+        """Retrieve (and consume) stored contents, if any."""
+        token = self._contents.pop((vm_object.object_id, offset), None)
+        if token is not None:
+            self.pageins += 1
+        return token
+
+    def peek(self, vm_object: VMObject, offset: int) -> Optional[int]:
+        """Non-consuming lookup (for assertions in tests)."""
+        return self._contents.get((vm_object.object_id, offset))
+
+    def __len__(self) -> int:
+        return len(self._contents)
+
+
+class PageoutDaemon:
+    """Reclaims logical pages when the pool runs low.
+
+    The selection order is allocation order (FIFO) — the simulator has
+    no reference bits to approximate LRU with, which is faithful to the
+    paper's observation (Section 4.4) that "conventional memory-
+    management systems provide no way to measure the relative frequencies
+    of references"; the Unix pageout daemon's trick detects presence, not
+    frequency.
+    """
+
+    def __init__(
+        self,
+        pool: PagePool,
+        store: BackingStore,
+        io_us: float = DEFAULT_IO_US,
+    ) -> None:
+        if io_us < 0:
+            raise ConfigurationError("I/O cost cannot be negative")
+        self._pool = pool
+        self._store = store
+        self._io_us = io_us
+        self._machine = pool.numa.machine
+
+    @property
+    def store(self) -> BackingStore:
+        """The backing store evictions land in."""
+        return self._store
+
+    def page_out(self, page: LogicalPage, cpu: int = 0) -> None:
+        """Evict one logical page to backing store.
+
+        The authoritative contents (which may live in a local frame if
+        the page is dirty there) are written to the store, the logical
+        page is freed — which drops mappings, resets the policy's pin
+        history, and lazily releases cache frames — and the I/O cost is
+        charged to *cpu* as system time.
+        """
+        entry = self._pool.numa.directory.get(page.page_id)
+        token = self._machine.memory.read_token(entry.authoritative_frame())
+        self._store.store(page.vm_object, page.offset, token)
+        self._machine.cpu(cpu).charge_system(self._io_us)
+        self._pool.free(page, cpu)
+
+    def reclaim(self, target_free: int, cpu: int = 0) -> int:
+        """Page out FIFO-oldest pages until *target_free* frames are free.
+
+        Returns the number of pages written out.  Wired pages (see
+        :attr:`repro.vm.vm_object.VMObject.wired`) are skipped: the
+        kernel must never fault on its own fault path.
+        """
+        written = 0
+        while self._machine.memory.global_available() < target_free:
+            victim = self._pool.oldest_live_page(
+                exclude_wired=True
+            )
+            if victim is None:
+                break
+            self.page_out(victim, cpu)
+            written += 1
+        return written

@@ -1,0 +1,205 @@
+"""The ACE pmap layer: the paper's machine-dependent module (Figure 2).
+
+The pmap manager "exports the pmap interface to the machine-independent
+components of the Mach VM system, translating pmap operations into MMU
+operations and coordinating operation of the other modules" — here, the
+NUMA manager and through it the NUMA policy.  The interface carries the
+paper's three NUMA extensions (Section 2.3.3):
+
+* ``pmap_free_page`` / ``pmap_free_page_sync`` — split lazy page freeing;
+* min/max protection arguments to ``pmap_enter`` — the mapping is entered
+  with the *strictest* permission that resolves the fault, so writable
+  pages that are merely read stay replicated read-only;
+* a target-processor argument to ``pmap_enter`` — mappings are created
+  only on the processor that faulted.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.numa_manager import FreeTag, NUMAManager
+from repro.core.state import AccessKind
+from repro.errors import ProtocolError
+from repro.machine.memory import Frame
+from repro.machine.protection import Protection
+from repro.vm.page import LogicalPage
+
+
+class PmapInterface(abc.ABC):
+    """The Mach pmap operations our VM layer uses.
+
+    A pmap is "a cache of the mappings for an address space": the layer
+    below may drop a mapping or reduce its permissions at almost any
+    time, and the machine-independent fault path will re-enter it.
+    """
+
+    @abc.abstractmethod
+    def pmap_enter(
+        self,
+        vpage: int,
+        page: LogicalPage,
+        min_prot: Protection,
+        max_prot: Protection,
+        cpu: int,
+    ) -> Frame:
+        """Map *vpage* to *page* for *cpu* and return the chosen frame."""
+
+    @abc.abstractmethod
+    def pmap_protect(self, vpage: int, prot: Protection, cpu: int) -> None:
+        """Reduce the permissions of *cpu*'s mapping at *vpage*."""
+
+    @abc.abstractmethod
+    def pmap_remove(self, vpage: int, cpu: int) -> None:
+        """Remove *cpu*'s mapping at *vpage*, if any."""
+
+    @abc.abstractmethod
+    def pmap_remove_all(self, page: LogicalPage, cpu: int) -> None:
+        """Remove every processor's mapping of *page*."""
+
+    @abc.abstractmethod
+    def pmap_free_page(self, page: LogicalPage, cpu: int) -> FreeTag:
+        """Start lazy cleanup of a freed page; returns a tag."""
+
+    @abc.abstractmethod
+    def pmap_free_page_sync(self, tag: FreeTag, cpu: int) -> None:
+        """Wait for (perform) the cleanup started by ``pmap_free_page``."""
+
+
+class ACEPmap(PmapInterface):
+    """pmap manager for the ACE: thin coordination over the NUMA manager."""
+
+    def __init__(self, numa: NUMAManager) -> None:
+        self._numa = numa
+
+    @property
+    def numa(self) -> NUMAManager:
+        """The NUMA manager this pmap drives."""
+        return self._numa
+
+    def page_created(self, page: LogicalPage) -> None:
+        """Register a newly allocated logical page with the NUMA manager."""
+        self._numa.page_created(page)
+
+    def pmap_enter(
+        self,
+        vpage: int,
+        page: LogicalPage,
+        min_prot: Protection,
+        max_prot: Protection,
+        cpu: int,
+    ) -> Frame:
+        min_prot = min_prot.normalized()
+        max_prot = max_prot.normalized()
+        if not max_prot.allows(min_prot):
+            raise ProtocolError(
+                f"pmap_enter min_prot {min_prot!r} exceeds max_prot {max_prot!r}"
+            )
+        kind = AccessKind.WRITE if min_prot.writable else AccessKind.READ
+        return self._numa.request(cpu, vpage, page, kind, max_prot)
+
+    def pmap_protect(self, vpage: int, prot: Protection, cpu: int) -> None:
+        mmu = self._numa.machine.cpu(cpu).mmu
+        entry = mmu.lookup(vpage)
+        if entry is None:
+            return
+        prot = prot.normalized()
+        if prot.allows(entry.protection) and entry.protection != prot:
+            raise ProtocolError(
+                "pmap_protect may only reduce permissions "
+                f"({entry.protection!r} -> {prot!r})"
+            )
+        self._record_protection(entry.frame, vpage, prot, cpu)
+        mmu.protect(vpage, prot)
+
+    def pmap_remove(self, vpage: int, cpu: int) -> None:
+        mmu = self._numa.machine.cpu(cpu).mmu
+        entry = mmu.remove(vpage)
+        if entry is None:
+            return
+        self._forget_mapping(entry.frame, cpu)
+
+    def pmap_remove_all(self, page: LogicalPage, cpu: int) -> None:
+        self._numa.remove_all_mappings(page, cpu)
+
+    def pmap_free_page(self, page: LogicalPage, cpu: int) -> FreeTag:
+        return self._numa.page_freed(page, cpu)
+
+    def pmap_free_page_sync(self, tag: FreeTag, cpu: int) -> None:
+        self._numa.free_page_sync(tag, cpu)
+
+    def pmap_zero_page(self, page: LogicalPage, cpu: int) -> None:
+        """Fill a page with zeros (the classic Mach operation).
+
+        The ACE pmap *lazily* defers zero-filling of untouched pages to
+        the first fault so the fill lands in the memory the policy chose
+        (Section 2.3.1); calling this on an untouched page is therefore a
+        no-op.  On a resident page it zeroes the authoritative copy —
+        the semantics machine-independent code expects.
+        """
+        from repro.core.state import PageState
+
+        entry = self._numa.directory.get(page.page_id)
+        if entry.state is PageState.UNTOUCHED:
+            return  # deferred: the first touch will zero-fill correctly
+        machine = self._numa.machine
+        frame = entry.authoritative_frame()
+        machine.cpu(cpu).charge_system(
+            machine.timing.zero_fill_us(frame.location_for(cpu))
+        )
+        machine.memory.write_token(frame, 0)
+
+    def pmap_copy_page(
+        self, source: LogicalPage, destination: LogicalPage, cpu: int
+    ) -> None:
+        """Copy page contents between two logical pages (copy-on-write
+        resolution in real Mach).  Reads the source's authoritative copy
+        and writes the destination's; the destination must not be cached
+        anywhere (freshly allocated), or its replicas would go stale.
+        """
+        from repro.core.state import PageState
+
+        src_entry = self._numa.directory.get(source.page_id)
+        dst_entry = self._numa.directory.get(destination.page_id)
+        if dst_entry.local_copies:
+            raise ProtocolError(
+                "pmap_copy_page destination must be uncached"
+            )
+        machine = self._numa.machine
+        if src_entry.state is PageState.UNTOUCHED:
+            token = 0
+        else:
+            token = machine.memory.read_token(src_entry.authoritative_frame())
+        machine.memory.write_token(dst_entry.global_frame, token)
+        if dst_entry.state is PageState.UNTOUCHED:
+            dst_entry.state = PageState.GLOBAL_WRITABLE
+        machine.cpu(cpu).charge_system(
+            machine.timing.page_copy_us(
+                src_entry.authoritative_frame().location_for(cpu),
+                dst_entry.global_frame.location_for(cpu),
+            )
+        )
+
+    # -- directory co-maintenance ------------------------------------------
+
+    def _directory_entry_for_frame(self, frame: Frame):
+        for entry in self._numa.directory.entries():
+            if entry.global_frame == frame or frame in entry.local_copies.values():
+                return entry
+        return None
+
+    def _record_protection(
+        self, frame: Frame, vpage: int, prot: Protection, cpu: int
+    ) -> None:
+        entry = self._directory_entry_for_frame(frame)
+        if entry is None:
+            return
+        if prot is Protection.NONE:
+            entry.drop_mapping(cpu)
+        else:
+            entry.record_mapping(cpu, vpage, prot, frame)
+
+    def _forget_mapping(self, frame: Frame, cpu: int) -> None:
+        entry = self._directory_entry_for_frame(frame)
+        if entry is not None:
+            entry.drop_mapping(cpu)

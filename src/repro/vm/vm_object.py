@@ -1,0 +1,159 @@
+"""VM objects: the backing store of virtual memory regions.
+
+A Mach VM object supplies pages for a range of virtual memory.  Our
+workloads declare their memory image as a set of VM objects — program
+text, per-thread stacks, private heaps, shared arrays — each with a
+sharing intent and an optional placement pragma.  The sharing intent is
+*declarative only*: nothing in the protocol reads it (the paper's point is
+that placement is inferred from reference behaviour); it is used by the
+Tglobal baseline policy (which needs to know what counts as "writable
+data") and by the false-sharing analyzer.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.core.policies.pragma import Pragma
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.vm.page import LogicalPage
+
+_object_ids = itertools.count()
+
+
+class Sharing(enum.Enum):
+    """Declared sharing intent of a VM object (for analysis, not placement)."""
+
+    #: Used by a single thread (stacks, private heaps).
+    PRIVATE = "private"
+    #: Written during initialization, then only read (string tables, inputs).
+    READ_MOSTLY = "read-mostly"
+    #: Writably shared between threads.
+    SHARED = "shared"
+
+
+@dataclass
+class VMObject:
+    """A contiguous supply of logical pages.
+
+    ``writable`` is the loosest protection user code may have (the
+    ``max_prot`` fed to ``pmap_enter``); ``zero_fill`` objects materialize
+    zeroed pages on first touch, others (text, initialized data) come with
+    contents already present in global memory, as if paged in from the
+    load image.
+    """
+
+    name: str
+    n_pages: int
+    writable: bool = True
+    zero_fill: bool = True
+    sharing: Sharing = Sharing.PRIVATE
+    pragma: Optional[Pragma] = None
+    #: Wired (kernel) memory: never paged out, and mapped permanently —
+    #: "the kernel must never suffer a page fault on the code that
+    #: handles page faults" (Section 2.1).
+    wired: bool = False
+    #: Owning thread index for PRIVATE objects, when known (analysis only).
+    owner_thread: Optional[int] = None
+    object_id: int = field(default_factory=lambda: next(_object_ids))
+    #: Resident logical pages by page offset within the object.
+    resident: Dict[int, "LogicalPage"] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_pages < 1:
+            raise ConfigurationError(
+                f"VM object {self.name!r} must span at least one page"
+            )
+        if not self.writable and self.zero_fill:
+            # A read-only zero-fill object would be all zeros forever;
+            # treat it as initialized content instead.
+            self.zero_fill = False
+
+    @property
+    def writable_data(self) -> bool:
+        """Whether pages of this object count as writable data for α."""
+        return self.writable
+
+    def resident_page(self, offset: int) -> Optional["LogicalPage"]:
+        """The logical page at *offset*, if one is resident."""
+        return self.resident.get(offset)
+
+    def attach(self, offset: int, page: "LogicalPage") -> None:
+        """Record that *page* now backs *offset*."""
+        if not 0 <= offset < self.n_pages:
+            raise ConfigurationError(
+                f"offset {offset} outside VM object {self.name!r} "
+                f"({self.n_pages} pages)"
+            )
+        if offset in self.resident:
+            raise ConfigurationError(
+                f"VM object {self.name!r} already has a page at offset {offset}"
+            )
+        self.resident[offset] = page
+
+    def detach(self, offset: int) -> "LogicalPage":
+        """Remove and return the page backing *offset*."""
+        try:
+            return self.resident.pop(offset)
+        except KeyError:
+            raise ConfigurationError(
+                f"VM object {self.name!r} has no page at offset {offset}"
+            ) from None
+
+
+def text_object(name: str, n_pages: int) -> VMObject:
+    """Program text: read-only, content present, freely replicable."""
+    return VMObject(
+        name=name,
+        n_pages=n_pages,
+        writable=False,
+        zero_fill=False,
+        sharing=Sharing.READ_MOSTLY,
+    )
+
+
+def stack_object(name: str, n_pages: int, owner_thread: int) -> VMObject:
+    """A thread stack: private writable zero-fill memory."""
+    return VMObject(
+        name=name,
+        n_pages=n_pages,
+        writable=True,
+        zero_fill=True,
+        sharing=Sharing.PRIVATE,
+        owner_thread=owner_thread,
+    )
+
+
+def shared_object(name: str, n_pages: int) -> VMObject:
+    """Writably-shared zero-fill memory (C-Threads' implicit model)."""
+    return VMObject(
+        name=name,
+        n_pages=n_pages,
+        writable=True,
+        zero_fill=True,
+        sharing=Sharing.SHARED,
+    )
+
+
+def kernel_object(name: str, n_pages: int) -> VMObject:
+    """Wired kernel memory: noncacheable, never paged out.
+
+    The paper places no kernel data in local memory beyond what the
+    hardware requires (Section 5 lists kernel autonomy as future work);
+    marking the region NONCACHEABLE keeps the NUMA manager from ever
+    caching it, and ``wired`` keeps the pageout daemon away.
+    """
+    return VMObject(
+        name=name,
+        n_pages=n_pages,
+        writable=True,
+        zero_fill=True,
+        sharing=Sharing.SHARED,
+        pragma=Pragma.NONCACHEABLE,
+        wired=True,
+    )

@@ -1,0 +1,82 @@
+"""Gfetch: the all-shared-memory extreme (Section 3.2).
+
+"The Gfetch program does nothing but fetch from shared virtual memory.
+Loop control and workload allocation costs are too small to be seen.
+Its β is thus 1 and its α 0."
+
+Every thread first stores into each page of a shared buffer (which makes
+the pages writably shared: they ping-pong between owners and are pinned
+in global memory), then spends the run fetching from them.  Table 3 row:
+γ = Tnuma/Tlocal = 2.27 ≈ the ACE's G/L fetch ratio, Tglobal = Tnuma.
+
+Model solving uses G/L = 2.3 (footnote 3: almost all fetches).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.ops import Barrier, MemBlock
+from repro.workloads.base import BuildContext, ThreadBody, Workload
+from repro.workloads.layout import LayoutBuilder
+
+
+class Gfetch(Workload):
+    """Saturating fetch traffic against a writably-shared buffer."""
+
+    name = "Gfetch"
+    g_over_l = 2.3
+
+    def __init__(
+        self,
+        total_fetches: int = 240_000,
+        buffer_pages: int = 8,
+        chunk_fetches: int = 2_000,
+        init_rounds: int = 2,
+    ) -> None:
+        if total_fetches < 1 or buffer_pages < 1 or chunk_fetches < 1:
+            raise ValueError("work sizes must be positive")
+        self.total_fetches = total_fetches
+        self.buffer_pages = buffer_pages
+        self.chunk_fetches = chunk_fetches
+        #: Rounds of per-thread stores during initialization; two rounds
+        #: generate enough ownership moves to pin the buffer under any
+        #: threshold up to ~2 * n_threads.
+        self.init_rounds = init_rounds
+
+    @classmethod
+    def small(cls) -> "Gfetch":
+        """A fast-test instance."""
+        return cls(total_fetches=8_000, buffer_pages=2, chunk_fetches=500)
+
+    def build(self, ctx: BuildContext) -> List[ThreadBody]:
+        layout = LayoutBuilder(ctx)
+        layout.code("gfetch.text", pages=2)
+        page_words = ctx.page_size_words
+        buffer = layout.shared(
+            "gfetch.buffer", words=self.buffer_pages * page_words
+        )
+        per_thread = self.total_fetches // ctx.n_threads
+
+        def body(thread: int) -> ThreadBody:
+            # Initialization: every thread stores a stripe of every page,
+            # making the buffer writably shared in actual behaviour (not
+            # just declaration).
+            stripe = max(1, page_words // max(1, ctx.n_threads))
+            for _ in range(self.init_rounds):
+                for page_index in range(self.buffer_pages):
+                    yield MemBlock(
+                        buffer.vpage_at(page_index), reads=0, writes=stripe
+                    )
+            yield Barrier("gfetch.init")
+            remaining = per_thread
+            page_index = thread % self.buffer_pages
+            while remaining > 0:
+                chunk = min(self.chunk_fetches, remaining)
+                yield MemBlock(
+                    buffer.vpage_at(page_index), reads=chunk, writes=0
+                )
+                remaining -= chunk
+                page_index = (page_index + 1) % self.buffer_pages
+
+        return [body(t) for t in range(ctx.n_threads)]

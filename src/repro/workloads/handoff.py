@@ -1,0 +1,84 @@
+"""Producer/consumer handoff: the pattern that justifies move tolerance.
+
+Thread 0 fills a buffer, hands it to thread 1, which works on it for the
+rest of the run while the producer occasionally peeks at its progress.
+The buffer's ownership *should* move exactly once; a policy that pins on
+the first transfer (threshold 0, or the replication-only competitor)
+condemns the consumer to global references, while unlimited migration is
+harmless here.  This is the "transient behavior" half of Section 4.3's
+placement trade-off — the half the paper's threshold of four exists to
+protect.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.ops import Barrier, MemBlock
+from repro.workloads.base import BuildContext, ThreadBody, Workload
+from repro.workloads.layout import LayoutBuilder
+
+
+class Handoff(Workload):
+    """One buffer, one productive ownership transfer, light peeking."""
+
+    name = "Handoff"
+    g_over_l = 2.0
+
+    def __init__(
+        self,
+        pages: int = 24,
+        writes_per_page: int = 6_000,
+        sweeps: int = 3,
+        peek_reads: int = 4,
+    ) -> None:
+        if pages < 1 or writes_per_page < 1 or sweeps < 1:
+            raise ValueError("work sizes must be positive")
+        self.pages = pages
+        self.writes_per_page = writes_per_page
+        self.sweeps = sweeps
+        self.peek_reads = peek_reads
+
+    @classmethod
+    def small(cls) -> "Handoff":
+        """A fast-test instance."""
+        return cls(pages=6, writes_per_page=1_000, sweeps=2)
+
+    def build(self, ctx: BuildContext) -> List[ThreadBody]:
+        layout = LayoutBuilder(ctx)
+        buffer = layout.shared(
+            "handoff.buffer", ctx.page_size_words * self.pages
+        )
+
+        def producer() -> ThreadBody:
+            for page_index in range(self.pages):
+                yield MemBlock(
+                    buffer.vpage_at(page_index),
+                    writes=self.writes_per_page // 10,
+                )
+            yield Barrier("handoff")
+            # Occasional peeks at the consumer's progress.  Under a
+            # pinned page they are irrelevant; under a live one they cost
+            # the consumer a re-fault but keep its bulk traffic local.
+            for _ in range(self.sweeps):
+                for page_index in range(self.pages):
+                    yield MemBlock(
+                        buffer.vpage_at(page_index), reads=self.peek_reads
+                    )
+
+        def consumer() -> ThreadBody:
+            yield Barrier("handoff")
+            for _ in range(self.sweeps):
+                for page_index in range(self.pages):
+                    yield MemBlock(
+                        buffer.vpage_at(page_index),
+                        reads=self.writes_per_page,
+                        writes=self.writes_per_page,
+                    )
+
+        def idle() -> ThreadBody:
+            yield Barrier("handoff")
+
+        bodies: List[ThreadBody] = [producer(), consumer()]
+        bodies += [idle() for _ in range(max(0, ctx.n_threads - 2))]
+        return bodies

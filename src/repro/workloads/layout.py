@@ -1,0 +1,232 @@
+"""Memory-layout helpers for workloads.
+
+The paper is largely a story about *what shares a page with what*:
+C-Threads programs intermix private and shared data unless the programmer
+pads things apart (Section 3.2), and false sharing is the dominant
+avoidable cost (Section 4.2).  :class:`LayoutBuilder` gives workloads a
+vocabulary for that — code, stacks, private heaps, shared arrays, padded
+or deliberately packed — and the reference helpers turn "touch this range
+of words" into page-granular :class:`~repro.sim.ops.MemBlock` operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.core.policies.pragma import Pragma
+from repro.errors import ConfigurationError
+from repro.sim.ops import MemBlock
+from repro.vm.address_space import VMRegion
+from repro.vm.vm_object import Sharing, VMObject
+from repro.workloads.base import BuildContext
+
+
+@dataclass(frozen=True)
+class WordRange:
+    """A region plus a word interval inside it, for reference emission."""
+
+    region: VMRegion
+    start_word: int
+    n_words: int
+    page_size_words: int
+
+    def __post_init__(self) -> None:
+        total = self.region.n_pages * self.page_size_words
+        if self.start_word < 0 or self.start_word + self.n_words > total:
+            raise ConfigurationError(
+                f"word range [{self.start_word}, "
+                f"{self.start_word + self.n_words}) exceeds region of "
+                f"{total} words"
+            )
+
+    def pages(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(vpage, words_in_that_page)`` covering the range."""
+        remaining = self.n_words
+        word = self.start_word
+        while remaining > 0:
+            page_index = word // self.page_size_words
+            offset_in_page = word % self.page_size_words
+            span = min(remaining, self.page_size_words - offset_in_page)
+            yield self.region.vpage_at(page_index), span
+            word += span
+            remaining -= span
+
+
+class FractionalRefs:
+    """Carry accumulator for non-integer references per unit of work.
+
+    Calibrated reference mixes are often fractional (e.g. 0.45 stack
+    references per sieve update); this accumulates the fraction and
+    releases whole references, so totals are exact over a run.
+    """
+
+    def __init__(self) -> None:
+        self._reads = 0.0
+        self._writes = 0.0
+
+    def take(self, reads: float, writes: float) -> Tuple[int, int]:
+        """Accumulate and return the integer references now due."""
+        if reads < 0 or writes < 0:
+            raise ConfigurationError("reference rates cannot be negative")
+        self._reads += reads
+        self._writes += writes
+        whole_reads = int(self._reads)
+        whole_writes = int(self._writes)
+        self._reads -= whole_reads
+        self._writes -= whole_writes
+        return whole_reads, whole_writes
+
+
+def sweep_refs(
+    word_range: WordRange, reads_per_word: float, writes_per_word: float
+) -> Iterator[MemBlock]:
+    """MemBlocks for a linear sweep over a word range.
+
+    Each page in the range receives ``words * rate`` references, with
+    fractional parts carried across pages so the total is exact.
+    """
+    frac = FractionalRefs()
+    for vpage, words in word_range.pages():
+        reads, writes = frac.take(
+            words * reads_per_word, words * writes_per_word
+        )
+        if reads or writes:
+            yield MemBlock(vpage, reads=reads, writes=writes)
+
+
+class LayoutBuilder:
+    """Convenience constructor for a workload's memory image."""
+
+    def __init__(self, ctx: BuildContext) -> None:
+        self._ctx = ctx
+
+    @property
+    def ctx(self) -> BuildContext:
+        """The underlying build context."""
+        return self._ctx
+
+    @property
+    def page_size_words(self) -> int:
+        """Words per page on the target machine."""
+        return self._ctx.page_size_words
+
+    def _map_words(
+        self,
+        name: str,
+        words: int,
+        *,
+        writable: bool,
+        zero_fill: bool,
+        sharing: Sharing,
+        pragma: Optional[Pragma] = None,
+        owner_thread: Optional[int] = None,
+        padded: bool = True,
+        neighbors: int = 0,
+    ) -> VMRegion:
+        """Map *words* of memory; ``padded`` rounds up to page boundaries.
+
+        ``padded=False`` with ``neighbors`` simulates the C-Threads loader
+        packing unrelated objects together: the object shares its pages
+        with *neighbors* other objects, so the region is sized for the
+        packed allocation and callers address sub-ranges of it.
+        """
+        if padded:
+            n_pages = self._ctx.pages_for_words(words)
+        else:
+            n_pages = self._ctx.pages_for_words(words * (neighbors + 1))
+        obj = VMObject(
+            name=name,
+            n_pages=n_pages,
+            writable=writable,
+            zero_fill=zero_fill,
+            sharing=sharing,
+            pragma=pragma,
+            owner_thread=owner_thread,
+        )
+        return self._ctx.map(obj)
+
+    def code(self, name: str = "text", pages: int = 4) -> VMRegion:
+        """Program text: read-only, replicated everywhere for free."""
+        obj = VMObject(
+            name=name,
+            n_pages=pages,
+            writable=False,
+            zero_fill=False,
+            sharing=Sharing.READ_MOSTLY,
+        )
+        return self._ctx.map(obj)
+
+    def stack(self, thread: int, pages: int = 2) -> VMRegion:
+        """A thread's stack: private writable memory."""
+        obj = VMObject(
+            name=f"stack{thread}",
+            n_pages=pages,
+            writable=True,
+            zero_fill=True,
+            sharing=Sharing.PRIVATE,
+            owner_thread=thread,
+        )
+        return self._ctx.map(obj)
+
+    def private(
+        self,
+        name: str,
+        words: int,
+        thread: int,
+        pragma: Optional[Pragma] = None,
+    ) -> VMRegion:
+        """A per-thread private heap allocation, page-padded."""
+        return self._map_words(
+            name,
+            words,
+            writable=True,
+            zero_fill=True,
+            sharing=Sharing.PRIVATE,
+            pragma=pragma,
+            owner_thread=thread,
+        )
+
+    def shared(
+        self,
+        name: str,
+        words: int,
+        pragma: Optional[Pragma] = None,
+    ) -> VMRegion:
+        """A writably-shared allocation, page-padded."""
+        return self._map_words(
+            name,
+            words,
+            writable=True,
+            zero_fill=True,
+            sharing=Sharing.SHARED,
+            pragma=pragma,
+        )
+
+    def read_mostly(self, name: str, words: int) -> VMRegion:
+        """Written during init, read-only afterwards (still writable)."""
+        return self._map_words(
+            name,
+            words,
+            writable=True,
+            zero_fill=True,
+            sharing=Sharing.READ_MOSTLY,
+        )
+
+    def range_of(
+        self, region: VMRegion, start_word: int = 0, n_words: Optional[int] = None
+    ) -> WordRange:
+        """A word range inside a region, defaulting to the whole region."""
+        total = region.n_pages * self.page_size_words
+        if n_words is None:
+            n_words = total - start_word
+        return WordRange(
+            region=region,
+            start_word=start_word,
+            n_words=n_words,
+            page_size_words=self.page_size_words,
+        )
+
+    def page_of_word(self, region: VMRegion, word: int) -> int:
+        """The virtual page holding *word* of *region*."""
+        return region.vpage_at(word // self.page_size_words)

@@ -1,0 +1,94 @@
+"""A lopsided-sharing microworkload for the remote-reference question.
+
+Section 4.4: "it is not clear whether applications actually display
+reference patterns lopsided enough to make remote references profitable."
+This workload makes the lopsidedness a parameter: one *dominant* thread
+makes ``dominant_share`` of all references to a hot writably-shared
+region; the remaining threads split the rest.  Under the automatic policy
+the region ping-pongs and is pinned in global memory (everyone pays the
+global rate); with the ``REMOTE`` pragma and a
+:class:`~repro.core.policies.remote.HomeNodePolicy` the dominant thread
+pays local rates and the others pay the *worse-than-global* remote rate.
+
+On ACE latencies the crossover sits near a dominant share of ~50% for
+fetch-heavy traffic — computed exactly by
+``benchmarks/bench_remote.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policies.pragma import Pragma
+from repro.sim.ops import Barrier, Compute, MemBlock
+from repro.workloads.base import BuildContext, ThreadBody, Workload
+from repro.workloads.layout import LayoutBuilder
+
+
+class LopsidedSharing(Workload):
+    """One hot region, one dominant user, configurable lopsidedness."""
+
+    name = "Lopsided"
+    g_over_l = 2.0
+
+    def __init__(
+        self,
+        dominant_share: float = 0.8,
+        total_refs: int = 200_000,
+        hot_pages: int = 4,
+        write_fraction: float = 0.2,
+        pragma: Optional[Pragma] = None,
+    ) -> None:
+        if not 0.0 < dominant_share <= 1.0:
+            raise ValueError("dominant_share must be within (0, 1]")
+        if total_refs < 1 or hot_pages < 1:
+            raise ValueError("work sizes must be positive")
+        self.dominant_share = dominant_share
+        self.total_refs = total_refs
+        self.hot_pages = hot_pages
+        self.write_fraction = write_fraction
+        self.pragma = pragma
+        self.name = f"Lopsided({dominant_share:.0%})"
+
+    def build(self, ctx: BuildContext) -> List[ThreadBody]:
+        layout = LayoutBuilder(ctx)
+        hot = layout.shared(
+            "lopsided.hot",
+            words=self.hot_pages * ctx.page_size_words,
+            pragma=self.pragma,
+        )
+        n_threads = ctx.n_threads
+        dominant_refs = int(self.total_refs * self.dominant_share)
+        other_refs = (
+            (self.total_refs - dominant_refs) // max(1, n_threads - 1)
+            if n_threads > 1
+            else 0
+        )
+
+        def refs_for(thread: int) -> int:
+            return dominant_refs if thread == 0 else other_refs
+
+        def body(thread: int) -> ThreadBody:
+            # The dominant thread touches first, making it the home under
+            # a HomeNodePolicy; the rest wait at a barrier.
+            if thread == 0:
+                for page_index in range(self.hot_pages):
+                    yield MemBlock(hot.vpage_at(page_index), writes=8)
+            yield Barrier("lopsided.home")
+            remaining = refs_for(thread)
+            chunk = 512
+            page_index = thread % self.hot_pages
+            while remaining > 0:
+                block = min(chunk, remaining)
+                writes = int(block * self.write_fraction)
+                reads = block - writes
+                yield MemBlock(
+                    hot.vpage_at(page_index),
+                    reads=reads,
+                    writes=max(1, writes),
+                )
+                yield Compute(block * 0.3)
+                remaining -= block
+                page_index = (page_index + 1) % self.hot_pages
+
+        return [body(t) for t in range(ctx.n_threads)]

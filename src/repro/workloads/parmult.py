@@ -1,0 +1,67 @@
+"""ParMult: the no-memory-traffic extreme (Section 3.2).
+
+"The ParMult program does nothing but integer multiplication.  Its only
+data references are for workload allocation and are too infrequent to be
+visible through measurement error.  Its β is thus 0 and its α irrelevant."
+
+Threads pull chunks of multiplications from a shared counter (the only
+writable-data traffic) and compute.  Table 3 row: Tglobal = Tnuma =
+Tlocal, α = na, β = 0.00, γ = 1.00.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.ops import Compute, MemBlock
+from repro.workloads.base import BuildContext, ThreadBody, Workload
+from repro.workloads.layout import LayoutBuilder
+
+#: Cost of one integer multiply plus loop overhead on the ACE's ROMP-C
+#: (integer multiplication is a multi-instruction sequence; the paper
+#: calls it expensive).  Calibrated, see DESIGN.md §5.5.
+MULT_US = 3.7
+
+
+class ParMult(Workload):
+    """Pure integer multiplication with chunked self-scheduling."""
+
+    name = "ParMult"
+    g_over_l = 2.0
+
+    def __init__(
+        self, total_mults: int = 120_000, chunk_mults: int = 1_000
+    ) -> None:
+        if total_mults < 1 or chunk_mults < 1:
+            raise ValueError("work sizes must be positive")
+        self.total_mults = total_mults
+        self.chunk_mults = chunk_mults
+
+    @classmethod
+    def small(cls) -> "ParMult":
+        """A fast-test instance."""
+        return cls(total_mults=4_000, chunk_mults=500)
+
+    def build(self, ctx: BuildContext) -> List[ThreadBody]:
+        layout = LayoutBuilder(ctx)
+        layout.code("parmult.text", pages=2)
+        counter = layout.shared("work.counter", words=4)
+        counter_page = counter.vpage_at(0)
+        n_chunks = (self.total_mults + self.chunk_mults - 1) // self.chunk_mults
+        per_thread = self._split_chunks(n_chunks, ctx.n_threads)
+
+        def body(chunks: int) -> ThreadBody:
+            for _ in range(chunks):
+                # Grab the next chunk: one read-modify-write of the shared
+                # counter.  This is the workload-allocation traffic the
+                # paper calls "too infrequent to be visible".
+                yield MemBlock(counter_page, reads=1, writes=1)
+                yield Compute(self.chunk_mults * MULT_US)
+
+        return [body(chunks) for chunks in per_thread if chunks > 0]
+
+    @staticmethod
+    def _split_chunks(n_chunks: int, n_threads: int) -> List[int]:
+        base = n_chunks // n_threads
+        extra = n_chunks % n_threads
+        return [base + (1 if i < extra else 0) for i in range(n_threads)]

@@ -1,0 +1,109 @@
+"""Equations 1-5: solving, prediction, and round-trip properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import model
+from repro.analysis.paper import TABLE_3
+from repro.errors import ConfigurationError
+
+
+class TestGamma:
+    def test_gamma_is_the_expansion_factor(self):
+        assert model.gamma(2.0, 1.0) == 2.0
+
+    def test_gamma_requires_positive_tlocal(self):
+        with pytest.raises(ConfigurationError):
+            model.gamma(1.0, 0.0)
+
+
+class TestSolve:
+    def test_all_global_time_recovers_alpha_zero(self):
+        # When Tnuma equals Tglobal, no references were local.
+        params = model.solve(2.0, 2.0, 1.0, g_over_l=2.0)
+        assert params.alpha == pytest.approx(0.0)
+
+    def test_perfect_placement_recovers_alpha_one(self):
+        params = model.solve(2.0, 1.0, 1.0, g_over_l=2.0)
+        assert params.alpha == pytest.approx(1.0)
+
+    def test_beta_from_all_memory_time(self):
+        # Tglobal = Tlocal * (1 + beta*(G/L - 1)); with G/L=2, beta = spread.
+        params = model.solve(1.5, 1.0, 1.0, g_over_l=2.0)
+        assert params.beta == pytest.approx(0.5)
+
+    def test_alpha_undefined_when_no_memory_sensitivity(self):
+        params = model.solve(1.0, 1.0, 1.0, g_over_l=2.0)
+        assert params.alpha is None
+        assert params.format_alpha() == "na"
+
+    def test_format_alpha(self):
+        params = model.ModelParameters(alpha=0.666, beta=0.1, gamma=1.0)
+        assert params.format_alpha() == "0.67"
+
+    def test_g_over_l_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            model.solve_beta(2.0, 1.0, g_over_l=1.0)
+
+
+class TestPredict:
+    def test_predict_t_global_is_alpha_zero(self):
+        assert model.predict_t_global(1.0, 0.5, 2.0) == pytest.approx(
+            model.predict_t_numa(1.0, 0.0, 0.5, 2.0)
+        )
+
+    def test_predict_with_alpha_one_is_tlocal(self):
+        assert model.predict_t_numa(3.0, 1.0, 0.7, 2.0) == pytest.approx(3.0)
+
+    def test_predict_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            model.predict_t_numa(1.0, 1.5, 0.5, 2.0)
+        with pytest.raises(ConfigurationError):
+            model.predict_t_numa(1.0, 0.5, -0.1, 2.0)
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        beta=st.floats(min_value=0.01, max_value=1.0),
+        t_local=st.floats(min_value=0.1, max_value=1e5),
+        g_over_l=st.floats(min_value=1.1, max_value=4.0),
+    )
+    def test_solve_inverts_predict(self, alpha, beta, t_local, g_over_l):
+        """Generating times from (α, β) and solving must recover them."""
+        t_numa = model.predict_t_numa(t_local, alpha, beta, g_over_l)
+        t_global = model.predict_t_global(t_local, beta, g_over_l)
+        params = model.solve(t_global, t_numa, t_local, g_over_l)
+        assert params.beta == pytest.approx(beta, rel=1e-6)
+        if params.alpha is not None:
+            assert params.alpha == pytest.approx(alpha, rel=1e-4, abs=1e-4)
+
+    @given(
+        beta=st.floats(min_value=0.0, max_value=1.0),
+        t_local=st.floats(min_value=0.1, max_value=1e5),
+    )
+    def test_predictions_are_ordered(self, beta, t_local):
+        """Tlocal <= Tnuma(α) <= Tglobal for any α."""
+        g = 2.0
+        t_global = model.predict_t_global(t_local, beta, g)
+        for alpha in (0.0, 0.3, 0.7, 1.0):
+            t_numa = model.predict_t_numa(t_local, alpha, beta, g)
+            assert t_local <= t_numa + 1e-9
+            assert t_numa <= t_global + 1e-9
+
+
+class TestAgainstPaperRows:
+    @pytest.mark.parametrize(
+        "name", ["IMatMult", "Primes3", "FFT", "PlyTrace"]
+    )
+    def test_paper_rows_are_roughly_self_consistent(self, name):
+        """Feeding the paper's published times through our solver must
+        land near the paper's published α (their derivation, our code)."""
+        row = TABLE_3[name]
+        alpha = model.solve_alpha(row.t_global, row.t_numa, row.t_local)
+        assert alpha == pytest.approx(row.alpha, abs=0.03)
+
+    def test_gfetch_gamma_matches_published(self):
+        row = TABLE_3["Gfetch"]
+        assert model.gamma(row.t_numa, row.t_local) == pytest.approx(
+            row.gamma, abs=0.01
+        )

@@ -1,0 +1,58 @@
+"""The one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.repro_report import generate_report, write_report
+from repro.workloads import small_workloads
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    workloads = {
+        name: (lambda wl=wl: wl)
+        for name, wl in small_workloads().items()
+        if name in ("ParMult", "IMatMult")
+    }
+    return generate_report(workloads, n_processors=3)
+
+
+class TestGenerateReport:
+    def test_has_every_section(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Section 2.2",
+            "### Table 1",
+            "### Table 2",
+            "## Table 3",
+            "## Table 4",
+            "## Figure 1",
+            "## Figure 2",
+        ):
+            assert heading in report_text
+
+    def test_embeds_the_protocol_cells(self, report_text):
+        assert "sync&flush other" in report_text
+        assert "copy to local" in report_text
+
+    def test_embeds_the_latency_check(self, report_text):
+        assert "G/L fetch 2.31" in report_text
+
+    def test_embeds_the_evaluation(self, report_text):
+        assert "IMatMult" in report_text
+        assert "α(paper)" in report_text
+
+    def test_names_the_paper(self, report_text):
+        assert "Bolosky" in report_text
+        assert "SOSP '89" in report_text
+
+    def test_write_report(self, tmp_path):
+        workloads = {
+            name: (lambda wl=wl: wl)
+            for name, wl in small_workloads().items()
+            if name == "ParMult"
+        }
+        path = write_report(
+            tmp_path / "REPORT.md", workloads, n_processors=2
+        )
+        assert path.exists()
+        assert "# Reproduction report" in path.read_text()

@@ -1,0 +1,75 @@
+"""Shared fixtures: small machines and fully wired simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.numa_manager import NUMAManager
+from repro.core.policies import MoveThresholdPolicy
+from repro.core.policy import NUMAPolicy
+from repro.machine.config import MachineConfig, ace_config
+from repro.machine.machine import Machine
+from repro.vm.address_space import AddressSpace
+from repro.vm.fault import FaultHandler
+from repro.vm.page_pool import PagePool
+from repro.vm.pmap import ACEPmap
+
+
+@dataclass
+class Rig:
+    """A wired-up machine + VM + NUMA stack for protocol tests."""
+
+    machine: Machine
+    numa: NUMAManager
+    pool: PagePool
+    pmap: ACEPmap
+    space: AddressSpace
+    faults: FaultHandler
+
+    @property
+    def policy(self) -> NUMAPolicy:
+        return self.numa.policy
+
+
+def make_rig(
+    n_processors: int = 4,
+    policy: NUMAPolicy | None = None,
+    local_pages_per_cpu: int = 64,
+    global_pages: int = 128,
+) -> Rig:
+    """Build a small, fully wired simulation rig."""
+    config = MachineConfig(
+        n_processors=n_processors,
+        local_pages_per_cpu=local_pages_per_cpu,
+        global_pages=global_pages,
+    )
+    machine = Machine(config)
+    if policy is None:
+        policy = MoveThresholdPolicy(4)
+    numa = NUMAManager(machine, policy, check_invariants=True)
+    pool = PagePool(numa)
+    pmap = ACEPmap(numa)
+    space = AddressSpace()
+    faults = FaultHandler(machine, space, pool, pmap)
+    return Rig(
+        machine=machine,
+        numa=numa,
+        pool=pool,
+        pmap=pmap,
+        space=space,
+        faults=faults,
+    )
+
+
+@pytest.fixture
+def rig() -> Rig:
+    """Default 4-CPU rig with the paper's policy (threshold 4)."""
+    return make_rig()
+
+
+@pytest.fixture
+def ace7() -> MachineConfig:
+    """The paper's 7-processor evaluation machine."""
+    return ace_config(7)

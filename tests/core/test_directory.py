@@ -1,0 +1,219 @@
+"""Directory entries: state invariants and ownership-move detection."""
+
+import pytest
+
+from repro.core.directory import DirectoryEntry, PageDirectory
+from repro.core.state import PageState
+from repro.errors import ProtocolError
+from repro.machine.memory import Frame, FrameKind
+from repro.machine.protection import PROT_READ, PROT_READ_WRITE
+
+
+def gframe(index: int = 0) -> Frame:
+    return Frame(FrameKind.GLOBAL, None, index)
+
+
+def lframe(cpu: int, index: int = 0) -> Frame:
+    return Frame(FrameKind.LOCAL, cpu, index)
+
+
+def entry(**kwargs) -> DirectoryEntry:
+    return DirectoryEntry(page_id=1, global_frame=gframe(), **kwargs)
+
+
+class TestOwnershipMoves:
+    def test_first_owner_is_not_a_move(self):
+        e = entry()
+        assert e.note_ownership(0) is False
+        assert e.move_count == 0
+
+    def test_same_owner_again_is_not_a_move(self):
+        e = entry()
+        e.note_ownership(0)
+        assert e.note_ownership(0) is False
+        assert e.move_count == 0
+
+    def test_transfer_is_a_move(self):
+        e = entry()
+        e.note_ownership(0)
+        assert e.note_ownership(1) is True
+        assert e.move_count == 1
+
+    def test_read_interlude_still_counts_as_move(self):
+        """A writes, B reads (page goes RO), B writes: still a transfer."""
+        e = entry()
+        e.note_ownership(0)
+        e.owner = None  # page went READ_ONLY in between
+        assert e.note_ownership(1) is True
+
+    def test_ping_pong_counts_every_transfer(self):
+        e = entry()
+        for i in range(6):
+            e.note_ownership(i % 2)
+        assert e.move_count == 5
+
+
+class TestFrameSelection:
+    def test_frame_for_prefers_local_copy(self):
+        e = entry()
+        e.local_copies[2] = lframe(2)
+        assert e.frame_for(2) == lframe(2)
+        assert e.frame_for(0) == gframe()
+
+    def test_authoritative_frame_global_when_clean(self):
+        e = entry()
+        e.state = PageState.GLOBAL_WRITABLE
+        assert e.authoritative_frame() == gframe()
+
+    def test_authoritative_frame_local_when_dirty(self):
+        e = entry()
+        e.state = PageState.LOCAL_WRITABLE
+        e.owner = 1
+        e.local_copies[1] = lframe(1)
+        assert e.authoritative_frame() == lframe(1)
+
+    def test_authoritative_frame_requires_owner_when_lw(self):
+        e = entry()
+        e.state = PageState.LOCAL_WRITABLE
+        with pytest.raises(ProtocolError):
+            e.authoritative_frame()
+
+
+class TestInvariants:
+    def test_untouched_must_be_bare(self):
+        e = entry()
+        e.check_invariants()
+        e.local_copies[0] = lframe(0)
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_read_only_needs_a_copy(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_read_only_forbids_owner(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        e.local_copies[0] = lframe(0)
+        e.owner = 0
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_read_only_forbids_writable_mappings(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        e.local_copies[0] = lframe(0)
+        e.record_mapping(0, 10, PROT_READ_WRITE, lframe(0))
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_read_only_mapping_must_point_at_the_copy(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        e.local_copies[0] = lframe(0)
+        e.record_mapping(0, 10, PROT_READ, gframe())
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_read_only_mapping_without_copy_rejected(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        e.local_copies[0] = lframe(0)
+        e.record_mapping(1, 10, PROT_READ, gframe())
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_read_only_valid_shape_passes(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        e.local_copies[0] = lframe(0)
+        e.local_copies[1] = lframe(1)
+        e.record_mapping(0, 10, PROT_READ, lframe(0))
+        e.check_invariants()
+
+    def test_local_writable_needs_owner_and_exactly_one_copy(self):
+        e = entry()
+        e.state = PageState.LOCAL_WRITABLE
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+        e.owner = 1
+        e.local_copies[1] = lframe(1)
+        e.check_invariants()
+        e.local_copies[0] = lframe(0)
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_local_writable_forbids_foreign_mappings(self):
+        e = entry()
+        e.state = PageState.LOCAL_WRITABLE
+        e.owner = 1
+        e.local_copies[1] = lframe(1)
+        e.record_mapping(0, 10, PROT_READ, gframe())
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_global_writable_forbids_copies_and_owner(self):
+        e = entry()
+        e.state = PageState.GLOBAL_WRITABLE
+        e.check_invariants()
+        e.owner = 2
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+        e.owner = None
+        e.local_copies[1] = lframe(1)
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_global_writable_mappings_must_use_global_frame(self):
+        e = entry()
+        e.state = PageState.GLOBAL_WRITABLE
+        e.record_mapping(0, 10, PROT_READ_WRITE, gframe())
+        e.check_invariants()
+        e.record_mapping(1, 10, PROT_READ, lframe(1))
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_copy_on_wrong_node_rejected(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        e.local_copies[0] = lframe(1)  # cpu 0 holding cpu 1's frame
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_global_frame_must_be_global(self):
+        e = DirectoryEntry(page_id=1, global_frame=lframe(0))
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+
+class TestPageDirectory:
+    def test_add_get_remove(self):
+        directory = PageDirectory()
+        e = directory.add(1, gframe())
+        assert directory.get(1) is e
+        assert 1 in directory
+        assert len(directory) == 1
+        assert directory.remove(1) is e
+        assert 1 not in directory
+
+    def test_double_add_rejected(self):
+        directory = PageDirectory()
+        directory.add(1, gframe())
+        with pytest.raises(ProtocolError):
+            directory.add(1, gframe(1))
+
+    def test_get_missing_rejected(self):
+        with pytest.raises(ProtocolError):
+            PageDirectory().get(7)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(ProtocolError):
+            PageDirectory().remove(7)
+
+    def test_entries_iteration(self):
+        directory = PageDirectory()
+        directory.add(1, gframe(0))
+        directory.add(2, gframe(1))
+        assert {e.page_id for e in directory.entries()} == {1, 2}

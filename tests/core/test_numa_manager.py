@@ -1,0 +1,300 @@
+"""NUMA manager scenarios: replication, migration, pinning, eviction."""
+
+import pytest
+
+from repro.core.state import AccessKind, PageState
+from repro.core.policies import (
+    AllGlobalEverythingPolicy,
+    AllLocalPolicy,
+    MoveThresholdPolicy,
+)
+from repro.machine.memory import FrameKind
+from repro.machine.protection import PROT_READ
+from repro.vm.vm_object import shared_object, text_object
+from tests.conftest import make_rig
+
+
+def map_shared(rig, name="data", pages=4):
+    region = rig.space.map_object(shared_object(name, pages))
+    return region
+
+
+def entry_for(rig, region, offset=0):
+    page = region.vm_object.resident_page(offset)
+    assert page is not None
+    return rig.numa.directory.get(page.page_id)
+
+
+def touch(rig, region, cpu, kind, offset=0):
+    return rig.faults.handle(cpu, region.vpage_at(offset), kind)
+
+
+class TestFirstTouch:
+    def test_first_read_replicates_locally(self, rig):
+        region = map_shared(rig)
+        frame = touch(rig, region, cpu=1, kind=AccessKind.READ)
+        assert frame.kind is FrameKind.LOCAL and frame.node == 1
+        e = entry_for(rig, region)
+        assert e.state is PageState.READ_ONLY
+        assert rig.numa.stats.zero_fills == 1
+
+    def test_first_write_goes_local_writable(self, rig):
+        region = map_shared(rig)
+        frame = touch(rig, region, cpu=2, kind=AccessKind.WRITE)
+        assert frame.kind is FrameKind.LOCAL and frame.node == 2
+        e = entry_for(rig, region)
+        assert e.state is PageState.LOCAL_WRITABLE and e.owner == 2
+
+    def test_zero_fill_is_lazy_not_into_global(self, rig):
+        """The paper zero-fills into the memory the policy chose."""
+        region = map_shared(rig)
+        touch(rig, region, cpu=1, kind=AccessKind.WRITE)
+        assert rig.numa.stats.zero_fills == 1
+        assert rig.numa.stats.copies_to_local == 0  # no copy, direct fill
+
+    def test_global_policy_first_touch_fills_global(self):
+        rig = make_rig(policy=AllGlobalEverythingPolicy())
+        region = map_shared(rig)
+        frame = touch(rig, region, cpu=1, kind=AccessKind.WRITE)
+        assert frame.kind is FrameKind.GLOBAL
+        assert entry_for(rig, region).state is PageState.GLOBAL_WRITABLE
+
+
+class TestReplication:
+    def test_readers_each_get_a_copy(self, rig):
+        region = map_shared(rig)
+        for cpu in range(3):
+            frame = touch(rig, region, cpu=cpu, kind=AccessKind.READ)
+            assert frame.node == cpu
+        e = entry_for(rig, region)
+        assert set(e.local_copies) == {0, 1, 2}
+        assert e.state is PageState.READ_ONLY
+
+    def test_replicated_content_is_coherent(self, rig):
+        """Every replica holds the same data version."""
+        region = map_shared(rig)
+        for cpu in range(3):
+            touch(rig, region, cpu=cpu, kind=AccessKind.READ)
+        e = entry_for(rig, region)
+        tokens = {
+            rig.machine.memory.read_token(f) for f in e.local_copies.values()
+        }
+        tokens.add(rig.machine.memory.read_token(e.global_frame))
+        assert len(tokens) == 1
+
+    def test_text_pages_replicate_from_global_content(self, rig):
+        region = rig.space.map_object(text_object("text", 2))
+        frame = touch(rig, region, cpu=1, kind=AccessKind.READ)
+        assert frame.node == 1
+        assert rig.numa.stats.copies_to_local == 1
+        assert rig.numa.stats.zero_fills == 0
+
+    def test_writable_but_unwritten_page_is_replicated(self, rig):
+        """The IMatMult-inputs behaviour the paper highlights."""
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)  # initialized once
+        for cpu in (1, 2, 3):
+            touch(rig, region, cpu=cpu, kind=AccessKind.READ)
+        e = entry_for(rig, region)
+        assert e.state is PageState.READ_ONLY
+        assert len(e.local_copies) >= 3
+
+
+class TestMigration:
+    def test_write_after_foreign_write_moves_ownership(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        touch(rig, region, cpu=1, kind=AccessKind.WRITE)
+        e = entry_for(rig, region)
+        assert e.owner == 1
+        assert e.move_count == 1
+        assert rig.numa.stats.syncs == 1  # old copy synced back
+
+    def test_migration_preserves_content(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        e = entry_for(rig, region)
+        rig.machine.memory.write_token(e.local_copies[0], 77)
+        touch(rig, region, cpu=1, kind=AccessKind.WRITE)
+        assert rig.machine.memory.read_token(e.local_copies[1]) == 77
+
+    def test_reader_of_dirty_page_triggers_sync(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        e = entry_for(rig, region)
+        rig.machine.memory.write_token(e.local_copies[0], 5)
+        frame = touch(rig, region, cpu=1, kind=AccessKind.READ)
+        assert rig.machine.memory.read_token(frame) == 5
+        assert e.state is PageState.READ_ONLY
+
+    def test_owner_read_after_mapping_loss_is_no_action(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        rig.numa.remove_all_mappings(page, acting_cpu=0)
+        copies_before = rig.numa.stats.copies_to_local
+        frame = touch(rig, region, cpu=0, kind=AccessKind.READ)
+        assert frame.node == 0
+        assert entry_for(rig, region).state is PageState.LOCAL_WRITABLE
+        assert rig.numa.stats.copies_to_local == copies_before
+
+    def test_read_only_upgrade_to_writer_flushes_others(self, rig):
+        region = map_shared(rig)
+        for cpu in range(3):
+            touch(rig, region, cpu=cpu, kind=AccessKind.READ)
+        touch(rig, region, cpu=1, kind=AccessKind.WRITE)
+        e = entry_for(rig, region)
+        assert e.state is PageState.LOCAL_WRITABLE
+        assert set(e.local_copies) == {1}
+        assert rig.numa.stats.flushes == 2
+
+
+class TestPinning:
+    def test_ping_pong_pins_after_threshold(self, rig):
+        region = map_shared(rig)
+        for i in range(12):
+            touch(rig, region, cpu=i % 2, kind=AccessKind.WRITE)
+        e = entry_for(rig, region)
+        assert e.state is PageState.GLOBAL_WRITABLE
+        policy = rig.policy
+        page = region.vm_object.resident_page(0)
+        assert policy.is_pinned(page.page_id)
+        # Threshold 4: the page made 5 moves (count > threshold) then pinned.
+        assert policy.move_count(page.page_id) == 5
+
+    def test_pinned_page_serves_everyone_from_global(self, rig):
+        region = map_shared(rig)
+        for i in range(12):
+            touch(rig, region, cpu=i % 2, kind=AccessKind.WRITE)
+        frame = touch(rig, region, cpu=3, kind=AccessKind.READ)
+        assert frame.kind is FrameKind.GLOBAL
+
+    def test_pin_survives_reads(self, rig):
+        region = map_shared(rig)
+        for i in range(12):
+            touch(rig, region, cpu=i % 2, kind=AccessKind.WRITE)
+        for cpu in range(4):
+            touch(rig, region, cpu=cpu, kind=AccessKind.READ)
+        assert entry_for(rig, region).state is PageState.GLOBAL_WRITABLE
+
+    def test_freeing_resets_the_pin(self, rig):
+        region = map_shared(rig)
+        for i in range(12):
+            touch(rig, region, cpu=i % 2, kind=AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        rig.pool.free(page, cpu=0)
+        assert not rig.policy.is_pinned(page.page_id)
+        # A new page at the same offset starts cacheable again.
+        frame = touch(rig, region, cpu=1, kind=AccessKind.WRITE)
+        assert frame.kind is FrameKind.LOCAL
+
+
+class TestEvictionAndFallback:
+    def test_local_exhaustion_falls_back_to_global(self):
+        rig = make_rig(n_processors=2, local_pages_per_cpu=2, global_pages=32)
+        region = map_shared(rig, pages=8)
+        # Two pages fill cpu 0's local memory; they stay dirty (evicting
+        # them requires a sync), then further pages must evict or go global.
+        for offset in range(8):
+            touch(rig, region, cpu=0, kind=AccessKind.WRITE, offset=offset)
+        stats = rig.numa.stats
+        assert stats.evictions + stats.local_memory_fallbacks >= 6
+
+    def test_eviction_syncs_dirty_pages(self):
+        rig = make_rig(n_processors=2, local_pages_per_cpu=1, global_pages=32)
+        region = map_shared(rig, pages=2)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE, offset=0)
+        e0 = entry_for(rig, region, 0)
+        rig.machine.memory.write_token(e0.local_copies[0], 9)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE, offset=1)
+        # page 0 was evicted: content synced to global, state GW.
+        assert e0.state is PageState.GLOBAL_WRITABLE
+        assert rig.machine.memory.read_token(e0.global_frame) == 9
+        assert rig.numa.stats.evictions == 1
+
+    def test_eviction_never_victimizes_the_requested_page(self):
+        rig = make_rig(n_processors=1, local_pages_per_cpu=1, global_pages=32)
+        region = map_shared(rig, pages=1)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE, offset=0)
+        # Re-request the only resident page; nothing to evict but itself.
+        frame = touch(rig, region, cpu=0, kind=AccessKind.READ, offset=0)
+        assert frame.node == 0
+        assert rig.numa.stats.evictions == 0
+
+
+class TestFreeing:
+    def test_free_drops_mappings_immediately(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        rig.pool.free(page, cpu=0)
+        assert rig.machine.cpu(0).mmu.lookup(region.vpage_at(0)) is None
+
+    def test_free_is_lazy_about_local_frames(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        in_use_before = rig.machine.memory.local_in_use(0)
+        page = region.vm_object.resident_page(0)
+        rig.pool.free(page, cpu=0)
+        # The local frame is still held until the cleanup syncs.
+        assert rig.machine.memory.local_in_use(0) == in_use_before
+        rig.pool.drain_cleanups(cpu=0)
+        assert rig.machine.memory.local_in_use(0) == in_use_before - 1
+
+    def test_allocation_completes_pending_cleanup(self, rig):
+        region = map_shared(rig, pages=2)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE, offset=0)
+        page = region.vm_object.resident_page(0)
+        rig.pool.free(page, cpu=0)
+        assert rig.pool.pending_cleanups == 1
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE, offset=1)
+        assert rig.pool.pending_cleanups == 0
+
+
+class TestMappingProtections:
+    def test_read_fault_maps_provisionally_read_only(self, rig):
+        """The min/max-protection extension: map with strictest rights."""
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.READ)
+        entry = rig.machine.cpu(0).mmu.lookup(region.vpage_at(0))
+        assert entry.protection == PROT_READ
+
+    def test_write_fault_upgrades_mapping(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.READ)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        entry = rig.machine.cpu(0).mmu.lookup(region.vpage_at(0))
+        assert entry.protection.writable
+
+    def test_always_local_policy_never_uses_global(self):
+        rig = make_rig(n_processors=1, policy=AllLocalPolicy())
+        region = map_shared(rig)
+        for offset in range(4):
+            frame = touch(
+                rig, region, cpu=0, kind=AccessKind.WRITE, offset=offset
+            )
+            assert frame.kind is FrameKind.LOCAL
+
+
+class TestStatsAndIntrospection:
+    def test_location_for_tracks_state(self, rig):
+        region = map_shared(rig)
+        touch(rig, region, cpu=0, kind=AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        from repro.machine.timing import MemoryLocation
+
+        assert rig.numa.location_for(page, 0) is MemoryLocation.LOCAL
+        assert rig.numa.location_for(page, 1) is MemoryLocation.GLOBAL
+
+    def test_resident_pages_tracking(self, rig):
+        region = map_shared(rig, pages=3)
+        for offset in range(3):
+            touch(rig, region, cpu=1, kind=AccessKind.READ, offset=offset)
+        assert len(rig.numa.resident_pages(1)) == 3
+        assert rig.numa.resident_pages(0) == set()
+
+    def test_check_all_invariants_clean_run(self, rig):
+        region = map_shared(rig)
+        for i in range(8):
+            touch(rig, region, cpu=i % 3, kind=AccessKind.WRITE)
+        rig.numa.check_all_invariants()

@@ -1,0 +1,137 @@
+"""Cross-feature protocol properties: remote + eviction + pageout mixed.
+
+The individual features each hold their invariants; these property tests
+interleave them — the combinations a long-lived system actually sees —
+and check the same three guarantees throughout: directory invariants,
+read coherence, and no frame leaks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.numa_manager import NUMAManager
+from repro.core.policies import HomeNodePolicy, MoveThresholdPolicy
+from repro.core.policies.pragma import Pragma
+from repro.core.state import AccessKind
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.vm.address_space import AddressSpace
+from repro.vm.fault import FaultHandler
+from repro.vm.page_pool import PagePool
+from repro.vm.pageout import BackingStore, PageoutDaemon
+from repro.vm.pmap import ACEPmap
+from repro.vm.vm_object import shared_object
+
+N_CPUS = 3
+N_PAGES = 4
+
+#: (cpu, offset, action) where action 0=read 1=write 2=pageout 3=evict-ish
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_CPUS - 1),
+        st.integers(min_value=0, max_value=N_PAGES - 1),
+        st.integers(min_value=0, max_value=2),
+    ),
+    max_size=50,
+)
+
+
+def build(remote_pragma: bool, local_pages: int = 16):
+    config = MachineConfig(
+        n_processors=N_CPUS,
+        local_pages_per_cpu=local_pages,
+        global_pages=32,
+    )
+    machine = Machine(config)
+    policy = HomeNodePolicy(MoveThresholdPolicy(2))
+    numa = NUMAManager(machine, policy, check_invariants=True)
+    store = BackingStore()
+    pool = PagePool(numa, backing_store=store)
+    pmap = ACEPmap(numa)
+    space = AddressSpace()
+    daemon = PageoutDaemon(pool, store, io_us=100.0)
+    faults = FaultHandler(
+        machine, space, pool, pmap, pageout_daemon=daemon
+    )
+    obj = shared_object("mixed", N_PAGES)
+    if remote_pragma:
+        obj.pragma = Pragma.REMOTE
+    region = space.map_object(obj)
+    return machine, numa, pool, faults, daemon, region
+
+
+class TestInteractionProperties:
+    @given(sequence=steps, remote=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_remote_plus_pageout_keeps_coherence(self, sequence, remote):
+        machine, numa, pool, faults, daemon, region = build(remote)
+        token = 1
+        last = {}
+        for cpu, offset, action in sequence:
+            page = region.vm_object.resident_page(offset)
+            if action == 2:
+                if page is not None:
+                    daemon.page_out(page, cpu)
+                continue
+            kind = AccessKind.WRITE if action == 1 else AccessKind.READ
+            frame = faults.handle(cpu, region.vpage_at(offset), kind)
+            if action == 1:
+                machine.memory.write_token(frame, token)
+                last[offset] = token
+                token += 1
+            else:
+                assert machine.memory.read_token(frame) == last.get(
+                    offset, 0
+                ), f"page {offset} lost a write"
+            numa.check_all_invariants()
+
+    @given(sequence=steps)
+    @settings(max_examples=30, deadline=None)
+    def test_tiny_local_memory_forces_eviction_but_never_leaks(
+        self, sequence
+    ):
+        machine, numa, pool, faults, daemon, region = build(
+            remote_pragma=False, local_pages=2
+        )
+        for cpu, offset, action in sequence:
+            if action == 2:
+                page = region.vm_object.resident_page(offset)
+                if page is not None:
+                    daemon.page_out(page, cpu)
+                continue
+            kind = AccessKind.WRITE if action == 1 else AccessKind.READ
+            faults.handle(cpu, region.vpage_at(offset), kind)
+            numa.check_all_invariants()
+            for c in range(N_CPUS):
+                assert machine.memory.local_in_use(c) <= 2
+        # Teardown: free everything and verify nothing leaked.
+        for offset in list(region.vm_object.resident.keys()):
+            pool.free(region.vm_object.resident[offset], cpu=0)
+        pool.drain_cleanups(cpu=0)
+        assert machine.memory.global_in_use() == 0
+        for c in range(N_CPUS):
+            assert machine.memory.local_in_use(c) == 0
+
+    @given(sequence=steps)
+    @settings(max_examples=30, deadline=None)
+    def test_paged_out_remote_pages_come_back_cacheable(self, sequence):
+        """The home (and its remote mappings) are torn down on pageout;
+        the page restarts through the normal first-touch path."""
+        machine, numa, pool, faults, daemon, region = build(
+            remote_pragma=True
+        )
+        for cpu, offset, action in sequence:
+            page = region.vm_object.resident_page(offset)
+            if action == 2 and page is not None:
+                daemon.page_out(page, cpu)
+                # No mappings may survive anywhere.
+                for c in range(N_CPUS):
+                    assert (
+                        machine.cpu(c).mmu.lookup(region.vpage_at(offset))
+                        is None
+                    )
+                continue
+            if action != 2:
+                kind = AccessKind.WRITE if action == 1 else AccessKind.READ
+                faults.handle(cpu, region.vpage_at(offset), kind)
+                numa.check_all_invariants()

@@ -1,0 +1,209 @@
+"""Property-based tests of the consistency protocol.
+
+Random request sequences are thrown at the full manager stack; after every
+single request the directory invariants must hold, and reads must observe
+the most recently written content token (coherence) — the property Li &
+Hudak's protocol exists to provide.
+"""
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    AllGlobalEverythingPolicy,
+    AllLocalPolicy,
+    MoveThresholdPolicy,
+)
+from repro.core.state import AccessKind, PageState
+from repro.machine.memory import FrameKind
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+N_CPUS = 3
+N_PAGES = 4
+
+#: One protocol request: (cpu, page offset, is_write, free_first).
+Request = Tuple[int, int, bool, bool]
+
+requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_CPUS - 1),
+        st.integers(min_value=0, max_value=N_PAGES - 1),
+        st.booleans(),
+        st.booleans(),
+    ),
+    max_size=60,
+)
+
+
+def run_sequence(policy_factory, sequence: List[Request]):
+    """Drive the full stack and check invariants + coherence throughout."""
+    rig = make_rig(
+        n_processors=N_CPUS,
+        policy=policy_factory(),
+        local_pages_per_cpu=16,
+        global_pages=64,
+    )
+    region = rig.space.map_object(shared_object("data", N_PAGES))
+    next_token = 1
+    last_written = {}  # offset -> token (0 means zero-filled)
+    for cpu, offset, is_write, free_first in sequence:
+        page = region.vm_object.resident_page(offset)
+        if free_first and page is not None:
+            rig.pool.free(page, cpu)
+            last_written.pop(offset, None)
+            page = None
+        vpage = region.vpage_at(offset)
+        kind = AccessKind.WRITE if is_write else AccessKind.READ
+        frame = rig.faults.handle(cpu, vpage, kind)
+        if is_write:
+            rig.machine.memory.write_token(frame, next_token)
+            last_written[offset] = next_token
+            next_token += 1
+        else:
+            observed = rig.machine.memory.read_token(frame)
+            assert observed == last_written.get(offset, 0), (
+                f"coherence violation on page {offset}: read {observed}, "
+                f"expected {last_written.get(offset, 0)}"
+            )
+        rig.numa.check_all_invariants()
+        entry = rig.numa.directory.get(
+            region.vm_object.resident_page(offset).page_id
+        )
+        if is_write and entry.state is PageState.LOCAL_WRITABLE:
+            assert entry.owner == cpu
+    return rig
+
+
+class TestProtocolProperties:
+    @given(sequence=requests)
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_policy_keeps_invariants_and_coherence(self, sequence):
+        run_sequence(lambda: MoveThresholdPolicy(2), sequence)
+
+    @given(sequence=requests)
+    @settings(max_examples=30, deadline=None)
+    def test_always_local_policy_keeps_invariants_and_coherence(self, sequence):
+        run_sequence(AllLocalPolicy, sequence)
+
+    @given(sequence=requests)
+    @settings(max_examples=30, deadline=None)
+    def test_always_global_policy_keeps_invariants_and_coherence(
+        self, sequence
+    ):
+        run_sequence(AllGlobalEverythingPolicy, sequence)
+
+    @given(sequence=requests)
+    @settings(max_examples=30, deadline=None)
+    def test_move_counts_never_decrease(self, sequence):
+        rig = make_rig(
+            n_processors=N_CPUS,
+            policy=MoveThresholdPolicy(3),
+            local_pages_per_cpu=16,
+            global_pages=64,
+        )
+        region = rig.space.map_object(shared_object("data", N_PAGES))
+        previous = {}
+        for cpu, offset, is_write, _ in sequence:
+            vpage = region.vpage_at(offset)
+            kind = AccessKind.WRITE if is_write else AccessKind.READ
+            rig.faults.handle(cpu, vpage, kind)
+            page = region.vm_object.resident_page(offset)
+            entry = rig.numa.directory.get(page.page_id)
+            assert entry.move_count >= previous.get(offset, 0)
+            previous[offset] = entry.move_count
+
+    @given(sequence=requests)
+    @settings(max_examples=30, deadline=None)
+    def test_pinned_pages_stay_global_until_freed(self, sequence):
+        policy = MoveThresholdPolicy(1)
+        rig = make_rig(
+            n_processors=N_CPUS,
+            policy=policy,
+            local_pages_per_cpu=16,
+            global_pages=64,
+        )
+        region = rig.space.map_object(shared_object("data", N_PAGES))
+        for cpu, offset, is_write, free_first in sequence:
+            page = region.vm_object.resident_page(offset)
+            if free_first and page is not None:
+                rig.pool.free(page, cpu)
+                page = None
+            vpage = region.vpage_at(offset)
+            kind = AccessKind.WRITE if is_write else AccessKind.READ
+            # A pin asserted before this request must be honoured by it
+            # (the pinning move itself was executed under a LOCAL answer,
+            # so the pin becomes visible at the *next* fault).
+            pinned_before = (
+                page is not None and policy.is_pinned(page.page_id)
+            )
+            frame = rig.faults.handle(cpu, vpage, kind)
+            page = region.vm_object.resident_page(offset)
+            entry = rig.numa.directory.get(page.page_id)
+            if pinned_before:
+                assert frame.kind is FrameKind.GLOBAL
+                assert entry.state is PageState.GLOBAL_WRITABLE
+                assert not entry.local_copies
+
+    @given(sequence=requests)
+    @settings(max_examples=30, deadline=None)
+    def test_no_frame_leaks(self, sequence):
+        """After freeing everything, all frames return to their pools."""
+        rig = run_sequence(lambda: MoveThresholdPolicy(2), sequence)
+        region_obj = None
+        for obj_region in rig.space.regions:
+            region_obj = obj_region.vm_object
+        for offset in list(region_obj.resident.keys()):
+            rig.pool.free(region_obj.resident[offset], cpu=0)
+        rig.pool.drain_cleanups(cpu=0)
+        assert rig.machine.memory.global_in_use() == 0
+        for cpu in range(N_CPUS):
+            assert rig.machine.memory.local_in_use(cpu) == 0
+
+    @given(sequence=requests)
+    @settings(max_examples=20, deadline=None)
+    def test_mmu_and_directory_mappings_agree(self, sequence):
+        rig = run_sequence(lambda: MoveThresholdPolicy(2), sequence)
+        for entry in rig.numa.directory.entries():
+            for cpu, mapping in entry.mappings.items():
+                hw = rig.machine.cpu(cpu).mmu.lookup(mapping.vpage)
+                assert hw is not None, "directory mapping missing in MMU"
+                assert hw.frame == mapping.frame
+
+
+class TestSingleWriterProperty:
+    @given(
+        writes=st.lists(
+            st.integers(min_value=0, max_value=N_CPUS - 1), max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_at_most_one_writable_mapping_unless_global(self, writes):
+        rig = make_rig(
+            n_processors=N_CPUS,
+            policy=MoveThresholdPolicy(5),
+            local_pages_per_cpu=16,
+            global_pages=32,
+        )
+        region = rig.space.map_object(shared_object("data", 1))
+        for cpu in writes:
+            rig.faults.handle(cpu, region.vpage_at(0), AccessKind.WRITE)
+            page = region.vm_object.resident_page(0)
+            entry = rig.numa.directory.get(page.page_id)
+            writable_cpus = [
+                c
+                for c in range(N_CPUS)
+                if (m := rig.machine.cpu(c).mmu.lookup(region.vpage_at(0)))
+                is not None
+                and m.protection.writable
+                and m.frame.kind.value == "local"
+            ]
+            if entry.state is not PageState.GLOBAL_WRITABLE:
+                assert len(writable_cpus) <= 1
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,186 @@
+"""The Section 4.4 remote-reference extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import HomeNodePolicy, MoveThresholdPolicy
+from repro.core.policies.pragma import Pragma
+from repro.core.state import AccessKind, PageState
+from repro.machine.memory import FrameKind
+from repro.machine.timing import MemoryLocation
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+
+def remote_rig(n_processors=3):
+    rig = make_rig(
+        n_processors=n_processors,
+        policy=HomeNodePolicy(MoveThresholdPolicy(4)),
+    )
+    obj = shared_object("hot", 2)
+    obj.pragma = Pragma.REMOTE
+    region = rig.space.map_object(obj)
+    return rig, region
+
+
+class TestHomeEstablishment:
+    def test_first_toucher_becomes_the_home(self):
+        rig, region = remote_rig()
+        frame = rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        assert frame.kind is FrameKind.LOCAL and frame.node == 1
+        entry = rig.numa.directory.get(
+            region.vm_object.resident_page(0).page_id
+        )
+        assert entry.state is PageState.LOCAL_WRITABLE
+        assert entry.owner == 1
+
+    def test_first_touch_read_then_write_settles_at_home(self):
+        rig, region = remote_rig()
+        rig.faults.handle(2, region.vpage_at(0), AccessKind.READ)
+        frame = rig.faults.handle(2, region.vpage_at(0), AccessKind.WRITE)
+        assert frame.node == 2
+
+
+class TestRemoteMappings:
+    def test_foreign_access_maps_the_home_frame(self):
+        rig, region = remote_rig()
+        home = rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        remote = rig.faults.handle(1, region.vpage_at(0), AccessKind.READ)
+        assert remote == home
+        assert remote.location_for(1) is MemoryLocation.REMOTE
+        assert rig.numa.stats.remote_mappings == 1
+
+    def test_remote_access_does_not_move_ownership(self):
+        rig, region = remote_rig()
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        for cpu in (1, 2):
+            rig.faults.handle(cpu, region.vpage_at(0), AccessKind.WRITE)
+        entry = rig.numa.directory.get(
+            region.vm_object.resident_page(0).page_id
+        )
+        assert entry.owner == 0
+        assert entry.move_count == 0
+        assert rig.numa.stats.moves == 0
+
+    def test_remote_writers_share_the_same_physical_frame(self):
+        """No copies, hence no coherence question: all writers hit the
+        home frame."""
+        rig, region = remote_rig()
+        home = rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        remote = rig.faults.handle(2, region.vpage_at(0), AccessKind.WRITE)
+        rig.machine.memory.write_token(remote, 55)
+        assert rig.machine.memory.read_token(home) == 55
+
+    def test_invariants_hold_with_remote_mappings(self):
+        rig, region = remote_rig()
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        for cpu in (1, 2):
+            rig.faults.handle(cpu, region.vpage_at(0), AccessKind.WRITE)
+        rig.numa.check_all_invariants()
+
+    def test_remote_read_maps_read_only(self):
+        rig, region = remote_rig()
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.READ)
+        mapping = rig.machine.cpu(1).mmu.lookup(region.vpage_at(0))
+        assert not mapping.protection.writable
+
+    def test_home_accesses_stay_local(self):
+        rig, region = remote_rig()
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.READ)
+        frame = rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        assert frame.location_for(0) is MemoryLocation.LOCAL
+
+
+class TestTeardownSafety:
+    def test_flushing_the_home_shoots_down_remote_mappings(self):
+        """No dangling translations into freed local frames."""
+        rig, region = remote_rig()
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.READ)  # remote
+        page = region.vm_object.resident_page(0)
+        # Free the page entirely: the home copy is torn down lazily, and
+        # cpu 1's remote mapping must go with it.
+        rig.pool.free(page, cpu=0)
+        assert rig.machine.cpu(1).mmu.lookup(region.vpage_at(0)) is None
+        rig.pool.drain_cleanups(cpu=0)
+
+    def test_mixed_policy_steal_after_remote_phase(self):
+        """If the pragma is dropped (page freed, object reused without
+        it), the ordinary protocol takes over cleanly."""
+        rig, region = remote_rig()
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)  # remote
+        page = region.vm_object.resident_page(0)
+        rig.pool.free(page, cpu=0)
+        region.vm_object.pragma = None
+        frame = rig.faults.handle(2, region.vpage_at(0), AccessKind.WRITE)
+        assert frame.node == 2  # normal LOCAL placement resumes
+        rig.numa.check_all_invariants()
+
+
+class TestHomeNodePolicyUnit:
+    def test_unpragmad_pages_delegate(self):
+        rig, region = remote_rig()
+        plain = rig.space.map_object(shared_object("plain", 1))
+        frame = rig.faults.handle(1, plain.vpage_at(0), AccessKind.WRITE)
+        assert frame.node == 1  # base policy LOCAL
+
+    def test_remote_pages_never_burn_the_move_budget(self):
+        base = MoveThresholdPolicy(0)
+        policy = HomeNodePolicy(base)
+
+        class FakePage:
+            page_id = 9
+            pragma = Pragma.REMOTE
+
+        policy.note_move(FakePage())
+        assert not base.is_pinned(9)
+
+    def test_name(self):
+        assert "home-node" in HomeNodePolicy(MoveThresholdPolicy(4)).name
+
+
+class TestRemoteProperties:
+    @given(
+        accesses=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_remote_sequences_keep_invariants_and_coherence(self, accesses):
+        rig, region = remote_rig()
+        token = 1
+        last = 0
+        for cpu, is_write in accesses:
+            kind = AccessKind.WRITE if is_write else AccessKind.READ
+            frame = rig.faults.handle(cpu, region.vpage_at(0), kind)
+            if is_write:
+                rig.machine.memory.write_token(frame, token)
+                last = token
+                token += 1
+            else:
+                assert rig.machine.memory.read_token(frame) == last
+            rig.numa.check_all_invariants()
+
+    @given(
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_home_never_changes_under_pure_remote_policy(self, accesses):
+        rig, region = remote_rig()
+        first = accesses[0]
+        for cpu in accesses:
+            rig.faults.handle(cpu, region.vpage_at(0), AccessKind.WRITE)
+        entry = rig.numa.directory.get(
+            region.vm_object.resident_page(0).page_id
+        )
+        assert entry.owner == first

@@ -1,0 +1,84 @@
+"""NUMAStats bookkeeping and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.core.state import AccessKind
+from repro.core.stats import NUMAStats
+
+
+class TestNUMAStats:
+    def test_fresh_stats_are_all_zero(self):
+        stats = NUMAStats()
+        assert stats.total_faults() == 0
+        assert stats.total_page_copies() == 0
+        assert all(value == 0 for value in stats.as_dict().values())
+
+    def test_fault_counters_by_kind(self):
+        stats = NUMAStats()
+        stats.faults[AccessKind.READ] += 3
+        stats.faults[AccessKind.WRITE] += 2
+        assert stats.total_faults() == 5
+        flat = stats.as_dict()
+        assert flat["read_faults"] == 3
+        assert flat["write_faults"] == 2
+
+    def test_total_page_copies(self):
+        stats = NUMAStats()
+        stats.copies_to_local = 4
+        stats.syncs = 3
+        assert stats.total_page_copies() == 7
+
+    def test_as_dict_covers_every_counter(self):
+        stats = NUMAStats()
+        flat = stats.as_dict()
+        expected_keys = {
+            "read_faults",
+            "write_faults",
+            "zero_fills",
+            "global_zero_fills",
+            "copies_to_local",
+            "syncs",
+            "flushes",
+            "unmaps",
+            "moves",
+            "remote_mappings",
+            "local_memory_fallbacks",
+            "evictions",
+            "pages_freed",
+            "free_syncs",
+        }
+        assert set(flat) == expected_keys
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.OutOfMemoryError,
+            errors.MappingError,
+            errors.ProtocolError,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_segfault_is_a_simulation_error(self):
+        from repro.vm.address_space import SegmentationFault
+
+        assert issubclass(SegmentationFault, errors.SimulationError)
+
+    def test_protection_violation_is_a_simulation_error(self):
+        from repro.vm.fault import ProtectionViolation
+
+        assert issubclass(ProtectionViolation, errors.SimulationError)
+
+    def test_mmu_fault_is_not_an_error(self):
+        """Faults are control flow, not failures."""
+        from repro.machine.mmu import MMUFault
+
+        assert not issubclass(MMUFault, errors.ReproError)

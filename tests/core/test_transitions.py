@@ -1,0 +1,187 @@
+"""Tables 1 and 2, cell by cell, against the paper's text."""
+
+import pytest
+
+from repro.core.state import AccessKind, PageState, PlacementDecision
+from repro.core.transitions import (
+    READ_TABLE,
+    WRITE_TABLE,
+    Cleanup,
+    StateKey,
+    classify_state,
+    first_touch_spec,
+    lookup,
+)
+from repro.errors import ProtocolError
+
+L = PlacementDecision.LOCAL
+G = PlacementDecision.GLOBAL
+RO = StateKey.READ_ONLY
+GW = StateKey.GLOBAL_WRITABLE
+LW_OWN = StateKey.LOCAL_WRITABLE_OWN
+LW_OTHER = StateKey.LOCAL_WRITABLE_OTHER
+
+
+class TestTable1ReadRequests:
+    """Each cell transcribed from the paper's Table 1."""
+
+    @pytest.mark.parametrize(
+        "decision, state, cleanup, copy, new_state",
+        [
+            (L, RO, Cleanup.NONE, True, PageState.READ_ONLY),
+            (L, GW, Cleanup.UNMAP_ALL, True, PageState.READ_ONLY),
+            (L, LW_OWN, Cleanup.NONE, False, PageState.LOCAL_WRITABLE),
+            (L, LW_OTHER, Cleanup.SYNC_FLUSH_OTHER, True, PageState.READ_ONLY),
+            (G, RO, Cleanup.FLUSH_ALL, False, PageState.GLOBAL_WRITABLE),
+            (G, GW, Cleanup.NONE, False, PageState.GLOBAL_WRITABLE),
+            (G, LW_OWN, Cleanup.SYNC_FLUSH_OWN, False, PageState.GLOBAL_WRITABLE),
+            (G, LW_OTHER, Cleanup.SYNC_FLUSH_OTHER, False,
+             PageState.GLOBAL_WRITABLE),
+        ],
+    )
+    def test_cell(self, decision, state, cleanup, copy, new_state):
+        spec = READ_TABLE[(decision, state)]
+        assert spec.cleanup is cleanup
+        assert spec.copy_to_local is copy
+        assert spec.new_state is new_state
+
+    def test_table_is_complete(self):
+        assert len(READ_TABLE) == 8
+
+
+class TestTable2WriteRequests:
+    """Each cell transcribed from the paper's Table 2."""
+
+    @pytest.mark.parametrize(
+        "decision, state, cleanup, copy, new_state",
+        [
+            (L, RO, Cleanup.FLUSH_OTHER, True, PageState.LOCAL_WRITABLE),
+            (L, GW, Cleanup.UNMAP_ALL, True, PageState.LOCAL_WRITABLE),
+            (L, LW_OWN, Cleanup.NONE, False, PageState.LOCAL_WRITABLE),
+            (L, LW_OTHER, Cleanup.SYNC_FLUSH_OTHER, True,
+             PageState.LOCAL_WRITABLE),
+            (G, RO, Cleanup.FLUSH_ALL, False, PageState.GLOBAL_WRITABLE),
+            (G, GW, Cleanup.NONE, False, PageState.GLOBAL_WRITABLE),
+            (G, LW_OWN, Cleanup.SYNC_FLUSH_OWN, False,
+             PageState.GLOBAL_WRITABLE),
+            (G, LW_OTHER, Cleanup.SYNC_FLUSH_OTHER, False,
+             PageState.GLOBAL_WRITABLE),
+        ],
+    )
+    def test_cell(self, decision, state, cleanup, copy, new_state):
+        spec = WRITE_TABLE[(decision, state)]
+        assert spec.cleanup is cleanup
+        assert spec.copy_to_local is copy
+        assert spec.new_state is new_state
+
+    def test_table_is_complete(self):
+        assert len(WRITE_TABLE) == 8
+
+
+class TestStructuralProperties:
+    """Cross-cutting facts the tables must satisfy."""
+
+    def test_global_rows_identical_in_both_tables(self):
+        """A GLOBAL decision acts the same for reads and writes."""
+        for state in StateKey:
+            assert READ_TABLE[(G, state)] == WRITE_TABLE[(G, state)]
+
+    def test_global_decisions_never_copy_to_local(self):
+        for table in (READ_TABLE, WRITE_TABLE):
+            for state in StateKey:
+                assert not table[(G, state)].copy_to_local
+
+    def test_global_decisions_always_end_global_writable(self):
+        for table in (READ_TABLE, WRITE_TABLE):
+            for state in StateKey:
+                assert (
+                    table[(G, state)].new_state is PageState.GLOBAL_WRITABLE
+                )
+
+    def test_leaving_local_writable_always_syncs(self):
+        """A dirty local copy must never be dropped without a sync."""
+        for table in (READ_TABLE, WRITE_TABLE):
+            for decision in (L, G):
+                for state in (LW_OWN, LW_OTHER):
+                    spec = table[(decision, state)]
+                    if spec.new_state is PageState.LOCAL_WRITABLE and (
+                        state is LW_OWN
+                    ):
+                        continue  # owner keeps the dirty copy
+                    if state is LW_OTHER and spec.new_state is (
+                        PageState.LOCAL_WRITABLE
+                    ):
+                        assert spec.cleanup is Cleanup.SYNC_FLUSH_OTHER
+                    else:
+                        assert spec.cleanup in (
+                            Cleanup.SYNC_FLUSH_OWN,
+                            Cleanup.SYNC_FLUSH_OTHER,
+                            Cleanup.NONE,
+                        )
+
+    def test_unmap_only_used_for_global_writable_pages(self):
+        """'unmap' drops mappings only; only GW pages have no copies."""
+        for table in (READ_TABLE, WRITE_TABLE):
+            for (decision, state), spec in table.items():
+                if spec.cleanup is Cleanup.UNMAP_ALL:
+                    assert state is GW
+
+    def test_flush_only_used_for_read_only_pages(self):
+        """Plain 'flush' (no sync) is safe only when global is current."""
+        for table in (READ_TABLE, WRITE_TABLE):
+            for (decision, state), spec in table.items():
+                if spec.cleanup in (Cleanup.FLUSH_ALL, Cleanup.FLUSH_OTHER):
+                    assert state is RO
+
+
+class TestLookupAndClassify:
+    def test_lookup_dispatches_by_kind(self):
+        assert lookup(AccessKind.READ, L, RO) is READ_TABLE[(L, RO)]
+        assert lookup(AccessKind.WRITE, L, RO) is WRITE_TABLE[(L, RO)]
+
+    def test_classify_read_only(self):
+        assert classify_state(PageState.READ_ONLY, None, 0) is RO
+
+    def test_classify_global_writable(self):
+        assert classify_state(PageState.GLOBAL_WRITABLE, None, 0) is GW
+
+    def test_classify_local_writable_own_vs_other(self):
+        assert classify_state(PageState.LOCAL_WRITABLE, 2, 2) is LW_OWN
+        assert classify_state(PageState.LOCAL_WRITABLE, 2, 0) is LW_OTHER
+
+    def test_classify_local_writable_needs_owner(self):
+        with pytest.raises(ProtocolError):
+            classify_state(PageState.LOCAL_WRITABLE, None, 0)
+
+    def test_classify_untouched_rejected(self):
+        with pytest.raises(ProtocolError):
+            classify_state(PageState.UNTOUCHED, None, 0)
+
+
+class TestFirstTouch:
+    def test_local_read_replicates(self):
+        spec = first_touch_spec(AccessKind.READ, L)
+        assert spec.copy_to_local and spec.new_state is PageState.READ_ONLY
+
+    def test_local_write_migrates(self):
+        spec = first_touch_spec(AccessKind.WRITE, L)
+        assert spec.copy_to_local
+        assert spec.new_state is PageState.LOCAL_WRITABLE
+
+    def test_global_decision_fills_global(self):
+        for kind in AccessKind:
+            spec = first_touch_spec(kind, G)
+            assert not spec.copy_to_local
+            assert spec.new_state is PageState.GLOBAL_WRITABLE
+
+    def test_first_touch_never_cleans_up(self):
+        for kind in AccessKind:
+            for decision in (L, G):
+                assert first_touch_spec(kind, decision).cleanup is Cleanup.NONE
+
+    def test_describe_matches_paper_vocabulary(self):
+        spec = WRITE_TABLE[(L, LW_OTHER)]
+        cleanup, copy, state = spec.describe()
+        assert cleanup == "sync&flush other"
+        assert copy == "copy to local"
+        assert state == "local-writable"

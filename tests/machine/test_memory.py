@@ -1,0 +1,120 @@
+"""Physical memory: frames, pools, content tokens."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.machine.config import MachineConfig
+from repro.machine.memory import Frame, FrameKind, PhysicalMemory
+from repro.machine.timing import MemoryLocation
+
+
+@pytest.fixture
+def memory() -> PhysicalMemory:
+    config = MachineConfig(
+        n_processors=2, local_pages_per_cpu=4, global_pages=8
+    )
+    return PhysicalMemory(config)
+
+
+class TestFrame:
+    def test_local_frame_requires_node(self):
+        with pytest.raises(ValueError):
+            Frame(FrameKind.LOCAL, None, 0)
+
+    def test_global_frame_forbids_node(self):
+        with pytest.raises(ValueError):
+            Frame(FrameKind.GLOBAL, 1, 0)
+
+    def test_location_for_owner_is_local(self):
+        frame = Frame(FrameKind.LOCAL, 1, 0)
+        assert frame.location_for(1) is MemoryLocation.LOCAL
+
+    def test_location_for_other_is_remote(self):
+        frame = Frame(FrameKind.LOCAL, 1, 0)
+        assert frame.location_for(0) is MemoryLocation.REMOTE
+
+    def test_global_frame_is_global_for_everyone(self):
+        frame = Frame(FrameKind.GLOBAL, None, 3)
+        assert frame.location_for(0) is MemoryLocation.GLOBAL
+        assert frame.location_for(5) is MemoryLocation.GLOBAL
+
+    def test_frames_are_value_objects(self):
+        assert Frame(FrameKind.GLOBAL, None, 2) == Frame(FrameKind.GLOBAL, None, 2)
+        assert Frame(FrameKind.LOCAL, 0, 2) != Frame(FrameKind.LOCAL, 1, 2)
+
+    def test_str_forms(self):
+        assert str(Frame(FrameKind.GLOBAL, None, 2)) == "global[2]"
+        assert str(Frame(FrameKind.LOCAL, 1, 3)) == "local[cpu1][3]"
+
+
+class TestAllocation:
+    def test_global_allocation_distinct_frames(self, memory):
+        frames = {memory.allocate_global() for _ in range(8)}
+        assert len(frames) == 8
+
+    def test_global_pool_exhausts(self, memory):
+        for _ in range(8):
+            memory.allocate_global()
+        with pytest.raises(OutOfMemoryError):
+            memory.allocate_global()
+
+    def test_local_pools_are_per_cpu(self, memory):
+        for _ in range(4):
+            memory.allocate_local(0)
+        with pytest.raises(OutOfMemoryError):
+            memory.allocate_local(0)
+        memory.allocate_local(1)  # cpu 1's pool unaffected
+
+    def test_free_returns_frame_to_pool(self, memory):
+        frame = memory.allocate_global()
+        assert memory.global_available() == 7
+        memory.free(frame)
+        assert memory.global_available() == 8
+
+    def test_double_free_rejected(self, memory):
+        frame = memory.allocate_global()
+        memory.free(frame)
+        with pytest.raises(OutOfMemoryError):
+            memory.free(frame)
+
+    def test_occupancy_counters(self, memory):
+        memory.allocate_local(0)
+        memory.allocate_local(0)
+        assert memory.local_in_use(0) == 2
+        assert memory.local_available(0) == 2
+        assert memory.local_in_use(1) == 0
+
+    def test_allocated_frames_iterates_everything(self, memory):
+        a = memory.allocate_global()
+        b = memory.allocate_local(1)
+        assert set(memory.allocated_frames()) == {a, b}
+
+
+class TestContentTokens:
+    def test_fresh_frame_holds_token_zero(self, memory):
+        frame = memory.allocate_global()
+        assert memory.read_token(frame) == 0
+
+    def test_write_then_read(self, memory):
+        frame = memory.allocate_local(0)
+        memory.write_token(frame, 42)
+        assert memory.read_token(frame) == 42
+
+    def test_copy_moves_token(self, memory):
+        src = memory.allocate_local(0)
+        dst = memory.allocate_global()
+        memory.write_token(src, 7)
+        memory.copy(src, dst)
+        assert memory.read_token(dst) == 7
+
+    def test_freed_frame_loses_contents(self, memory):
+        frame = memory.allocate_global()
+        memory.write_token(frame, 9)
+        memory.free(frame)
+        with pytest.raises(OutOfMemoryError):
+            memory.read_token(frame)
+
+    def test_unallocated_access_rejected(self, memory):
+        ghost = Frame(FrameKind.GLOBAL, None, 3)
+        with pytest.raises(OutOfMemoryError):
+            memory.write_token(ghost, 1)

@@ -1,0 +1,97 @@
+"""The timing model: per-word costs, blocks, copies, zero-fill."""
+
+import pytest
+
+from repro.machine.config import TimingParameters
+from repro.machine.timing import MemoryLocation, TimingModel
+
+
+@pytest.fixture
+def timing() -> TimingModel:
+    return TimingModel(TimingParameters(), page_size_words=1024)
+
+
+@pytest.fixture
+def flat_timing() -> TimingModel:
+    """No bulk-transfer discount, for exact arithmetic."""
+    return TimingModel(
+        TimingParameters(bulk_transfer_factor=1.0), page_size_words=1024
+    )
+
+
+class TestWordCosts:
+    def test_local_fetch(self, timing):
+        assert timing.fetch_us(MemoryLocation.LOCAL) == 0.65
+
+    def test_global_fetch(self, timing):
+        assert timing.fetch_us(MemoryLocation.GLOBAL) == 1.5
+
+    def test_remote_fetch_slower_than_global(self, timing):
+        assert timing.fetch_us(MemoryLocation.REMOTE) > timing.fetch_us(
+            MemoryLocation.GLOBAL
+        )
+
+    def test_local_store(self, timing):
+        assert timing.store_us(MemoryLocation.LOCAL) == 0.84
+
+    def test_global_store(self, timing):
+        assert timing.store_us(MemoryLocation.GLOBAL) == 1.4
+
+
+class TestBlockCosts:
+    def test_block_is_linear(self, timing):
+        single = timing.block_us(MemoryLocation.LOCAL, 1, 0)
+        assert timing.block_us(MemoryLocation.LOCAL, 10, 0) == pytest.approx(
+            10 * single
+        )
+
+    def test_block_mixes_reads_and_writes(self, timing):
+        cost = timing.block_us(MemoryLocation.GLOBAL, 3, 2)
+        assert cost == pytest.approx(3 * 1.5 + 2 * 1.4)
+
+    def test_empty_block_is_free(self, timing):
+        assert timing.block_us(MemoryLocation.LOCAL, 0, 0) == 0.0
+
+    def test_negative_counts_rejected(self, timing):
+        with pytest.raises(ValueError):
+            timing.block_us(MemoryLocation.LOCAL, -1, 0)
+
+
+class TestPageOperations:
+    def test_copy_global_to_local(self, flat_timing):
+        cost = flat_timing.page_copy_us(
+            MemoryLocation.GLOBAL, MemoryLocation.LOCAL
+        )
+        assert cost == pytest.approx(1024 * (1.5 + 0.84))
+
+    def test_sync_local_to_global(self, flat_timing):
+        cost = flat_timing.page_copy_us(
+            MemoryLocation.LOCAL, MemoryLocation.GLOBAL
+        )
+        assert cost == pytest.approx(1024 * (0.65 + 1.4))
+
+    def test_bulk_factor_discounts_copies(self, timing, flat_timing):
+        discounted = timing.page_copy_us(
+            MemoryLocation.GLOBAL, MemoryLocation.LOCAL
+        )
+        full = flat_timing.page_copy_us(
+            MemoryLocation.GLOBAL, MemoryLocation.LOCAL
+        )
+        assert discounted == pytest.approx(full * 0.4)
+
+    def test_zero_fill_local_cheaper_than_global(self, timing):
+        assert timing.zero_fill_us(MemoryLocation.LOCAL) < timing.zero_fill_us(
+            MemoryLocation.GLOBAL
+        )
+
+    def test_zero_fill_scales_with_page_size(self):
+        small = TimingModel(TimingParameters(), page_size_words=512)
+        large = TimingModel(TimingParameters(), page_size_words=1024)
+        assert large.zero_fill_us(MemoryLocation.LOCAL) == pytest.approx(
+            2 * small.zero_fill_us(MemoryLocation.LOCAL)
+        )
+
+    def test_kernel_path_properties_passthrough(self, timing):
+        assert timing.fault_overhead_us == TimingParameters().fault_overhead_us
+        assert timing.mapping_op_us == TimingParameters().mapping_op_us
+        assert timing.shootdown_us == TimingParameters().shootdown_us

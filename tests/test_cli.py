@@ -1,0 +1,83 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--processors", "3", "--threshold", "2", "--quick", "table3"]
+        )
+        assert args.processors == 3
+        assert args.threshold == 2
+        assert args.quick
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            "table3",
+            "table4",
+            "tables12",
+            "figures",
+            "latency",
+            "alpha",
+            "sweep",
+            "false-sharing",
+            "optimal",
+            "all",
+        ):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_tables12(self, capsys):
+        assert main(["tables12"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "sync&flush other" in out
+
+    def test_figures(self, capsys):
+        assert main(["--processors", "4", "figures"]) == 0
+        out = capsys.readouterr().out
+        assert "pmap manager" in out
+        assert "4 processor modules" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency"]) == 0
+        out = capsys.readouterr().out
+        assert "0.65" in out and "2.3" in out
+
+    def test_quick_table3(self, capsys):
+        assert main(["--quick", "--processors", "3", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "IMatMult" in out and "PlyTrace" in out
+
+    def test_quick_table4(self, capsys):
+        assert main(["--quick", "--processors", "3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "ΔS" in out
+
+    def test_quick_sweep_single_app(self, capsys):
+        assert (
+            main(
+                [
+                    "--quick",
+                    "--processors",
+                    "2",
+                    "sweep",
+                    "--apps",
+                    "IMatMult",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "threshold sweep" in out

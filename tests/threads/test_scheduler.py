@@ -1,0 +1,80 @@
+"""Scheduling models: binding vs global-queue migration (Section 4.7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.ops import Compute
+from repro.threads.cthreads import CThread
+from repro.threads.scheduler import AffinityScheduler, GlobalQueueScheduler
+
+
+def thread(index: int) -> CThread:
+    return CThread(name=f"t{index}", index=index, body=iter(()))
+
+
+class TestAffinityScheduler:
+    def test_sequential_binding(self):
+        scheduler = AffinityScheduler(4)
+        assert [scheduler.cpu_for(thread(i), 0) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_wraps_when_more_threads_than_cpus(self):
+        scheduler = AffinityScheduler(2)
+        assert scheduler.cpu_for(thread(5), 0) == 1
+
+    def test_binding_is_stable_over_rounds(self):
+        scheduler = AffinityScheduler(3)
+        t = thread(1)
+        assert all(scheduler.cpu_for(t, r) == 1 for r in range(100))
+
+    def test_never_migrates(self):
+        scheduler = AffinityScheduler(3)
+        for r in range(50):
+            scheduler.cpu_for(thread(0), r)
+        assert scheduler.migrations() == 0
+
+    def test_needs_a_processor(self):
+        with pytest.raises(ConfigurationError):
+            AffinityScheduler(0)
+
+
+class TestGlobalQueueScheduler:
+    def test_thread_drifts_across_processors(self):
+        scheduler = GlobalQueueScheduler(4, migration_period=10)
+        t = thread(0)
+        cpus = {scheduler.cpu_for(t, r) for r in range(0, 40, 10)}
+        assert len(cpus) == 4
+
+    def test_stable_within_a_period(self):
+        scheduler = GlobalQueueScheduler(4, migration_period=10)
+        t = thread(0)
+        assert len({scheduler.cpu_for(t, r) for r in range(10)}) == 1
+
+    def test_migrations_counted(self):
+        scheduler = GlobalQueueScheduler(4, migration_period=5)
+        t = thread(0)
+        for r in range(20):
+            scheduler.cpu_for(t, r)
+        assert scheduler.migrations() == 3
+
+    def test_deterministic(self):
+        a = GlobalQueueScheduler(4, migration_period=7)
+        b = GlobalQueueScheduler(4, migration_period=7)
+        t = thread(2)
+        assert [a.cpu_for(t, r) for r in range(30)] == [
+            b.cpu_for(t, r) for r in range(30)
+        ]
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalQueueScheduler(4, migration_period=0)
+
+
+class TestCThread:
+    def test_body_iteration_and_finish(self):
+        t = CThread(name="t", index=0, body=iter([Compute(1.0)]))
+        op = t.next_op()
+        assert isinstance(op, Compute)
+        assert not t.finished
+        assert t.next_op() is None
+        assert t.finished
+        assert t.ops_executed == 1

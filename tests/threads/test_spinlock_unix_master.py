@@ -1,0 +1,83 @@
+"""Spin locks and the Unix-master syscall model."""
+
+from repro.sim.ops import Compute, MemBlock, Syscall
+from repro.threads.spinlock import SpinLock
+from repro.threads.unix_master import (
+    PAPER_PATCHED_CALLS,
+    UnixMaster,
+    syscall,
+)
+
+
+class TestSpinLock:
+    def test_acquire_emits_test_and_set(self):
+        lock = SpinLock(vpage=100)
+        ops = list(lock.acquire())
+        mem = [op for op in ops if isinstance(op, MemBlock)]
+        assert len(mem) == 1
+        assert mem[0].vpage == 100
+        assert mem[0].reads == 1 and mem[0].writes == 1
+
+    def test_release_emits_single_store(self):
+        lock = SpinLock(vpage=100)
+        ops = list(lock.release())
+        mem = [op for op in ops if isinstance(op, MemBlock)]
+        assert mem[0].writes == 1 and mem[0].reads == 0
+
+    def test_acquisition_counter(self):
+        lock = SpinLock(vpage=100)
+        list(lock.acquire())
+        list(lock.release())
+        list(lock.acquire())
+        list(lock.release())
+        assert lock.acquisitions == 2
+
+    def test_critical_section_wraps_body(self):
+        lock = SpinLock(vpage=100)
+        body = [Compute(5.0)]
+        ops = list(lock.critical_section(iter(body)))
+        assert any(isinstance(op, Compute) and op.us == 5.0 for op in ops)
+        mem = [op for op in ops if isinstance(op, MemBlock)]
+        assert len(mem) == 2  # acquire + release
+
+    def test_vpage_property(self):
+        assert SpinLock(vpage=42).vpage == 42
+
+
+class TestUnixMaster:
+    def test_defaults_to_cpu_zero(self):
+        assert UnixMaster().master_cpu == 0
+
+    def test_unpatched_call_keeps_user_memory_traffic(self):
+        master = UnixMaster()
+        call = syscall("fstat", 120.0, [(10, 4, 2)])
+        effective = master.effective_syscall(call)
+        assert effective.touched == ((10, 4, 2),)
+
+    def test_patched_call_loses_user_memory_traffic(self):
+        """The paper's ad hoc fix for sigvec, fstat and ioctl."""
+        master = UnixMaster(patched_calls=PAPER_PATCHED_CALLS)
+        call = syscall("fstat", 120.0, [(10, 4, 2)])
+        effective = master.effective_syscall(call)
+        assert effective.touched == ()
+        assert effective.service_us == 120.0
+
+    def test_unknown_call_unaffected_by_patches(self):
+        master = UnixMaster(patched_calls=PAPER_PATCHED_CALLS)
+        call = syscall("read", 200.0, [(11, 8, 0)])
+        assert master.effective_syscall(call).touched == ((11, 8, 0),)
+
+    def test_calls_served_counter(self):
+        master = UnixMaster()
+        master.effective_syscall(syscall("read", 1.0))
+        master.effective_syscall(syscall("write", 1.0))
+        assert master.calls_served == 2
+
+    def test_paper_patched_set(self):
+        assert PAPER_PATCHED_CALLS == {"sigvec", "fstat", "ioctl"}
+
+    def test_syscall_helper_builds_op(self):
+        call = syscall("ioctl", 50.0, [(1, 2, 3)])
+        assert isinstance(call, Syscall)
+        assert call.name == "ioctl"
+        assert call.service_us == 50.0

@@ -1,0 +1,50 @@
+"""The machine-independent fault handler."""
+
+import pytest
+
+from repro.core.state import AccessKind
+from repro.vm.address_space import SegmentationFault
+from repro.vm.fault import ProtectionViolation
+from repro.vm.vm_object import shared_object, text_object
+from tests.conftest import make_rig
+
+
+class TestFaultHandling:
+    def test_fault_allocates_the_backing_page(self, rig):
+        region = rig.space.map_object(shared_object("d", 2))
+        assert region.vm_object.resident_page(1) is None
+        rig.faults.handle(0, region.vpage_at(1), AccessKind.READ)
+        assert region.vm_object.resident_page(1) is not None
+
+    def test_fault_charges_overhead_as_system_time(self, rig):
+        region = rig.space.map_object(shared_object("d", 1))
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        assert (
+            rig.machine.cpu(0).system_time_us
+            >= rig.machine.timing.fault_overhead_us
+        )
+
+    def test_fault_counter(self, rig):
+        region = rig.space.map_object(shared_object("d", 2))
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        rig.faults.handle(0, region.vpage_at(1), AccessKind.READ)
+        assert rig.faults.fault_count == 2
+
+    def test_segfault_on_unmapped_address(self, rig):
+        with pytest.raises(SegmentationFault):
+            rig.faults.handle(0, 0x9999, AccessKind.READ)
+
+    def test_write_to_read_only_region_rejected(self, rig):
+        region = rig.space.map_object(text_object("code", 1))
+        with pytest.raises(ProtectionViolation):
+            rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+
+    def test_read_of_read_only_region_allowed(self, rig):
+        region = rig.space.map_object(text_object("code", 1))
+        frame = rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        assert frame.node == 0
+
+    def test_accessors(self, rig):
+        assert rig.faults.space is rig.space
+        assert rig.faults.pool is rig.pool
+        assert rig.faults.pmap is rig.pmap

@@ -1,0 +1,108 @@
+"""The fixed-size logical page pool and its lazy free path."""
+
+import pytest
+
+from repro.core.numa_manager import NUMAManager
+from repro.core.policies import MoveThresholdPolicy
+from repro.core.state import AccessKind
+from repro.errors import OutOfMemoryError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.vm.page_pool import PagePool
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+
+def make_pool(global_pages: int = 4):
+    config = MachineConfig(
+        n_processors=2, local_pages_per_cpu=8, global_pages=global_pages
+    )
+    machine = Machine(config)
+    numa = NUMAManager(machine, MoveThresholdPolicy(4))
+    return PagePool(numa), machine
+
+
+class TestAllocation:
+    def test_pool_capacity_equals_global_memory(self):
+        """Section 2.1: the page pool size is fixed at boot time."""
+        pool, machine = make_pool(global_pages=4)
+        assert pool.capacity == 4
+
+    def test_allocate_attaches_to_object(self):
+        pool, _ = make_pool()
+        obj = shared_object("x", 2)
+        page = pool.allocate(obj, 1)
+        assert obj.resident_page(1) is page
+        assert page.offset == 1
+        assert pool.live_pages == 1
+
+    def test_pool_exhausts_at_capacity(self):
+        pool, _ = make_pool(global_pages=2)
+        obj = shared_object("x", 4)
+        pool.allocate(obj, 0)
+        pool.allocate(obj, 1)
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate(obj, 2)
+
+    def test_page_ids_never_reused(self):
+        pool, _ = make_pool()
+        obj = shared_object("x", 2)
+        first = pool.allocate(obj, 0)
+        pool.free(first)
+        second = pool.allocate(obj, 0)
+        assert second.page_id != first.page_id
+
+    def test_resident_or_allocate(self):
+        pool, _ = make_pool()
+        obj = shared_object("x", 1)
+        page = pool.resident_or_allocate(obj, 0)
+        assert pool.resident_or_allocate(obj, 0) is page
+        assert pool.live_pages == 1
+
+    def test_allocated_pages_register_with_numa(self):
+        pool, _ = make_pool()
+        obj = shared_object("x", 1)
+        page = pool.allocate(obj, 0)
+        assert page.page_id in pool._numa.directory  # noqa: SLF001
+
+
+class TestLazyFree:
+    def test_free_detaches_and_recycles_global_frame(self):
+        pool, machine = make_pool(global_pages=1)
+        obj = shared_object("x", 2)
+        page = pool.allocate(obj, 0)
+        pool.free(page)
+        assert obj.resident_page(0) is None
+        # The global frame is back: a new page can be allocated.
+        pool.allocate(obj, 1)
+
+    def test_cleanup_is_deferred_until_next_allocation(self):
+        rig = make_rig(global_pages=8)
+        region = rig.space.map_object(shared_object("x", 3))
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        rig.pool.free(page, cpu=0)
+        assert rig.pool.pending_cleanups == 1
+        assert rig.machine.memory.local_in_use(0) == 1  # still held
+        rig.faults.handle(0, region.vpage_at(1), AccessKind.WRITE)
+        assert rig.pool.pending_cleanups == 0
+
+    def test_drain_cleanups(self):
+        rig = make_rig()
+        region = rig.space.map_object(shared_object("x", 3))
+        for offset in range(3):
+            rig.faults.handle(0, region.vpage_at(offset), AccessKind.WRITE)
+        for offset in range(3):
+            rig.pool.free(region.vm_object.resident_page(offset), cpu=0)
+        assert rig.pool.drain_cleanups(cpu=0) == 3
+        assert rig.machine.memory.local_in_use(0) == 0
+
+    def test_exhaustion_drains_cleanups_before_failing(self):
+        pool, _ = make_pool(global_pages=2)
+        obj = shared_object("x", 4)
+        a = pool.allocate(obj, 0)
+        pool.allocate(obj, 1)
+        pool.free(a)
+        # Global frame freed eagerly, so this succeeds without error.
+        pool.allocate(obj, 2)
+        assert pool.live_pages == 2

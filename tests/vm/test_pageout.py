@@ -1,0 +1,201 @@
+"""Pageout, backing store, and footnote 4's pin reset."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.numa_manager import NUMAManager
+from repro.core.policies import MoveThresholdPolicy, PragmaPolicy
+from repro.core.state import AccessKind, PageState
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.vm.address_space import AddressSpace
+from repro.vm.fault import FaultHandler
+from repro.vm.page_pool import PagePool
+from repro.vm.pageout import BackingStore, PageoutDaemon
+from repro.vm.pmap import ACEPmap
+from repro.vm.vm_object import kernel_object, shared_object
+
+
+def paged_rig(n_processors=2, global_pages=8, io_us=1000.0):
+    config = MachineConfig(
+        n_processors=n_processors,
+        local_pages_per_cpu=16,
+        global_pages=global_pages,
+    )
+    machine = Machine(config)
+    numa = NUMAManager(machine, PragmaPolicy(MoveThresholdPolicy(4)))
+    store = BackingStore()
+    pool = PagePool(numa, backing_store=store)
+    pmap = ACEPmap(numa)
+    space = AddressSpace()
+    faults = FaultHandler(machine, space, pool, pmap)
+    daemon = PageoutDaemon(pool, store, io_us=io_us)
+    return machine, numa, pool, space, faults, daemon, store
+
+
+class TestPageOutAndIn:
+    def test_contents_survive_the_round_trip(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        region = space.map_object(shared_object("d", 2))
+        frame = faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        machine.memory.write_token(frame, 77)
+        page = region.vm_object.resident_page(0)
+        daemon.page_out(page, cpu=0)
+        assert store.pageouts == 1
+        # Next access faults the page back in with its old contents.
+        frame = faults.handle(1, region.vpage_at(0), AccessKind.READ)
+        assert machine.memory.read_token(frame) == 77
+        assert store.pageins == 1
+
+    def test_paged_in_page_is_not_rezeroed(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        region = space.map_object(shared_object("d", 1))
+        frame = faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        machine.memory.write_token(frame, 5)
+        daemon.page_out(region.vm_object.resident_page(0), cpu=0)
+        page = pool.resident_or_allocate(region.vm_object, 0)
+        assert page.restored
+        assert not page.zero_fill
+
+    def test_dirty_local_copy_is_what_gets_stored(self):
+        """Pageout must take the authoritative (local) contents."""
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        region = space.map_object(shared_object("d", 1))
+        frame = faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        assert frame.kind.value == "local"
+        machine.memory.write_token(frame, 42)  # dirty in cpu1's memory
+        daemon.page_out(region.vm_object.resident_page(0), cpu=0)
+        assert store.peek(region.vm_object, 0) == 42
+
+    def test_pageout_charges_io_as_system_time(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig(
+            io_us=9_999.0
+        )
+        region = space.map_object(shared_object("d", 1))
+        faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        before = machine.cpu(0).system_time_us
+        daemon.page_out(region.vm_object.resident_page(0), cpu=0)
+        assert machine.cpu(0).system_time_us - before >= 9_999.0
+
+    def test_pageout_drops_all_mappings(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        region = space.map_object(shared_object("d", 1))
+        faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        faults.handle(1, region.vpage_at(0), AccessKind.READ)
+        daemon.page_out(region.vm_object.resident_page(0), cpu=0)
+        for cpu in (0, 1):
+            assert machine.cpu(cpu).mmu.lookup(region.vpage_at(0)) is None
+
+
+class TestFootnote4:
+    def test_pageout_resets_the_pin(self):
+        """A pinning decision is reconsidered only when the page is
+        'paged out and back in'."""
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        region = space.map_object(shared_object("d", 1))
+        for i in range(12):
+            faults.handle(i % 2, region.vpage_at(0), AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        base_policy = numa.policy.base  # PragmaPolicy wraps the threshold
+        assert base_policy.is_pinned(page.page_id)
+        daemon.page_out(page, cpu=0)
+        frame = faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        assert frame.kind.value == "local"  # cacheable again
+        new_page = region.vm_object.resident_page(0)
+        assert not base_policy.is_pinned(new_page.page_id)
+
+
+class TestDaemon:
+    def test_reclaim_until_target(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig(
+            global_pages=6
+        )
+        region = space.map_object(shared_object("d", 6))
+        for offset in range(6):
+            faults.handle(0, region.vpage_at(offset), AccessKind.WRITE)
+        assert machine.memory.global_available() == 0
+        written = daemon.reclaim(target_free=3, cpu=0)
+        assert written == 3
+        assert machine.memory.global_available() >= 3
+
+    def test_reclaim_is_fifo(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        region = space.map_object(shared_object("d", 3))
+        for offset in range(3):
+            faults.handle(0, region.vpage_at(offset), AccessKind.WRITE)
+        daemon.reclaim(target_free=6, cpu=0)
+        # Oldest (offset 0) went out first.
+        assert store.peek(region.vm_object, 0) is not None
+
+    def test_wired_pages_are_never_paged_out(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig(
+            global_pages=4
+        )
+        kernel = space.map_object(kernel_object("kdata", 2))
+        data = space.map_object(shared_object("d", 2))
+        for offset in range(2):
+            faults.handle(0, kernel.vpage_at(offset), AccessKind.WRITE)
+            faults.handle(0, data.vpage_at(offset), AccessKind.WRITE)
+        written = daemon.reclaim(target_free=4, cpu=0)
+        assert written == 2  # only the unwired pages
+        assert kernel.vm_object.resident_page(0) is not None
+        assert kernel.vm_object.resident_page(1) is not None
+
+    def test_reclaim_stops_when_nothing_evictable(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        kernel = space.map_object(kernel_object("kdata", 2))
+        faults.handle(0, kernel.vpage_at(0), AccessKind.WRITE)
+        assert daemon.reclaim(target_free=999, cpu=0) == 0
+
+    def test_io_cost_validation(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        with pytest.raises(Exception):
+            PageoutDaemon(pool, store, io_us=-1.0)
+
+
+class TestKernelObjects:
+    def test_kernel_pages_stay_global(self):
+        machine, numa, pool, space, faults, daemon, store = paged_rig()
+        region = space.map_object(kernel_object("kdata", 1))
+        frame = faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        assert frame.kind.value == "global"
+        page = region.vm_object.resident_page(0)
+        entry = numa.directory.get(page.page_id)
+        assert entry.state is PageState.GLOBAL_WRITABLE
+
+
+class TestPageoutProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),  # cpu
+                st.integers(min_value=0, max_value=2),  # offset
+                st.booleans(),  # write?
+                st.booleans(),  # page out after?
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coherence_across_pageouts(self, ops):
+        machine, numa, pool, space, faults, daemon, store = paged_rig(
+            global_pages=16
+        )
+        region = space.map_object(shared_object("d", 3))
+        token = 1
+        last = {}
+        for cpu, offset, is_write, out_after in ops:
+            kind = AccessKind.WRITE if is_write else AccessKind.READ
+            frame = faults.handle(cpu, region.vpage_at(offset), kind)
+            if is_write:
+                machine.memory.write_token(frame, token)
+                last[offset] = token
+                token += 1
+            else:
+                assert machine.memory.read_token(frame) == last.get(offset, 0)
+            numa.check_all_invariants()
+            if out_after:
+                page = region.vm_object.resident_page(offset)
+                if page is not None:
+                    daemon.page_out(page, cpu)

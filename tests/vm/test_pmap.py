@@ -1,0 +1,145 @@
+"""The pmap layer: the paper's three interface extensions."""
+
+import pytest
+
+from repro.core.state import AccessKind, PageState
+from repro.errors import ProtocolError
+from repro.machine.memory import FrameKind
+from repro.machine.protection import (
+    PROT_READ,
+    PROT_READ_WRITE,
+    Protection,
+)
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+
+def setup_page(rig, pages=2):
+    region = rig.space.map_object(shared_object("data", pages))
+    return region
+
+
+class TestPmapEnter:
+    def test_min_prot_read_maps_read_only(self, rig):
+        """Extension 2: strictest permission that resolves the fault."""
+        region = setup_page(rig)
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        rig.pmap.pmap_enter(
+            region.vpage_at(0), page, PROT_READ, PROT_READ_WRITE, cpu=0
+        )
+        mapping = rig.machine.cpu(0).mmu.lookup(region.vpage_at(0))
+        assert mapping.protection == PROT_READ
+
+    def test_min_prot_above_max_rejected(self, rig):
+        region = setup_page(rig)
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        with pytest.raises(ProtocolError):
+            rig.pmap.pmap_enter(
+                region.vpage_at(0), page, PROT_READ_WRITE, PROT_READ, cpu=0
+            )
+
+    def test_target_processor_argument(self, rig):
+        """Extension 3: mappings appear only on the faulting processor."""
+        region = setup_page(rig)
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        rig.pmap.pmap_enter(
+            region.vpage_at(0), page, PROT_READ, PROT_READ_WRITE, cpu=2
+        )
+        assert rig.machine.cpu(2).mmu.lookup(region.vpage_at(0)) is not None
+        for cpu in (0, 1, 3):
+            assert rig.machine.cpu(cpu).mmu.lookup(region.vpage_at(0)) is None
+
+    def test_returns_chosen_frame(self, rig):
+        region = setup_page(rig)
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        frame = rig.pmap.pmap_enter(
+            region.vpage_at(0), page, PROT_READ_WRITE, PROT_READ_WRITE, cpu=1
+        )
+        assert frame.kind is FrameKind.LOCAL and frame.node == 1
+
+
+class TestPmapFreePage:
+    def test_free_page_returns_tag_and_sync_completes(self, rig):
+        """Extension 1: split lazy free."""
+        region = setup_page(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        region.vm_object.detach(0)
+        tag = rig.pmap.pmap_free_page(page, cpu=0)
+        assert not tag.completed
+        assert rig.machine.memory.local_in_use(0) == 1
+        rig.pmap.pmap_free_page_sync(tag, cpu=0)
+        assert tag.completed
+        assert rig.machine.memory.local_in_use(0) == 0
+
+    def test_free_page_sync_is_idempotent(self, rig):
+        region = setup_page(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        region.vm_object.detach(0)
+        tag = rig.pmap.pmap_free_page(page, cpu=0)
+        rig.pmap.pmap_free_page_sync(tag, cpu=0)
+        rig.pmap.pmap_free_page_sync(tag, cpu=0)
+        assert rig.numa.stats.free_syncs == 1
+
+
+class TestPmapProtectAndRemove:
+    def test_protect_downgrades_and_updates_directory(self, rig):
+        region = setup_page(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.pmap.pmap_protect(region.vpage_at(0), PROT_READ, cpu=0)
+        mapping = rig.machine.cpu(0).mmu.lookup(region.vpage_at(0))
+        assert mapping.protection == PROT_READ
+        page = region.vm_object.resident_page(0)
+        entry = rig.numa.directory.get(page.page_id)
+        assert not entry.mappings[0].protection.writable
+        entry.check_invariants()
+
+    def test_protect_upgrade_rejected(self, rig):
+        region = setup_page(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        with pytest.raises(ProtocolError):
+            rig.pmap.pmap_protect(region.vpage_at(0), PROT_READ_WRITE, cpu=0)
+
+    def test_protect_to_none_removes(self, rig):
+        region = setup_page(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.pmap.pmap_protect(region.vpage_at(0), Protection.NONE, cpu=0)
+        assert rig.machine.cpu(0).mmu.lookup(region.vpage_at(0)) is None
+
+    def test_protect_missing_mapping_is_noop(self, rig):
+        rig.pmap.pmap_protect(0x123, PROT_READ, cpu=0)
+
+    def test_remove_drops_one_cpus_mapping(self, rig):
+        region = setup_page(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.READ)
+        rig.pmap.pmap_remove(region.vpage_at(0), cpu=0)
+        assert rig.machine.cpu(0).mmu.lookup(region.vpage_at(0)) is None
+        assert rig.machine.cpu(1).mmu.lookup(region.vpage_at(0)) is not None
+        page = region.vm_object.resident_page(0)
+        rig.numa.directory.get(page.page_id).check_invariants()
+
+    def test_remove_missing_is_noop(self, rig):
+        rig.pmap.pmap_remove(0x123, cpu=0)
+
+    def test_remove_all_drops_every_mapping_but_keeps_state(self, rig):
+        region = setup_page(rig)
+        for cpu in range(3):
+            rig.faults.handle(cpu, region.vpage_at(0), AccessKind.READ)
+        page = region.vm_object.resident_page(0)
+        rig.pmap.pmap_remove_all(page, cpu=0)
+        for cpu in range(3):
+            assert rig.machine.cpu(cpu).mmu.lookup(region.vpage_at(0)) is None
+        entry = rig.numa.directory.get(page.page_id)
+        assert entry.state is PageState.READ_ONLY  # copies survive
+        assert len(entry.local_copies) == 3
+
+    def test_refault_after_remove_all(self, rig):
+        """Dropped mappings are re-entered by the normal fault path."""
+        region = setup_page(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        rig.pmap.pmap_remove_all(page, cpu=0)
+        frame = rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        assert frame.node == 0

@@ -1,0 +1,91 @@
+"""pmap_zero_page and pmap_copy_page (the remaining Mach pmap ops)."""
+
+import pytest
+
+from repro.core.state import AccessKind, PageState
+from repro.errors import ProtocolError
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+
+def resident(rig, region, offset=0):
+    return region.vm_object.resident_page(offset)
+
+
+class TestPmapZeroPage:
+    def test_zero_on_untouched_page_is_deferred(self, rig):
+        region = rig.space.map_object(shared_object("d", 1))
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        before = rig.machine.cpu(0).system_time_us
+        rig.pmap.pmap_zero_page(page, cpu=0)
+        assert rig.machine.cpu(0).system_time_us == before  # lazy: free
+        entry = rig.numa.directory.get(page.page_id)
+        assert entry.state is PageState.UNTOUCHED
+
+    def test_zero_on_resident_page_clears_authoritative_copy(self, rig):
+        region = rig.space.map_object(shared_object("d", 1))
+        frame = rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        rig.machine.memory.write_token(frame, 9)
+        page = resident(rig, region)
+        rig.pmap.pmap_zero_page(page, cpu=1)
+        assert rig.machine.memory.read_token(frame) == 0
+
+    def test_zero_charges_system_time(self, rig):
+        region = rig.space.map_object(shared_object("d", 1))
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        before = rig.machine.cpu(0).system_time_us
+        rig.pmap.pmap_zero_page(resident(rig, region), cpu=0)
+        assert rig.machine.cpu(0).system_time_us > before
+
+
+class TestPmapCopyPage:
+    def test_copies_authoritative_content(self, rig):
+        region = rig.space.map_object(shared_object("d", 2))
+        frame = rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        rig.machine.memory.write_token(frame, 33)
+        source = resident(rig, region, 0)
+        destination = rig.pool.resident_or_allocate(region.vm_object, 1)
+        rig.pmap.pmap_copy_page(source, destination, cpu=0)
+        assert (
+            rig.machine.memory.read_token(destination.global_frame) == 33
+        )
+
+    def test_destination_becomes_initialized(self, rig):
+        region = rig.space.map_object(shared_object("d", 2))
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        source = resident(rig, region, 0)
+        destination = rig.pool.resident_or_allocate(region.vm_object, 1)
+        rig.pmap.pmap_copy_page(source, destination, cpu=0)
+        entry = rig.numa.directory.get(destination.page_id)
+        assert entry.state is PageState.GLOBAL_WRITABLE
+        # A later read sees the copied data through the normal path.
+        frame = rig.faults.handle(2, region.vpage_at(1), AccessKind.READ)
+        assert rig.machine.memory.read_token(frame) == (
+            rig.machine.memory.read_token(source.global_frame)
+        )
+
+    def test_untouched_source_copies_zeros(self, rig):
+        region = rig.space.map_object(shared_object("d", 2))
+        source = rig.pool.resident_or_allocate(region.vm_object, 0)
+        destination = rig.pool.resident_or_allocate(region.vm_object, 1)
+        rig.pmap.pmap_copy_page(source, destination, cpu=0)
+        assert rig.machine.memory.read_token(destination.global_frame) == 0
+
+    def test_cached_destination_rejected(self, rig):
+        region = rig.space.map_object(shared_object("d", 2))
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(0, region.vpage_at(1), AccessKind.WRITE)
+        with pytest.raises(ProtocolError):
+            rig.pmap.pmap_copy_page(
+                resident(rig, region, 0), resident(rig, region, 1), cpu=0
+            )
+
+    def test_copy_charges_system_time(self, rig):
+        region = rig.space.map_object(shared_object("d", 2))
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        destination = rig.pool.resident_or_allocate(region.vm_object, 1)
+        before = rig.machine.cpu(0).system_time_us
+        rig.pmap.pmap_copy_page(
+            resident(rig, region, 0), destination, cpu=0
+        )
+        assert rig.machine.cpu(0).system_time_us > before

@@ -1,0 +1,92 @@
+"""VM objects: attributes, residency bookkeeping, factory helpers."""
+
+import pytest
+
+from repro.core.policies.pragma import Pragma
+from repro.errors import ConfigurationError
+from repro.vm.vm_object import (
+    Sharing,
+    VMObject,
+    shared_object,
+    stack_object,
+    text_object,
+)
+
+
+class TestVMObject:
+    def test_defaults(self):
+        obj = VMObject(name="x", n_pages=2)
+        assert obj.writable and obj.zero_fill
+        assert obj.sharing is Sharing.PRIVATE
+        assert obj.pragma is None
+
+    def test_rejects_empty_objects(self):
+        with pytest.raises(ConfigurationError):
+            VMObject(name="x", n_pages=0)
+
+    def test_read_only_zero_fill_is_normalized(self):
+        """A read-only zero-fill object would be eternally zero."""
+        obj = VMObject(name="x", n_pages=1, writable=False, zero_fill=True)
+        assert not obj.zero_fill
+
+    def test_writable_data_follows_writable(self):
+        assert VMObject(name="x", n_pages=1, writable=True).writable_data
+        assert not VMObject(name="x", n_pages=1, writable=False).writable_data
+
+    def test_object_ids_are_unique(self):
+        a = VMObject(name="a", n_pages=1)
+        b = VMObject(name="a", n_pages=1)
+        assert a.object_id != b.object_id
+
+
+class TestResidency:
+    def test_attach_and_resident_page(self):
+        obj = VMObject(name="x", n_pages=2)
+        marker = object()
+        obj.attach(1, marker)  # type: ignore[arg-type]
+        assert obj.resident_page(1) is marker
+        assert obj.resident_page(0) is None
+
+    def test_attach_out_of_range_rejected(self):
+        obj = VMObject(name="x", n_pages=2)
+        with pytest.raises(ConfigurationError):
+            obj.attach(2, object())  # type: ignore[arg-type]
+
+    def test_double_attach_rejected(self):
+        obj = VMObject(name="x", n_pages=2)
+        obj.attach(0, object())  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            obj.attach(0, object())  # type: ignore[arg-type]
+
+    def test_detach(self):
+        obj = VMObject(name="x", n_pages=1)
+        marker = object()
+        obj.attach(0, marker)  # type: ignore[arg-type]
+        assert obj.detach(0) is marker
+        assert obj.resident_page(0) is None
+
+    def test_detach_missing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VMObject(name="x", n_pages=1).detach(0)
+
+
+class TestFactories:
+    def test_text_object(self):
+        obj = text_object("code", 3)
+        assert not obj.writable and not obj.zero_fill
+        assert obj.sharing is Sharing.READ_MOSTLY
+
+    def test_stack_object(self):
+        obj = stack_object("stk", 2, owner_thread=5)
+        assert obj.writable and obj.zero_fill
+        assert obj.owner_thread == 5
+        assert obj.sharing is Sharing.PRIVATE
+
+    def test_shared_object(self):
+        obj = shared_object("shm", 2)
+        assert obj.sharing is Sharing.SHARED
+        assert obj.writable and obj.zero_fill
+
+    def test_pragma_carried(self):
+        obj = VMObject(name="x", n_pages=1, pragma=Pragma.NONCACHEABLE)
+        assert obj.pragma is Pragma.NONCACHEABLE

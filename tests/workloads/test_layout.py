@@ -1,0 +1,133 @@
+"""Layout builder and reference-emission helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.config import MachineConfig
+from repro.sim.ops import MemBlock
+from repro.vm.address_space import AddressSpace
+from repro.workloads.base import BuildContext
+from repro.workloads.layout import (
+    FractionalRefs,
+    LayoutBuilder,
+    WordRange,
+    sweep_refs,
+)
+
+
+@pytest.fixture
+def ctx() -> BuildContext:
+    return BuildContext(
+        space=AddressSpace(),
+        n_threads=2,
+        n_processors=2,
+        machine_config=MachineConfig(n_processors=2),
+    )
+
+
+@pytest.fixture
+def layout(ctx) -> LayoutBuilder:
+    return LayoutBuilder(ctx)
+
+
+class TestLayoutBuilder:
+    def test_code_is_read_only(self, layout):
+        region = layout.code(pages=2)
+        assert not region.vm_object.writable
+        assert region.n_pages == 2
+
+    def test_stack_is_private_to_its_thread(self, layout):
+        region = layout.stack(thread=1)
+        assert region.vm_object.owner_thread == 1
+        assert region.vm_object.writable
+
+    def test_private_rounds_up_to_pages(self, layout):
+        region = layout.private("p", words=1500, thread=0)
+        assert region.n_pages == 2  # 1500 words > 1 page of 1024
+
+    def test_shared_region(self, layout):
+        region = layout.shared("s", words=10)
+        assert region.n_pages == 1
+        assert region.vm_object.sharing.value == "shared"
+
+    def test_read_mostly_is_writable_but_flagged(self, layout):
+        region = layout.read_mostly("r", words=10)
+        assert region.vm_object.writable
+        assert region.vm_object.sharing.value == "read-mostly"
+
+    def test_page_of_word(self, layout):
+        region = layout.shared("s", words=3000)
+        assert layout.page_of_word(region, 0) == region.vpage_at(0)
+        assert layout.page_of_word(region, 1024) == region.vpage_at(1)
+        assert layout.page_of_word(region, 2999) == region.vpage_at(2)
+
+    def test_regions_recorded_in_context(self, ctx, layout):
+        layout.shared("alpha", words=10)
+        assert "alpha" in ctx.regions
+
+    def test_pages_for_words(self, ctx):
+        assert ctx.pages_for_words(1) == 1
+        assert ctx.pages_for_words(1024) == 1
+        assert ctx.pages_for_words(1025) == 2
+
+
+class TestWordRange:
+    def test_pages_cover_the_range_exactly(self, layout):
+        region = layout.shared("s", words=2500)
+        spans = list(layout.range_of(region, 100, 2000).pages())
+        assert sum(words for _, words in spans) == 2000
+        assert spans[0] == (region.vpage_at(0), 924)  # to page boundary
+        assert spans[1] == (region.vpage_at(1), 1024)
+        assert spans[2] == (region.vpage_at(2), 52)
+
+    def test_out_of_range_rejected(self, layout):
+        region = layout.shared("s", words=10)  # one page
+        with pytest.raises(ConfigurationError):
+            WordRange(region, 0, 2000, 1024)
+
+    def test_default_range_is_whole_region(self, layout):
+        region = layout.shared("s", words=2048)
+        assert layout.range_of(region).n_words == 2048
+
+
+class TestSweepRefs:
+    def test_sweep_totals_are_exact(self, layout):
+        region = layout.shared("s", words=3000)
+        blocks = list(
+            sweep_refs(layout.range_of(region, 0, 3000), 0.5, 0.25)
+        )
+        assert sum(b.reads for b in blocks) == 1500
+        assert sum(b.writes for b in blocks) == 750
+        assert all(isinstance(b, MemBlock) for b in blocks)
+
+
+class TestFractionalRefs:
+    def test_carry_accumulates(self):
+        frac = FractionalRefs()
+        total = 0
+        for _ in range(10):
+            reads, _ = frac.take(0.25, 0.0)
+            total += reads
+        assert total == 2  # 10 * 0.25 = 2.5, carry holds the half
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FractionalRefs().take(-0.1, 0.0)
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_total_never_off_by_more_than_one(self, rates):
+        """The carry keeps the emitted total within 1 of the exact sum."""
+        frac = FractionalRefs()
+        emitted = 0
+        for rate in rates:
+            reads, _ = frac.take(rate, 0.0)
+            emitted += reads
+        assert abs(emitted - sum(rates)) < 1.0 + 1e-6

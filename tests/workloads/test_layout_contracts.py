@@ -1,0 +1,86 @@
+"""Layout contracts: each application declares the memory image the
+paper describes for it (Section 3.2)."""
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.vm.address_space import AddressSpace
+from repro.vm.vm_object import Sharing
+from repro.workloads import small_workloads
+from repro.workloads.base import BuildContext
+
+
+def regions_of(workload, n_threads=4):
+    ctx = BuildContext(
+        space=AddressSpace(),
+        n_threads=n_threads,
+        n_processors=n_threads,
+        machine_config=MachineConfig(n_processors=4),
+    )
+    workload.build(ctx)
+    return {name: region.vm_object for name, region in ctx.regions.items()}
+
+
+class TestDeclaredLayouts:
+    def test_imatmult_declares_inputs_read_mostly(self):
+        objects = regions_of(small_workloads()["IMatMult"])
+        assert objects["matrix.A"].sharing is Sharing.READ_MOSTLY
+        assert objects["matrix.B"].sharing is Sharing.READ_MOSTLY
+        assert objects["matrix.C"].sharing is Sharing.SHARED
+        # The inputs are writable — "data that is writable, but that is
+        # never written" is the whole point.
+        assert objects["matrix.A"].writable
+
+    def test_primes2_has_private_divisor_vectors(self):
+        objects = regions_of(small_workloads()["Primes2"], n_threads=3)
+        for t in range(3):
+            divisors = objects[f"divisors{t}"]
+            assert divisors.sharing is Sharing.PRIVATE
+            assert divisors.owner_thread == t
+        assert objects["primes.output"].sharing is Sharing.SHARED
+
+    def test_primes3_sieve_is_shared(self):
+        objects = regions_of(small_workloads()["Primes3"])
+        assert objects["sieve.bits"].sharing is Sharing.SHARED
+
+    def test_fft_workspaces_are_private(self):
+        objects = regions_of(small_workloads()["FFT"], n_threads=3)
+        for t in range(3):
+            assert objects[f"fft.work{t}"].sharing is Sharing.PRIVATE
+        assert objects["fft.matrix"].sharing is Sharing.SHARED
+
+    def test_plytrace_geometry_is_read_mostly(self):
+        objects = regions_of(small_workloads()["PlyTrace"])
+        assert objects["polygon.store"].sharing is Sharing.READ_MOSTLY
+        assert objects["workpile.queue"].sharing is Sharing.SHARED
+
+    def test_every_workload_has_code_or_text(self):
+        for name, workload in small_workloads().items():
+            objects = regions_of(workload)
+            text_objects = [
+                obj for obj in objects.values() if not obj.writable
+            ]
+            assert text_objects, f"{name} declares no program text"
+
+    def test_all_stacks_are_thread_owned(self):
+        for name, workload in small_workloads().items():
+            objects = regions_of(workload, n_threads=3)
+            for obj_name, obj in objects.items():
+                if obj_name.startswith("stack"):
+                    assert obj.owner_thread is not None, (
+                        f"{name}: {obj_name} has no owner"
+                    )
+                    assert obj.sharing is Sharing.PRIVATE
+
+    def test_region_names_are_unique_per_build(self):
+        for name, workload in small_workloads().items():
+            ctx = BuildContext(
+                space=AddressSpace(),
+                n_threads=4,
+                n_processors=4,
+                machine_config=MachineConfig(n_processors=4),
+            )
+            workload.build(ctx)
+            # ctx.regions is a dict: name collisions would have clobbered
+            # entries, so the count must equal the space's region count.
+            assert len(ctx.regions) == len(ctx.space.regions), name

@@ -1,0 +1,88 @@
+"""Work conservation: the Section 3.1 measurement prerequisite.
+
+"Applications had to do about the same amount of work, independent of
+the number of processors" — otherwise Tlocal (one thread) would not be
+comparable to Tnuma (seven).  These property tests verify it for every
+workload: the total *operation content* (compute microseconds and data
+references emitted by the bodies, independent of any machine) is nearly
+invariant in the thread count.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.config import MachineConfig
+from repro.sim.ops import Compute, MemBlock, Syscall
+from repro.vm.address_space import AddressSpace
+from repro.workloads import small_workloads
+from repro.workloads.base import BuildContext
+
+WORKLOAD_ITEMS = sorted(small_workloads().items())
+
+
+def drain(workload, n_threads):
+    """Consume every thread body without a machine; tally the content."""
+    ctx = BuildContext(
+        space=AddressSpace(),
+        n_threads=n_threads,
+        n_processors=n_threads,
+        machine_config=MachineConfig(
+            n_processors=min(8, max(1, n_threads))
+        ),
+    )
+    bodies = workload.build(ctx)
+    compute_us = 0.0
+    reads = 0
+    writes = 0
+    ops = 0
+    for body in bodies:
+        for op in body:
+            ops += 1
+            if isinstance(op, Compute):
+                compute_us += op.us
+            elif isinstance(op, MemBlock):
+                reads += op.reads
+                writes += op.writes
+            elif isinstance(op, Syscall):
+                compute_us += op.service_us
+    return compute_us, reads, writes, ops
+
+
+@pytest.mark.parametrize(
+    "name, workload", WORKLOAD_ITEMS, ids=[n for n, _ in WORKLOAD_ITEMS]
+)
+class TestWorkConservation:
+    def test_compute_invariant_in_thread_count(self, name, workload):
+        compute_1, _, _, _ = drain(workload, 1)
+        compute_4, _, _, _ = drain(workload, 4)
+        compute_7, _, _, _ = drain(workload, 7)
+        assert compute_4 == pytest.approx(compute_1, rel=0.05)
+        assert compute_7 == pytest.approx(compute_1, rel=0.05)
+
+    def test_references_nearly_invariant_in_thread_count(
+        self, name, workload
+    ):
+        _, reads_1, writes_1, _ = drain(workload, 1)
+        _, reads_7, writes_7, _ = drain(workload, 7)
+        # Some per-thread traffic (work-pile claims, divisor top-ups)
+        # legitimately scales with threads; it must stay a small part.
+        assert reads_7 == pytest.approx(reads_1, rel=0.20)
+        assert writes_7 == pytest.approx(writes_1, rel=0.25)
+
+    def test_bodies_are_nonempty(self, name, workload):
+        _, _, _, ops = drain(workload, 2)
+        assert ops > 0
+
+
+class TestDrainDeterminism:
+    @given(
+        n_threads=st.integers(min_value=1, max_value=8),
+        pick=st.integers(min_value=0, max_value=len(WORKLOAD_ITEMS) - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_same_build_same_content(self, n_threads, pick):
+        name, workload = WORKLOAD_ITEMS[pick]
+        first = drain(workload, n_threads)
+        second = drain(workload, n_threads)
+        assert first == second, name
