@@ -25,7 +25,13 @@ from repro.analysis.report import (
 from repro.sim.harness import PlacementMeasurement, measure_placement
 from repro.workloads import TABLE_3_WORKLOADS
 
-from conftest import assert_band, once, save_artifact
+from conftest import (
+    assert_band,
+    maybe_telemetry,
+    once,
+    save_artifact,
+    save_telemetry,
+)
 
 #: Shape bands: |measured - paper| limits for alpha, beta, gamma.
 BANDS: Dict[str, Tuple[float, float, float]] = {
@@ -44,7 +50,14 @@ _rows: Dict[str, EvaluationRow] = {}
 
 def _measure(name: str) -> PlacementMeasurement:
     workload = TABLE_3_WORKLOADS[name]()
-    return measure_placement(workload, n_processors=7, check_invariants=False)
+    telemetry = maybe_telemetry()
+    measurement = measure_placement(
+        workload, n_processors=7, check_invariants=False, telemetry=telemetry
+    )
+    save_telemetry(
+        f"table3_{name}", telemetry, {"workload": name, "processors": 7}
+    )
+    return measurement
 
 
 @pytest.mark.parametrize("name", list(TABLE_3_WORKLOADS))

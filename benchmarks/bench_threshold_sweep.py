@@ -22,7 +22,7 @@ from repro.workloads.handoff import Handoff
 from repro.workloads.imatmult import IMatMult
 from repro.workloads.primes import Primes3
 
-from conftest import once, save_artifact
+from conftest import maybe_telemetry, once, save_artifact, save_telemetry
 
 THRESHOLDS = [0, 1, 2, 4, 8, 16, 64]
 
@@ -38,15 +38,22 @@ def _workload(name: str):
 @pytest.mark.parametrize("name", ["Primes3", "IMatMult"])
 def test_threshold_sweep(benchmark, name):
     def sweep() -> Dict[int, RunResult]:
-        return {
-            threshold: run_once(
+        results: Dict[int, RunResult] = {}
+        for threshold in THRESHOLDS:
+            telemetry = maybe_telemetry()
+            results[threshold] = run_once(
                 _workload(name),
                 MoveThresholdPolicy(threshold),
                 n_processors=7,
                 check_invariants=False,
+                telemetry=telemetry,
             )
-            for threshold in THRESHOLDS
-        }
+            save_telemetry(
+                f"threshold_sweep_{name}_t{threshold}",
+                telemetry,
+                {"workload": name, "threshold": threshold},
+            )
+        return results
 
     results = once(benchmark, sweep)
     _results[name] = results

@@ -9,9 +9,10 @@ artifact to ``benchmarks/_artifacts/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import pytest
 
@@ -20,12 +21,48 @@ from repro.core.policies import MoveThresholdPolicy
 from repro.core.policy import NUMAPolicy
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
+from repro.obs import Telemetry, write_jsonl
 from repro.vm.address_space import AddressSpace
 from repro.vm.fault import FaultHandler
 from repro.vm.page_pool import PagePool
 from repro.vm.pmap import ACEPmap
 
 ARTIFACTS = pathlib.Path(__file__).parent / "_artifacts"
+
+#: Set (to anything but "0") to make the benches record telemetry and
+#: drop ``<name>.telemetry.jsonl`` files alongside the text artifacts.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+
+def telemetry_enabled() -> bool:
+    """Whether this bench run should emit telemetry artifacts."""
+    return os.environ.get(TELEMETRY_ENV, "0") not in ("", "0")
+
+
+def maybe_telemetry(sample_interval: int = 32) -> Optional[Telemetry]:
+    """A fresh :class:`Telemetry` when opted in via the env var, else None.
+
+    Benches pass the result straight to ``run_once``/``measure_placement``
+    (both accept ``telemetry=None``), so the default bench run stays
+    telemetry-free and costs nothing extra.
+    """
+    if not telemetry_enabled():
+        return None
+    return Telemetry(sample_interval=sample_interval)
+
+
+def save_telemetry(
+    name: str,
+    telemetry: Optional[Telemetry],
+    meta: Optional[Dict[str, object]] = None,
+) -> Optional[pathlib.Path]:
+    """Write ``_artifacts/<name>.telemetry.jsonl``; no-op when not opted in."""
+    if telemetry is None:
+        return None
+    ARTIFACTS.mkdir(exist_ok=True)
+    path = ARTIFACTS / f"{name}.telemetry.jsonl"
+    write_jsonl(telemetry.to_records(meta), path)
+    return path
 
 
 @dataclass

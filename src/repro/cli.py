@@ -14,10 +14,13 @@ Usage::
     repro-numa advise            # layout advice from a reference trace
     repro-numa bus               # IPC-bus utilization per application
     repro-numa speedup           # speedup curves (elapsed-time view)
+    repro-numa metrics ParMult   # telemetry: time series + profile
     repro-numa all               # tables, figures, latencies, alpha
 
 ``--quick`` uses the scaled-down test workloads (seconds instead of
-minutes of wall time for the sweep-style commands).
+minutes of wall time for the sweep-style commands).  ``--json PATH``
+additionally dumps the command's data as JSON lines through the
+telemetry exporters.
 """
 
 from __future__ import annotations
@@ -37,7 +40,9 @@ from repro.analysis.report import (
 )
 from repro.core.state import AccessKind, PlacementDecision
 from repro.core.transitions import READ_TABLE, WRITE_TABLE, StateKey
+from repro.errors import ConfigurationError
 from repro.machine.config import TimingParameters, ace_config
+from repro.obs.exporters import JsonSink
 from repro.sim.harness import measure_placement
 from repro.workloads import TABLE_3_WORKLOADS, small_workloads
 from repro.workloads.primes import Primes2
@@ -50,6 +55,40 @@ def _workload_set(quick: bool) -> Dict[str, Callable]:
     return dict(TABLE_3_WORKLOADS)
 
 
+def _find_workload(workloads: Dict[str, Callable], name: str) -> Callable:
+    """Case-insensitive workload lookup with a helpful error."""
+    for known, factory in workloads.items():
+        if known.lower() == name.lower():
+            return factory
+    raise ConfigurationError(
+        f"unknown workload {name!r}; choose from {', '.join(workloads)}"
+    )
+
+
+def _sink_evaluation(args: argparse.Namespace, evaluation) -> None:
+    """Push one evaluation (Tables 3/4 data) into the ``--json`` sink."""
+    sink: JsonSink = args.sink
+    for row in evaluation.rows:
+        m = row.measurement
+        sink.add(
+            {
+                "t": "evaluation_row",
+                "application": row.application,
+                "t_global_s": m.t_global_s,
+                "t_numa_s": m.t_numa_s,
+                "t_local_s": m.t_local_s,
+                "alpha_model": row.params.alpha,
+                "alpha_measured": m.numa.measured_alpha,
+                "beta": row.params.beta,
+                "gamma": row.params.gamma,
+                "s_numa_s": m.numa.system_time_s,
+                "s_global_s": m.all_global.system_time_s,
+                "delta_s": row.delta_s,
+                "stats": m.numa.stats.as_dict(),
+            }
+        )
+
+
 def cmd_table3(args: argparse.Namespace) -> None:
     """Regenerate Table 3."""
     evaluation = run_evaluation(
@@ -57,6 +96,7 @@ def cmd_table3(args: argparse.Namespace) -> None:
         n_processors=args.processors,
         threshold=args.threshold,
     )
+    _sink_evaluation(args, evaluation)
     print(format_table3(evaluation))
 
 
@@ -67,6 +107,7 @@ def cmd_table4(args: argparse.Namespace) -> None:
         n_processors=args.processors,
         threshold=args.threshold,
     )
+    _sink_evaluation(args, evaluation)
     print(format_table4(evaluation))
 
 
@@ -77,7 +118,36 @@ def cmd_alpha(args: argparse.Namespace) -> None:
         n_processors=args.processors,
         threshold=args.threshold,
     )
+    _sink_evaluation(args, evaluation)
     print(format_measured_alpha(evaluation))
+
+
+def cmd_metrics(args: argparse.Namespace) -> None:
+    """Telemetry for one workload: time series, histograms, profile."""
+    from repro.obs import Telemetry
+
+    factory = _find_workload(_workload_set(args.quick), args.workload)
+    workload = factory()
+    telemetry = Telemetry(sample_interval=args.sample_interval)
+    measurement = measure_placement(
+        workload,
+        n_processors=args.processors,
+        threshold=args.threshold,
+        check_invariants=False,
+        telemetry=telemetry,
+    )
+    meta = {
+        "workload": workload.name,
+        "policy": f"move-threshold({args.threshold})",
+        "processors": args.processors,
+        "sample_interval": args.sample_interval,
+        "rounds": measurement.numa.rounds,
+        "t_numa_s": measurement.t_numa_s,
+        "t_global_s": measurement.t_global_s,
+        "t_local_s": measurement.t_local_s,
+    }
+    args.sink.extend(telemetry.to_records(meta))
+    print(telemetry.summary(meta))
 
 
 def cmd_tables12(args: argparse.Namespace) -> None:
@@ -130,11 +200,13 @@ def cmd_figures(args: argparse.Namespace) -> None:
 
 def cmd_latency(args: argparse.Namespace) -> None:
     """Section 2.2: reference latencies and G/L ratios."""
-    del args
     timing = TimingParameters()
     print("32-bit reference times (µs), paper's measured values:")
     for name, value in ACE_LATENCIES.items():
         ours = getattr(timing, name)
+        args.sink.add(
+            {"t": "latency", "name": name, "paper": value, "model": ours}
+        )
         print(f"  {name:18s} paper={value:<5} model={ours}")
     print(f"  G/L fetch ratio     paper=2.3   model={timing.fetch_ratio:.2f}")
     print(f"  G/L store ratio     paper=1.7   model={timing.store_ratio:.2f}")
@@ -162,6 +234,17 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             )
             if base_local is None:
                 base_local = m.t_local_s
+            args.sink.add(
+                {
+                    "t": "sweep_point",
+                    "application": name,
+                    "threshold": threshold,
+                    "t_numa_s": m.t_numa_s,
+                    "s_numa_s": m.numa.system_time_s,
+                    "moves": m.numa.stats.moves,
+                    "gamma": m.t_numa_s / base_local,
+                }
+            )
             print(
                 f"  {threshold:>6d}  {m.t_numa_s:>6.2f}  "
                 f"{m.numa.system_time_s:>7.2f}  {m.numa.stats.moves:>6d}  "
@@ -182,6 +265,16 @@ def cmd_false_sharing(args: argparse.Namespace) -> None:
             "private_divisors" if private else "shared_divisors"
         ]
         alpha = m.numa.measured_alpha or 0.0
+        args.sink.add(
+            {
+                "t": "false_sharing",
+                "private_divisors": private,
+                "alpha": alpha,
+                "alpha_paper": paper,
+                "t_numa_s": m.t_numa_s,
+                "moves": m.numa.stats.moves,
+            }
+        )
         print(
             f"  {label}: alpha={alpha:.2f} (paper {paper:.2f})  "
             f"Tnuma={m.t_numa_s:.1f}s"
@@ -237,6 +330,15 @@ def cmd_bus(args: argparse.Namespace) -> None:
         )
         report = analyze_bus(result, config)
         verdict = "ok" if report.contention_free else "LOADED"
+        args.sink.add(
+            {
+                "t": "bus",
+                "application": name,
+                "utilization": report.utilization,
+                "contention_factor": report.contention_factor,
+                "contention_free": report.contention_free,
+            }
+        )
         print(
             f"  {name:10s} rho={report.utilization:5.3f}  "
             f"x{report.contention_factor:4.2f} est. stretch  {verdict}"
@@ -316,6 +418,15 @@ def cmd_mix(args: argparse.Namespace) -> None:
     for task in mix.tasks:
         solo = standalone[task.workload]
         ratio = task.user_time_us / solo if solo else 0.0
+        args.sink.add(
+            {
+                "t": "mix",
+                "application": task.workload,
+                "standalone_us": solo,
+                "in_mix_us": task.user_time_us,
+                "ratio": ratio,
+            }
+        )
         print(
             f"  {task.workload:10s} standalone {solo / 1e6:8.3f}s   "
             f"in mix {task.user_time_s:8.3f}s   ({ratio:.3f}x)"
@@ -342,6 +453,7 @@ def cmd_all(args: argparse.Namespace) -> None:
         n_processors=args.processors,
         threshold=args.threshold,
     )
+    _sink_evaluation(args, evaluation)
     print(format_table3(evaluation))
     print()
     print(format_table4(evaluation))
@@ -354,6 +466,39 @@ def cmd_all(args: argparse.Namespace) -> None:
     cmd_latency(args)
 
 
+def _add_global_options(parser: argparse.ArgumentParser, root: bool) -> None:
+    """Options accepted both before and after the subcommand.
+
+    The root parser carries the real defaults; the per-command copies
+    use ``SUPPRESS`` so they only override the namespace when actually
+    given on the command line.
+    """
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=7 if root else argparse.SUPPRESS,
+        help="simulated processors (paper's Table 4 used 7)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=int,
+        default=4 if root else argparse.SUPPRESS,
+        help="move threshold (the paper's boot-time parameter, default 4)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        default=False if root else argparse.SUPPRESS,
+        help="use scaled-down workloads",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None if root else argparse.SUPPRESS,
+        help="also dump the command's data as JSON lines to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -361,23 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument(
-        "--processors",
-        type=int,
-        default=7,
-        help="simulated processors (paper's Table 4 used 7)",
-    )
-    parser.add_argument(
-        "--threshold",
-        type=int,
-        default=4,
-        help="move threshold (the paper's boot-time parameter, default 4)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="use scaled-down workloads",
-    )
+    _add_global_options(parser, root=True)
     subparsers = parser.add_subparsers(dest="command", required=True)
     commands = {
         "table3": cmd_table3,
@@ -392,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
         "advise": cmd_advise,
         "bus": cmd_bus,
         "speedup": cmd_speedup,
+        "metrics": cmd_metrics,
         "mix": cmd_mix,
         "report": cmd_report,
         "all": cmd_all,
@@ -399,12 +529,24 @@ def build_parser() -> argparse.ArgumentParser:
     for name, func in commands.items():
         sub = subparsers.add_parser(name, help=func.__doc__)
         sub.set_defaults(func=func)
+        _add_global_options(sub, root=False)
         if name in ("sweep", "advise", "speedup", "mix"):
             sub.add_argument(
                 "--apps",
                 nargs="*",
                 default=None,
                 help="applications to analyze",
+            )
+        if name == "metrics":
+            sub.add_argument(
+                "workload",
+                help="application to instrument (case-insensitive)",
+            )
+            sub.add_argument(
+                "--sample-interval",
+                type=int,
+                default=32,
+                help="scheduling rounds per telemetry sample (default 32)",
             )
     return parser
 
@@ -413,7 +555,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.sink = JsonSink()
     args.func(args)
+    if args.json:
+        if not args.sink.records:
+            # Commands without structured output still leave a marker so
+            # downstream tooling can tell "ran, nothing to dump" from
+            # "never ran".
+            args.sink.add({"t": "meta", "command": args.command})
+        lines = args.sink.write(args.json)
+        print(f"wrote {lines} JSON records to {args.json}", file=sys.stderr)
     return 0
 
 

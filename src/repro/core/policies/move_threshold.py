@@ -66,6 +66,10 @@ class MoveThresholdPolicy(NUMAPolicy):
         """Ownership moves recorded for the given page."""
         return self._moves.get(page_id, 0)
 
+    def move_counts(self) -> Dict[int, int]:
+        """Per-page ownership-move counts (telemetry's move histogram)."""
+        return dict(self._moves)
+
     @property
     def pinned_count(self) -> int:
         """Number of pages currently pinned."""

@@ -8,7 +8,7 @@ here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 from repro.core.state import AccessKind
@@ -58,6 +58,43 @@ class NUMAStats:
     def total_page_copies(self) -> int:
         """All whole-page copies performed (either direction)."""
         return self.copies_to_local + self.syncs
+
+    def snapshot(self) -> "NUMAStats":
+        """An independent copy of the current counts.
+
+        The telemetry sampler keeps one snapshot per sampling window;
+        the copy shares nothing with the live object, so the manager can
+        keep counting while the snapshot stays frozen.
+        """
+        copy = NUMAStats()
+        copy.faults = dict(self.faults)
+        for spec in fields(self):
+            if spec.name == "faults":
+                continue
+            setattr(copy, spec.name, getattr(self, spec.name))
+        return copy
+
+    def diff(self, prev: "NUMAStats") -> "NUMAStats":
+        """Counts accumulated since *prev* (``self - prev``, per field).
+
+        Both operands are left untouched.  Negative deltas are allowed —
+        they only arise if *prev* postdates ``self``, and preserving the
+        sign makes that mistake visible instead of silently clamping.
+        """
+        delta = NUMAStats()
+        delta.faults = {
+            kind: self.faults[kind] - prev.faults[kind]
+            for kind in AccessKind
+        }
+        for spec in fields(self):
+            if spec.name == "faults":
+                continue
+            setattr(
+                delta,
+                spec.name,
+                getattr(self, spec.name) - getattr(prev, spec.name),
+            )
+        return delta
 
     def as_dict(self) -> Dict[str, int]:
         """Flat dictionary view for reports."""

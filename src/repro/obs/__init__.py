@@ -1,0 +1,48 @@
+"""Telemetry: event bus, metrics, per-round sampling, and profiling.
+
+The paper's evaluation is built entirely from counters (Table 4) and
+derived quantities (α, bus utilization); this package turns those
+end-of-run totals into inspectable time series and run profiles:
+
+* :mod:`repro.obs.events` — the fan-out :class:`EventBus` the engine
+  publishes to, replacing the old single ``observer`` slot;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms;
+* :mod:`repro.obs.sampler` — per-scheduling-round snapshots of
+  :class:`~repro.core.stats.NUMAStats` deltas and pool/directory
+  occupancy;
+* :mod:`repro.obs.profiling` — wall-clock spans around engine phases;
+* :mod:`repro.obs.exporters` — JSONL/CSV/human-summary output;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade that wires
+  all of the above into a simulation in one call.
+"""
+
+from repro.obs.events import EventBus
+from repro.obs.exporters import (
+    JsonSink,
+    human_summary,
+    write_csv,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import PhaseProfiler, PhaseStat
+from repro.obs.sampler import RoundSample, RoundSampler
+from repro.obs.telemetry import MetricsObserver, Telemetry
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "JsonSink",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "PhaseStat",
+    "RoundSample",
+    "RoundSampler",
+    "Telemetry",
+    "human_summary",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,143 @@
+"""The engine's event bus: one publisher, any number of observers.
+
+The engine used to carry a single ``observer`` slot, which made trace
+collection and metrics mutually exclusive.  :class:`EventBus` fans each
+event out to every subscribed observer, in subscription order, and keeps
+per-hook subscriber lists so the engine can skip event construction
+entirely when nobody is listening (the common case for the paper-scale
+runs, where telemetry must not slow the simulator down).
+
+Observers are duck-typed: subscribe any object and it receives exactly
+the hooks it defines.  The legacy
+:class:`~repro.sim.engine.EngineObserver` protocol (``on_reference`` and
+``on_fault``) is a strict subset, so existing observers such as
+:class:`~repro.analysis.tracing.TraceCollector` subscribe unchanged.
+
+Hooks (all optional on an observer):
+
+``on_reference(round_index, cpu, vpage, page_id, reads, writes,
+location, writable_data)``
+    A block of user references was issued.
+``on_fault(round_index, cpu, vpage, kind)``
+    A page fault was taken (before handling).
+``on_fault_resolved(round_index, cpu, vpage, kind, system_us)``
+    The fault handler returned; ``system_us`` is the simulated system
+    time the handling charged (the fault's simulated latency).
+``on_round_end(round_index)``
+    A scheduling round completed.
+``on_run_end(rounds)``
+    The engine ran all threads to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Hook names the bus dispatches, in no particular order.
+HOOKS: Tuple[str, ...] = (
+    "on_reference",
+    "on_fault",
+    "on_fault_resolved",
+    "on_round_end",
+    "on_run_end",
+)
+
+
+class EventBus:
+    """Fan-out dispatcher for engine events.
+
+    Subscribers receive events in subscription order, which makes
+    interleaved traces deterministic.  The per-hook lists are rebuilt on
+    every subscribe/unsubscribe, never during dispatch.
+    """
+
+    def __init__(self, observers: Optional[List[object]] = None) -> None:
+        self._observers: List[object] = []
+        self._hooks: Dict[str, List[Callable]] = {name: [] for name in HOOKS}
+        for observer in observers or []:
+            self.subscribe(observer)
+
+    # -- subscription --------------------------------------------------------
+
+    def subscribe(self, observer: object) -> object:
+        """Register *observer* for every hook it defines; returns it."""
+        if observer is None:
+            raise ValueError("cannot subscribe None to the event bus")
+        if observer in self._observers:
+            return observer
+        self._observers.append(observer)
+        for name in HOOKS:
+            hook = getattr(observer, name, None)
+            if callable(hook):
+                self._hooks[name].append(hook)
+        return observer
+
+    def unsubscribe(self, observer: object) -> None:
+        """Remove *observer*; unknown observers are ignored."""
+        if observer not in self._observers:
+            return
+        self._observers.remove(observer)
+        for name in HOOKS:
+            hook = getattr(observer, name, None)
+            if callable(hook) and hook in self._hooks[name]:
+                self._hooks[name].remove(hook)
+
+    @property
+    def observers(self) -> List[object]:
+        """Subscribed observers, in subscription order."""
+        return list(self._observers)
+
+    def __len__(self) -> int:
+        return len(self._observers)
+
+    # -- fast-path guards ----------------------------------------------------
+    # The engine checks these before building event payloads (e.g. the
+    # page-id lookup behind on_reference), so an unobserved run does no
+    # telemetry work at all.
+
+    @property
+    def wants_references(self) -> bool:
+        """Whether any observer handles ``on_reference``."""
+        return bool(self._hooks["on_reference"])
+
+    @property
+    def wants_faults(self) -> bool:
+        """Whether any observer handles ``on_fault``."""
+        return bool(self._hooks["on_fault"])
+
+    @property
+    def wants_fault_latency(self) -> bool:
+        """Whether any observer handles ``on_fault_resolved``."""
+        return bool(self._hooks["on_fault_resolved"])
+
+    @property
+    def wants_rounds(self) -> bool:
+        """Whether any observer handles ``on_round_end``."""
+        return bool(self._hooks["on_round_end"])
+
+    # -- dispatch ------------------------------------------------------------
+
+    def emit_reference(self, *args) -> None:
+        """Fan out one reference block."""
+        for hook in self._hooks["on_reference"]:
+            hook(*args)
+
+    def emit_fault(self, *args) -> None:
+        """Fan out one fault."""
+        for hook in self._hooks["on_fault"]:
+            hook(*args)
+
+    def emit_fault_resolved(self, *args) -> None:
+        """Fan out one fault resolution with its simulated latency."""
+        for hook in self._hooks["on_fault_resolved"]:
+            hook(*args)
+
+    def emit_round_end(self, round_index: int) -> None:
+        """Fan out the end of one scheduling round."""
+        for hook in self._hooks["on_round_end"]:
+            hook(round_index)
+
+    def emit_run_end(self, rounds: int) -> None:
+        """Fan out run completion."""
+        for hook in self._hooks["on_run_end"]:
+            hook(rounds)

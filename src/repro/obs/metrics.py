@@ -1,0 +1,197 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+All instruments are named, lazily created through the registry, and
+render to flat records for the exporters.  Histograms use fixed upper
+bounds chosen at creation time — the distributions we care about (page
+move counts, simulated fault latencies) have known, narrow ranges, so
+fixed buckets beat any adaptive scheme for comparability across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative) to the count."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat record for exporters."""
+        return {"t": "counter", "name": self.name, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (e.g. a ratio or an occupancy)."""
+
+    name: str
+    value: Optional[float] = None
+
+    def set(self, value: Optional[float]) -> None:
+        """Record the latest value (``None`` means not applicable)."""
+        self.value = value
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat record for exporters."""
+        return {"t": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with an overflow bucket.
+
+    ``bounds`` are inclusive upper bounds; an observation lands in the
+    first bucket whose bound is >= the value, or in the overflow bucket
+    past the last bound.
+    """
+
+    def __init__(self, name: str, bounds: Sequence[Number]) -> None:
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        ordered = list(bounds)
+        if ordered != sorted(ordered) or len(set(ordered)) != len(ordered):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be strictly increasing: "
+                f"{bounds!r}"
+            )
+        self.name = name
+        self.bounds: Tuple[Number, ...] = tuple(ordered)
+        #: One count per bound, plus the trailing overflow bucket.
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean of all observations, or ``None`` when empty."""
+        if self.total == 0:
+            return None
+        return self.sum / self.total
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat record for exporters."""
+        return {
+            "t": "histogram",
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def format(self) -> str:
+        """Multi-line human rendering with one row per bucket."""
+        lines = [f"{self.name}: n={self.total}"]
+        if self.total:
+            lines[0] += (
+                f" min={self.min:g} mean={self.mean:g} max={self.max:g}"
+            )
+        peak = max(self.counts) or 1
+        labels = [f"<= {bound:g}" for bound in self.bounds] + [
+            f" > {self.bounds[-1]:g}"
+        ]
+        for label, count in zip(labels, self.counts):
+            bar = "#" * round(20 * count / peak) if count else ""
+            lines.append(f"  {label:>12s}  {count:>8d}  {bar}")
+        return "\n".join(lines)
+
+
+@dataclass
+class MetricsRegistry:
+    """All instruments for one run, created on first use by name."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created at zero if new."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self.counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created unset if new."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self.gauges[name] = instrument
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[Number]] = None
+    ) -> Histogram:
+        """The histogram called *name*, created with *bounds* if new."""
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            if bounds is None:
+                raise ConfigurationError(
+                    f"histogram {name!r} does not exist yet; "
+                    "pass bucket bounds to create it"
+                )
+            instrument = Histogram(name, bounds)
+            self.histograms[name] = instrument
+        elif bounds is not None and tuple(bounds) != instrument.bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} already exists with bounds "
+                f"{instrument.bounds!r}"
+            )
+        return instrument
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """Every instrument as a flat record, counters first."""
+        records: List[Dict[str, object]] = []
+        for group in (self.counters, self.gauges, self.histograms):
+            records.extend(
+                group[name].as_record() for name in sorted(group)
+            )
+        return records
+
+    def as_dict(self) -> Dict[str, object]:
+        """Name -> value view (histograms render their full record)."""
+        out: Dict[str, object] = {}
+        for name in sorted(self.counters):
+            out[name] = self.counters[name].value
+        for name in sorted(self.gauges):
+            out[name] = self.gauges[name].value
+        for name in sorted(self.histograms):
+            out[name] = self.histograms[name].as_record()
+        return out

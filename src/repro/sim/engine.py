@@ -10,10 +10,19 @@ alternate.
 Memory references run against the MMU; misses trap into the
 machine-independent fault handler, which drives the NUMA protocol, and the
 reference is then charged at the speed of wherever the page ended up.
+
+Observation is fanned out through an :class:`~repro.obs.events.EventBus`:
+any number of observers (trace collectors, metrics, samplers) subscribe
+to the engine's bus, and the legacy single ``observer=`` kwarg is adapted
+onto the bus for compatibility.  When a :class:`PhaseProfiler` is
+installed, the engine times its own wall-clock hot phases — fault
+handling, policy ticks, and reference batches; neither the bus nor the
+profiler ever charges simulated time.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.core.state import AccessKind
@@ -23,6 +32,8 @@ from repro.machine.memory import Frame
 from repro.machine.mmu import MMUFault
 from repro.machine.protection import PROT_READ, PROT_READ_WRITE
 from repro.machine.timing import MemoryLocation
+from repro.obs.events import EventBus
+from repro.obs.profiling import PhaseProfiler
 from repro.sim.ops import Barrier, Compute, FreeObjectPages, MemBlock, Op, Syscall
 from repro.threads.cthreads import CThread, ThreadState
 from repro.threads.scheduler import Scheduler
@@ -64,6 +75,8 @@ class Engine:
         observer: Optional[EngineObserver] = None,
         policy_tick_ops: int = 256,
         extra_handlers: Optional[Dict[int, FaultHandler]] = None,
+        bus: Optional[EventBus] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         self._machine = machine
         self._faults = fault_handler
@@ -73,7 +86,12 @@ class Engine:
             self._handlers.update(extra_handlers)
         self._scheduler = scheduler
         self._unix_master = unix_master or UnixMaster(master_cpu=0)
-        self._observer = observer
+        self._bus = bus if bus is not None else EventBus()
+        if observer is not None:
+            # Legacy single-observer path: adapt it onto the bus so old
+            # callers compose with new telemetry unchanged.
+            self._bus.subscribe(observer)
+        self._profiler = profiler
         self._policy_tick_ops = policy_tick_ops
         self._round = 0
         self._ops_since_tick = 0
@@ -94,11 +112,30 @@ class Engine:
         """The scheduler assigning threads to processors."""
         return self._scheduler
 
+    @property
+    def bus(self) -> EventBus:
+        """The event bus all observers subscribe to."""
+        return self._bus
+
+    def add_observer(self, observer: object) -> None:
+        """Subscribe *observer* to this engine's event bus."""
+        self._bus.subscribe(observer)
+
+    @property
+    def profiler(self) -> Optional[PhaseProfiler]:
+        """Wall-clock profiler for engine phases, if installed."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler: Optional[PhaseProfiler]) -> None:
+        self._profiler = profiler
+
     # -- main loop ---------------------------------------------------------
 
     def run(self, threads: List[CThread]) -> int:
         """Run all *threads* to completion; returns rounds executed."""
         if not threads:
+            self._bus.emit_run_end(self._round)
             return 0
         while True:
             live = [t for t in threads if not t.finished]
@@ -118,6 +155,8 @@ class Engine:
                 self._execute(thread, cpu, op)
                 progressed = True
             self._round += 1
+            if self._bus.wants_rounds:
+                self._bus.emit_round_end(self._round - 1)
             if not progressed:
                 if self._release_barriers(threads):
                     continue
@@ -134,6 +173,7 @@ class Engine:
                 raise SimulationError(
                     f"deadlock: threads waiting on barriers {waiting}"
                 )
+        self._bus.emit_run_end(self._round)
         return self._round
 
     # -- op execution ------------------------------------------------------
@@ -157,13 +197,19 @@ class Engine:
         self._ops_since_tick += 1
         if self._ops_since_tick >= self._policy_tick_ops:
             self._ops_since_tick = 0
+            profiler = self._profiler
+            started = perf_counter() if profiler is not None else 0.0
             numa = self._faults.pmap.numa
             now = max(c.total_time_us for c in self._machine.cpus)
             numa.policy.tick(now)
             for page_id in numa.policy.take_invalidations():
                 numa.invalidate_page_id(page_id, acting_cpu=0)
+            if profiler is not None:
+                profiler.add("policy_tick", perf_counter() - started)
 
     def _mem_block(self, cpu: int, op: MemBlock, task: int = 0) -> None:
+        profiler = self._profiler
+        started = perf_counter() if profiler is not None else 0.0
         _, _, writable = self._info_for(op.vpage, task)
         if op.reads:
             frame = self._resolve(cpu, op.vpage, AccessKind.READ, task)
@@ -175,6 +221,8 @@ class Engine:
             self._charge_refs(
                 cpu, op.vpage, frame, 0, op.writes, writable, task
             )
+        if profiler is not None:
+            profiler.add("reference_batch", perf_counter() - started)
 
     def _syscall(self, op: Syscall, task: int = 0) -> None:
         call = self._unix_master.effective_syscall(op)
@@ -213,13 +261,39 @@ class Engine:
         """Translate, faulting as needed; returns the frame accessed."""
         wanted = PROT_READ_WRITE if kind is AccessKind.WRITE else PROT_READ
         mmu = self._machine.cpu(cpu).mmu
+        bus = self._bus
+        profiler = self._profiler
         for _ in range(3):
             try:
                 return mmu.translate(vpage, wanted)
             except MMUFault:
-                if self._observer is not None:
-                    self._observer.on_fault(self._round, cpu, vpage, kind)
+                if bus.wants_faults:
+                    bus.emit_fault(self._round, cpu, vpage, kind)
+                # The simulated fault latency is the system time the
+                # handling charges; sum over CPUs because protocol
+                # actions (syncs, invalidations) can bill other
+                # processors than the faulting one.
+                want_latency = bus.wants_fault_latency
+                system_before = (
+                    sum(c.system_time_us for c in self._machine.cpus)
+                    if want_latency
+                    else 0.0
+                )
+                started = perf_counter() if profiler is not None else 0.0
                 self._handlers[task].handle(cpu, vpage, kind)
+                if profiler is not None:
+                    profiler.add("fault_handling", perf_counter() - started)
+                if want_latency:
+                    system_after = sum(
+                        c.system_time_us for c in self._machine.cpus
+                    )
+                    bus.emit_fault_resolved(
+                        self._round,
+                        cpu,
+                        vpage,
+                        kind,
+                        system_after - system_before,
+                    )
         raise ProtocolError(
             f"fault on vpage {vpage} (cpu {cpu}, {kind.value}) did not "
             "resolve after repeated handling"
@@ -243,11 +317,11 @@ class Engine:
         cpu.all_refs.record(location, reads, writes)
         if writable_data:
             cpu.data_refs.record(location, reads, writes)
-        if self._observer is not None:
+        if self._bus.wants_references:
             vm_object, offset, _ = self._info_for(vpage, task)
             page = vm_object.resident_page(offset)  # type: ignore[attr-defined]
             page_id = page.page_id if page is not None else -1
-            self._observer.on_reference(
+            self._bus.emit_reference(
                 self._round,
                 cpu_id,
                 vpage,

@@ -24,6 +24,7 @@ from repro.core.policies import (
 from repro.core.policy import NUMAPolicy
 from repro.machine.config import MachineConfig, ace_config, uniprocessor_config
 from repro.machine.machine import Machine
+from repro.obs.telemetry import Telemetry
 from repro.sim.engine import Engine, EngineObserver
 from repro.sim.result import CPUTimes, RunResult
 from repro.threads.cthreads import CThread
@@ -63,8 +64,13 @@ def build_simulation(
     unix_master: Optional[UnixMaster] = None,
     observer: Optional[EngineObserver] = None,
     check_invariants: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> Simulation:
-    """Assemble machine, VM, NUMA layer, and threads for one run."""
+    """Assemble machine, VM, NUMA layer, and threads for one run.
+
+    ``observer`` (the legacy single slot) and ``telemetry`` compose:
+    both end up subscribed to the engine's event bus.
+    """
     if machine_config is None:
         machine_config = ace_config(n_processors)
     machine = Machine(machine_config)
@@ -98,6 +104,8 @@ def build_simulation(
         unix_master=unix_master,
         observer=observer,
     )
+    if telemetry is not None:
+        telemetry.attach(machine, numa, pool, engine)
     return Simulation(
         machine=machine,
         numa=numa,
@@ -120,6 +128,7 @@ def run_once(
     unix_master: Optional[UnixMaster] = None,
     observer: Optional[EngineObserver] = None,
     check_invariants: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     """Run *workload* under *policy* and collect the result."""
     sim = build_simulation(
@@ -132,8 +141,14 @@ def run_once(
         unix_master=unix_master,
         observer=observer,
         check_invariants=check_invariants,
+        telemetry=telemetry,
     )
-    rounds = sim.engine.run(sim.threads)
+    if telemetry is not None:
+        with telemetry.profiler.span("engine_run"):
+            rounds = sim.engine.run(sim.threads)
+        telemetry.finalize()
+    else:
+        rounds = sim.engine.run(sim.threads)
     machine = sim.machine
     per_cpu = [
         CPUTimes(cpu=c.id, user_us=c.user_time_us, system_us=c.system_time_us)
@@ -190,12 +205,15 @@ def measure_placement(
     threshold: int = 4,
     machine_config: Optional[MachineConfig] = None,
     check_invariants: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> PlacementMeasurement:
     """Run the paper's three measurements for one application.
 
     ``Tlocal`` runs with one thread on a one-processor machine under the
     always-LOCAL policy, exactly the paper's procedure for avoiding
-    spin-lock time-slicing artifacts (Section 3.1).
+    spin-lock time-slicing artifacts (Section 3.1).  ``telemetry``
+    attaches to the Tnuma run only — that is the run whose dynamics the
+    paper's tables describe.
     """
     numa_result = run_once(
         workload,
@@ -203,6 +221,7 @@ def measure_placement(
         n_processors=n_processors,
         machine_config=machine_config,
         check_invariants=check_invariants,
+        telemetry=telemetry,
     )
     global_result = run_once(
         workload,

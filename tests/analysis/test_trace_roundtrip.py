@@ -1,0 +1,100 @@
+"""TraceCollector save_jsonl/load_jsonl round-trip fidelity."""
+
+import json
+
+import pytest
+
+from repro.analysis.tracing import TraceCollector
+from repro.core.state import AccessKind
+from repro.errors import ConfigurationError
+from repro.machine.timing import MemoryLocation
+
+
+def build_trace():
+    """An interleaved trace: fault, ref, ref, fault, ref."""
+    trace = TraceCollector()
+    trace.on_fault(0, 1, 10, AccessKind.READ)
+    trace.on_reference(0, 1, 10, 100, 5, 0, MemoryLocation.LOCAL, True)
+    trace.on_reference(1, 2, 11, 101, 0, 3, MemoryLocation.GLOBAL, False)
+    trace.on_fault(2, 0, 12, AccessKind.WRITE)
+    trace.on_reference(2, 0, 12, 102, 1, 1, MemoryLocation.REMOTE, True)
+    return trace
+
+
+class TestRoundTrip:
+    def test_events_and_faults_survive(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = build_trace()
+        assert original.save_jsonl(path) == 5
+        loaded = TraceCollector.load_jsonl(path)
+        assert loaded.events == original.events
+        assert loaded.faults == original.faults
+
+    def test_enum_fields_round_trip_as_enums(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        build_trace().save_jsonl(path)
+        loaded = TraceCollector.load_jsonl(path)
+        assert loaded.events[0].location is MemoryLocation.LOCAL
+        assert loaded.events[1].location is MemoryLocation.GLOBAL
+        assert loaded.events[2].location is MemoryLocation.REMOTE
+        assert loaded.faults[0].kind is AccessKind.READ
+        assert loaded.faults[1].kind is AccessKind.WRITE
+
+    def test_file_preserves_execution_order(self, tmp_path):
+        """Refs and faults are merged by sequence, not grouped by type."""
+        path = tmp_path / "trace.jsonl"
+        build_trace().save_jsonl(path)
+        kinds = [
+            json.loads(line)["t"]
+            for line in path.read_text().splitlines()
+        ]
+        assert kinds == ["fault", "ref", "ref", "fault", "ref"]
+        sequences = [
+            json.loads(line)["seq"]
+            for line in path.read_text().splitlines()
+        ]
+        assert sequences == sorted(sequences)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert TraceCollector().save_jsonl(path) == 0
+        loaded = TraceCollector.load_jsonl(path)
+        assert loaded.events == []
+        assert loaded.faults == []
+
+    def test_sequence_counter_resumes_after_load(self, tmp_path):
+        """New events after a load must not collide with loaded ones."""
+        path = tmp_path / "trace.jsonl"
+        build_trace().save_jsonl(path)
+        loaded = TraceCollector.load_jsonl(path)
+        loaded.on_reference(9, 0, 1, 1, 1, 0, MemoryLocation.LOCAL, True)
+        sequences = [e.sequence for e in loaded.events] + [
+            f.sequence for f in loaded.faults
+        ]
+        assert len(set(sequences)) == len(sequences)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        build_trace().save_jsonl(path)
+        padded = tmp_path / "padded.jsonl"
+        padded.write_text("\n" + path.read_text() + "\n\n")
+        loaded = TraceCollector.load_jsonl(padded)
+        assert len(loaded.events) == 3
+        assert len(loaded.faults) == 2
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"t": "mystery"}) + "\n")
+        with pytest.raises(ConfigurationError):
+            TraceCollector.load_jsonl(path)
+
+    def test_derived_views_identical_after_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = build_trace()
+        original.save_jsonl(path)
+        loaded = TraceCollector.load_jsonl(path)
+        assert loaded.local_fraction() == original.local_fraction()
+        assert (
+            loaded.page_summaries().keys()
+            == original.page_summaries().keys()
+        )

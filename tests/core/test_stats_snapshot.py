@@ -1,0 +1,90 @@
+"""NUMAStats.snapshot() and .diff(): the sampler's building blocks."""
+
+from dataclasses import fields
+
+from repro.core.state import AccessKind
+from repro.core.stats import NUMAStats
+
+
+def filled_stats():
+    stats = NUMAStats()
+    stats.faults[AccessKind.READ] = 10
+    stats.faults[AccessKind.WRITE] = 4
+    stats.zero_fills = 3
+    stats.copies_to_local = 7
+    stats.syncs = 2
+    stats.moves = 5
+    stats.pages_freed = 1
+    return stats
+
+
+class TestSnapshot:
+    def test_snapshot_equals_original(self):
+        stats = filled_stats()
+        snap = stats.snapshot()
+        assert snap.as_dict() == stats.as_dict()
+
+    def test_snapshot_is_independent(self):
+        stats = filled_stats()
+        snap = stats.snapshot()
+        stats.moves += 100
+        stats.faults[AccessKind.READ] += 1
+        assert snap.moves == 5
+        assert snap.faults[AccessKind.READ] == 10
+
+    def test_snapshot_covers_every_field(self):
+        """A field added to NUMAStats must flow through snapshot()."""
+        stats = NUMAStats()
+        for index, spec in enumerate(fields(stats)):
+            if spec.name == "faults":
+                continue
+            setattr(stats, spec.name, index + 1)
+        snap = stats.snapshot()
+        for index, spec in enumerate(fields(stats)):
+            if spec.name == "faults":
+                continue
+            assert getattr(snap, spec.name) == index + 1, spec.name
+
+
+class TestDiff:
+    def test_diff_subtracts_per_field(self):
+        earlier = filled_stats()
+        later = earlier.snapshot()
+        later.moves += 3
+        later.syncs += 1
+        later.faults[AccessKind.WRITE] += 2
+        delta = later.diff(earlier)
+        assert delta.moves == 3
+        assert delta.syncs == 1
+        assert delta.faults[AccessKind.WRITE] == 2
+        assert delta.faults[AccessKind.READ] == 0
+        assert delta.zero_fills == 0
+
+    def test_diff_leaves_operands_untouched(self):
+        earlier = filled_stats()
+        later = earlier.snapshot()
+        later.moves += 3
+        later.diff(earlier)
+        assert earlier.moves == 5
+        assert later.moves == 8
+
+    def test_diff_against_fresh_stats_is_identity(self):
+        stats = filled_stats()
+        delta = stats.diff(NUMAStats())
+        assert delta.as_dict() == stats.as_dict()
+
+    def test_reversed_diff_goes_negative(self):
+        """Sign is preserved so an operand mix-up is visible."""
+        earlier = filled_stats()
+        later = earlier.snapshot()
+        later.moves += 3
+        assert earlier.diff(later).moves == -3
+
+    def test_diff_total_helpers(self):
+        earlier = filled_stats()
+        later = earlier.snapshot()
+        later.faults[AccessKind.READ] += 5
+        later.copies_to_local += 2
+        delta = later.diff(earlier)
+        assert delta.total_faults() == 5
+        assert delta.total_page_copies() == 2

@@ -1,0 +1,114 @@
+"""JSONL/CSV exporters, the human summary, and the CLI sink."""
+
+import json
+
+from repro.obs.exporters import (
+    JsonSink,
+    human_summary,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+
+
+def sample_record(round_index=10, moves=3):
+    return {
+        "t": "sample",
+        "round": round_index,
+        "window": 10,
+        "delta": {"moves": moves, "syncs": 1},
+        "total": {"moves": moves, "syncs": 1},
+        "pool_live": 4,
+        "pool_capacity": 64,
+        "pool_pending": 0,
+        "directory_pages": 4,
+        "pinned_pages": 0,
+        "user_us": 100.0,
+        "system_us": 50.0,
+        "per_cpu_user_us": [60.0, 40.0],
+        "local_hit": 0.5,
+        "per_cpu_local_hit": [0.25, 0.75],
+    }
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [{"t": "meta", "workload": "X"}, sample_record()]
+        assert write_jsonl(records, path) == 2
+        assert read_jsonl(path) == records
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl([], path) == 0
+        assert read_jsonl(path) == []
+
+
+class TestCsv:
+    def test_nested_fields_flattened(self, tmp_path):
+        path = tmp_path / "t.csv"
+        assert write_csv([sample_record()], path) == 1
+        header, row = path.read_text().strip().splitlines()
+        assert "delta.moves" in header
+        assert "per_cpu_user_us.0" in header
+        columns = dict(zip(header.split(","), row.split(",")))
+        assert columns["delta.moves"] == "3"
+        assert columns["per_cpu_local_hit.1"] == "0.75"
+
+    def test_explicit_columns_respected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv([sample_record()], path, columns=["round", "local_hit"])
+        assert path.read_text().splitlines()[0] == "round,local_hit"
+
+
+class TestHumanSummary:
+    def test_renders_all_record_kinds(self):
+        records = [
+            {"t": "meta", "workload": "ParMult"},
+            sample_record(),
+            {"t": "counter", "name": "references", "value": 12},
+            {"t": "gauge", "name": "cpu0_local_hit", "value": 0.667},
+            {"t": "gauge", "name": "cpu1_local_hit", "value": None},
+            {
+                "t": "histogram",
+                "name": "fault_latency_us",
+                "bounds": [10, 100],
+                "counts": [1, 2, 0],
+                "total": 3,
+                "sum": 120.0,
+                "min": 5.0,
+                "max": 90.0,
+                "mean": 40.0,
+            },
+            {
+                "t": "phase",
+                "name": "fault_handling",
+                "calls": 3,
+                "total_s": 0.001,
+                "mean_s": 0.00033,
+                "max_s": 0.0005,
+            },
+        ]
+        text = human_summary(records)
+        assert "workload=ParMult" in text
+        assert "1 samples" in text
+        assert "references" in text
+        assert "cpu0_local_hit" in text and "na" in text
+        assert "fault_latency_us" in text
+        assert "fault_handling" in text
+
+    def test_empty_records(self):
+        assert human_summary([]) == ""
+
+
+class TestJsonSink:
+    def test_collects_and_writes(self, tmp_path):
+        sink = JsonSink()
+        sink.add({"t": "meta", "command": "x"})
+        sink.extend([{"t": "row", "v": 1}, {"t": "row", "v": 2}])
+        assert len(sink) == 3
+        path = tmp_path / "sink.jsonl"
+        assert sink.write(path) == 3
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["command"] == "x"
+        assert [l.get("v") for l in lines[1:]] == [1, 2]

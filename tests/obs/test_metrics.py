@@ -1,0 +1,126 @@
+"""Counters, gauges, fixed-bucket histograms, and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ConfigurationError):
+            Counter("x").inc(-1)
+
+    def test_record(self):
+        counter = Counter("faults")
+        counter.inc(2)
+        assert counter.as_record() == {
+            "t": "counter",
+            "name": "faults",
+            "value": 2,
+        }
+
+
+class TestGauge:
+    def test_set_and_clear(self):
+        gauge = Gauge("alpha")
+        assert gauge.value is None
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+        gauge.set(None)
+        assert gauge.value is None
+
+
+class TestHistogram:
+    def test_observations_land_in_inclusive_buckets(self):
+        histogram = Histogram("h", [10, 20, 50])
+        for value in (5, 10, 11, 20, 49, 50):
+            histogram.observe(value)
+        assert histogram.counts == [2, 2, 2, 0]
+
+    def test_overflow_bucket(self):
+        histogram = Histogram("h", [10])
+        histogram.observe(11)
+        histogram.observe(1000)
+        assert histogram.counts == [0, 2]
+
+    def test_summary_statistics(self):
+        histogram = Histogram("h", [100])
+        for value in (10, 20, 30):
+            histogram.observe(value)
+        assert histogram.total == 3
+        assert histogram.min == 10
+        assert histogram.max == 30
+        assert histogram.mean == pytest.approx(20)
+
+    def test_empty_mean_is_none(self):
+        assert Histogram("h", [1]).mean is None
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", [])
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", [10, 5])
+        with pytest.raises(ConfigurationError):
+            Histogram("h", [5, 5])
+
+    def test_record_round_trips_counts(self):
+        histogram = Histogram("h", [1, 2])
+        histogram.observe(0)
+        histogram.observe(3)
+        record = histogram.as_record()
+        assert record["bounds"] == [1, 2]
+        assert record["counts"] == [1, 0, 1]
+        assert record["total"] == 2
+
+    def test_format_mentions_every_bucket(self):
+        histogram = Histogram("lat", [10, 100])
+        histogram.observe(7)
+        text = histogram.format()
+        assert "<= 10" in text and "<= 100" in text and "> 100" in text
+
+
+class TestRegistry:
+    def test_instruments_created_once_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        first = registry.histogram("h", [1, 2])
+        assert registry.histogram("h") is first
+
+    def test_histogram_requires_bounds_on_creation(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("missing")
+
+    def test_histogram_bounds_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", [1, 2])
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", [3, 4])
+
+    def test_as_records_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h", [1]).observe(0)
+        records = registry.as_records()
+        kinds = [record["t"] for record in records]
+        assert kinds == ["counter", "counter", "gauge", "histogram"]
+        assert [r["name"] for r in records[:2]] == ["a", "b"]
+
+    def test_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(0.5)
+        flat = registry.as_dict()
+        assert flat["c"] == 3
+        assert flat["g"] == 0.5

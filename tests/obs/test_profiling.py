@@ -1,0 +1,57 @@
+"""Wall-clock phase profiling."""
+
+import pytest
+
+from repro.obs.profiling import PhaseProfiler, PhaseStat
+
+
+class TestPhaseStat:
+    def test_mean_of_empty_phase_is_zero(self):
+        assert PhaseStat("x").mean_s == 0.0
+
+    def test_record_shape(self):
+        stat = PhaseStat("fault", calls=2, total_s=4.0, max_s=3.0)
+        record = stat.as_record()
+        assert record["t"] == "phase"
+        assert record["mean_s"] == pytest.approx(2.0)
+
+
+class TestPhaseProfiler:
+    def test_add_accumulates_calls_total_max(self):
+        profiler = PhaseProfiler()
+        profiler.add("fault", 0.5)
+        profiler.add("fault", 1.5)
+        stat = profiler.phase("fault")
+        assert stat.calls == 2
+        assert stat.total_s == pytest.approx(2.0)
+        assert stat.max_s == pytest.approx(1.5)
+        assert stat.mean_s == pytest.approx(1.0)
+
+    def test_span_measures_elapsed_time(self):
+        profiler = PhaseProfiler()
+        with profiler.span("work"):
+            sum(range(1000))
+        stat = profiler.phase("work")
+        assert stat.calls == 1
+        assert stat.total_s > 0
+
+    def test_span_charges_on_exception(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.span("boom"):
+                raise RuntimeError("x")
+        assert profiler.phase("boom").calls == 1
+
+    def test_phases_sorted_most_expensive_first(self):
+        profiler = PhaseProfiler()
+        profiler.add("cheap", 0.1)
+        profiler.add("expensive", 5.0)
+        assert [s.name for s in profiler.phases] == ["expensive", "cheap"]
+        records = profiler.as_records()
+        assert records[0]["name"] == "expensive"
+
+    def test_format_handles_empty_and_filled(self):
+        profiler = PhaseProfiler()
+        assert "no phases" in profiler.format()
+        profiler.add("tick", 0.001)
+        assert "tick" in profiler.format()

@@ -1,0 +1,142 @@
+"""Engine observation: the event bus and the legacy ``observer=`` kwarg."""
+
+from repro.analysis.tracing import TraceCollector
+from repro.obs.events import EventBus
+from repro.sim.engine import Engine
+from repro.sim.ops import Compute, MemBlock
+from repro.threads.cthreads import CThread
+from repro.threads.scheduler import AffinityScheduler
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+
+def run_engine(rig, bodies, **kwargs):
+    engine = Engine(
+        rig.machine,
+        rig.faults,
+        AffinityScheduler(rig.machine.n_cpus),
+        **kwargs,
+    )
+    threads = [
+        CThread(name=f"t{i}", index=i, body=body)
+        for i, body in enumerate(bodies)
+    ]
+    engine.run(threads)
+    return engine
+
+
+class RoundWatcher:
+    def __init__(self):
+        self.rounds = []
+        self.run_end = None
+
+    def on_round_end(self, round_index):
+        self.rounds.append(round_index)
+
+    def on_run_end(self, rounds):
+        self.run_end = rounds
+
+
+class TestLegacyObserverCompat:
+    """The deprecated single ``observer=`` kwarg keeps working via the bus."""
+
+    def test_legacy_observer_still_sees_references_and_faults(self):
+        rig = make_rig()
+        region = rig.space.map_object(shared_object("d", 1))
+        trace = TraceCollector()
+        run_engine(
+            rig,
+            [iter([MemBlock(region.vpage_at(0), reads=4, writes=2)])],
+            observer=trace,
+        )
+        assert len(trace.events) == 2  # one read block, one write block
+        assert len(trace.faults) >= 1
+        assert trace.events[0].reads == 4
+
+    def test_legacy_observer_lands_on_the_bus(self):
+        rig = make_rig()
+        trace = TraceCollector()
+        engine = run_engine(rig, [iter([Compute(1.0)])], observer=trace)
+        assert trace in engine.bus.observers
+
+    def test_legacy_observer_composes_with_bus_subscribers(self):
+        rig = make_rig()
+        region = rig.space.map_object(shared_object("d", 1))
+        legacy = TraceCollector()
+        second = TraceCollector()
+        engine = Engine(
+            rig.machine,
+            rig.faults,
+            AffinityScheduler(rig.machine.n_cpus),
+            observer=legacy,
+        )
+        engine.add_observer(second)
+        threads = [
+            CThread(
+                name="t0",
+                index=0,
+                body=iter([MemBlock(region.vpage_at(0), reads=3)]),
+            )
+        ]
+        engine.run(threads)
+        assert len(legacy.events) == len(second.events) == 1
+        assert legacy.events[0].reads == second.events[0].reads == 3
+
+
+class TestBusEvents:
+    def test_round_end_emitted_per_round(self):
+        rig = make_rig()
+        watcher = RoundWatcher()
+        engine = run_engine(
+            rig,
+            [iter([Compute(1.0), Compute(1.0)])],
+            bus=EventBus([watcher]),
+        )
+        assert watcher.rounds == list(range(engine.rounds))
+
+    def test_run_end_reports_round_count(self):
+        rig = make_rig()
+        watcher = RoundWatcher()
+        engine = run_engine(
+            rig, [iter([Compute(1.0)])], bus=EventBus([watcher])
+        )
+        assert watcher.run_end == engine.rounds
+
+    def test_run_end_emitted_for_empty_thread_list(self):
+        rig = make_rig()
+        watcher = RoundWatcher()
+        engine = Engine(
+            rig.machine,
+            rig.faults,
+            AffinityScheduler(rig.machine.n_cpus),
+            bus=EventBus([watcher]),
+        )
+        assert engine.run([]) == 0
+        assert watcher.run_end == 0
+
+    def test_fault_resolved_carries_simulated_latency(self):
+        rig = make_rig()
+
+        class LatencyWatcher:
+            def __init__(self):
+                self.latencies = []
+
+            def on_fault_resolved(
+                self, round_index, cpu, vpage, kind, system_us
+            ):
+                self.latencies.append(system_us)
+
+        watcher = LatencyWatcher()
+        region = rig.space.map_object(shared_object("d", 1))
+        run_engine(
+            rig,
+            [iter([MemBlock(region.vpage_at(0), reads=1)])],
+            bus=EventBus([watcher]),
+        )
+        assert watcher.latencies, "first touch must fault"
+        assert all(latency > 0 for latency in watcher.latencies)
+
+    def test_unobserved_run_has_empty_bus(self):
+        rig = make_rig()
+        engine = run_engine(rig, [iter([Compute(1.0)])])
+        assert len(engine.bus) == 0

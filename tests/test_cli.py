@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -34,6 +36,21 @@ class TestParser:
         ):
             args = parser.parse_args([command])
             assert callable(args.func)
+
+    def test_global_options_accepted_after_the_command(self):
+        args = build_parser().parse_args(
+            ["table3", "--quick", "--processors", "3", "--json", "o.jsonl"]
+        )
+        assert args.quick
+        assert args.processors == 3
+        assert args.json == "o.jsonl"
+
+    def test_metrics_command_options(self):
+        args = build_parser().parse_args(
+            ["metrics", "parmult", "--quick", "--sample-interval", "8"]
+        )
+        assert args.workload == "parmult"
+        assert args.sample_interval == 8
 
 
 class TestCommands:
@@ -81,3 +98,88 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "threshold sweep" in out
+
+
+class TestMetricsCommand:
+    def test_metrics_prints_summary(self, capsys):
+        assert main(["metrics", "parmult", "--quick", "--processors", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "workload=ParMult" in out
+        assert "time series:" in out
+        assert "fault_latency_us" in out
+        assert "phase profile" in out
+
+    def test_metrics_unknown_workload_fails_loudly(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="nosuch"):
+            main(["metrics", "nosuch", "--quick"])
+
+    def test_metrics_json_export(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        assert (
+            main(
+                [
+                    "metrics",
+                    "parmult",
+                    "--quick",
+                    "--processors",
+                    "3",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        kinds = {record["t"] for record in records}
+        # The acceptance contract: time series + histograms + profile.
+        assert {"meta", "sample", "counter", "histogram", "phase"} <= kinds
+        meta = records[0]
+        assert meta["workload"] == "ParMult"
+        samples = [r for r in records if r["t"] == "sample"]
+        assert samples[-1]["round"] == meta["rounds"] - 1
+
+
+class TestJsonFlag:
+    def test_table3_json_rows(self, tmp_path, capsys):
+        path = tmp_path / "t3.jsonl"
+        assert (
+            main(
+                ["--quick", "--processors", "3", "table3", "--json", str(path)]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(records) == 8  # one row per Table 3 application
+        assert all(r["t"] == "evaluation_row" for r in records)
+        by_app = {r["application"]: r for r in records}
+        assert "ParMult" in by_app and "PlyTrace" in by_app
+        row = by_app["IMatMult"]
+        assert row["t_numa_s"] > 0
+        assert "moves" in row["stats"]
+
+    def test_latency_json(self, tmp_path, capsys):
+        path = tmp_path / "lat.jsonl"
+        assert main(["latency", "--json", str(path)]) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert all(r["t"] == "latency" for r in records)
+        assert any(r["paper"] == 0.65 for r in records)
+
+    def test_unstructured_command_writes_marker(self, tmp_path, capsys):
+        path = tmp_path / "t12.jsonl"
+        assert main(["tables12", "--json", str(path)]) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records == [{"t": "meta", "command": "tables12"}]
+
+    def test_no_json_flag_writes_nothing(self, tmp_path, capsys):
+        assert main(["latency"]) == 0
+        assert list(tmp_path.iterdir()) == []
