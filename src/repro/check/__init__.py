@@ -1,0 +1,54 @@
+"""Static analysis and model checking for the coherence state machine.
+
+Three layers of correctness tooling, all runnable from the CLI and CI:
+
+* :mod:`repro.check.lint` — ``repro-numa lint``: custom AST rules over
+  the source tree (no wall-clock time in simulated-time code, no
+  ``PageState`` assignment outside the transition funnel, no bare
+  ``except:``, no mutable default arguments, transitions must be
+  announced on the event bus), with per-rule suppression comments and
+  stable exit codes for CI.
+* :mod:`repro.check.modelcheck` — ``repro-numa modelcheck``: the
+  paper's Tables 1-2, independently transcribed, cross-checked cell by
+  cell against the live :mod:`repro.core.transitions` encoding, plus an
+  exhaustive reachability exploration of the abstract protocol state
+  space that re-validates the directory invariants on every reachable
+  configuration and flags dead table cells.
+* :mod:`repro.check.sanitizer` — an opt-in (``REPRO_SANITIZE=1``)
+  event-bus observer that re-validates directory invariants,
+  move-count monotonicity, pin-stays-pinned, and spin-lock ordering
+  (:mod:`repro.check.lockorder`) after every protocol event, raising a
+  structured :class:`~repro.errors.ProtocolViolation` carrying the
+  offending event trail.
+"""
+
+from repro.check.lint import (
+    DEFAULT_RULES,
+    LintReport,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from repro.check.lockorder import LockOrderChecker
+from repro.check.modelcheck import ModelCheckReport, run_model_check
+from repro.check.sanitizer import (
+    ProtocolSanitizer,
+    attach_sanitizer,
+    maybe_attach_sanitizer,
+    sanitizer_enabled,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "LintReport",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "LockOrderChecker",
+    "ModelCheckReport",
+    "run_model_check",
+    "ProtocolSanitizer",
+    "attach_sanitizer",
+    "maybe_attach_sanitizer",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,484 @@
+"""``repro-numa lint``: custom AST rules for the NUMA reproduction.
+
+The rules encode repo-specific correctness conventions that generic
+linters cannot know:
+
+``no-wall-clock`` (RN001)
+    No wall-clock time sources (``time.time``, ``time.perf_counter``,
+    ``time.monotonic``, ``datetime.now``, ...) inside ``sim/``,
+    ``core/``, or ``vm/``: those layers run on *simulated* time, and a
+    wall-clock read there silently couples results to host speed.
+    ``obs/profiling.py`` is the allowlisted home for wall-clock spans.
+``state-assign`` (RN002)
+    No direct :class:`~repro.core.state.PageState` assignment outside
+    ``core/transitions.py`` and ``core/numa_manager.py``; every state
+    change must funnel through ``NUMAManager._transition`` so it is
+    announced on the event bus.
+``bare-except`` (RN003)
+    No bare ``except:`` anywhere — it swallows ``KeyboardInterrupt``
+    and protocol bugs alike.
+``mutable-default`` (RN004)
+    No mutable default arguments (``[]``, ``{}``, ``set()``, ...).
+``transition-event`` (RN005)
+    Inside the modules allowed to assign page state, any function that
+    assigns a ``.state`` attribute must also call ``emit_transition``
+    (directly or through the transition funnel), so no transition can
+    bypass the bus.
+
+Suppression: append ``# repro-lint: allow[rule-name]`` to the offending
+line, or put ``# repro-lint: allow-file[rule-name]`` on its own line
+anywhere in the file to suppress a rule file-wide (used sparingly, with
+a justification comment).  Rule ids (``RN001``) work as well as names.
+
+Output reuses the telemetry exporter idioms: human lines to stdout and
+flat ``{"t": "lint", ...}`` records for ``--json``.  Exit codes are
+stable for CI: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Directories (relative to the ``repro`` package) that run on simulated
+#: time only.
+SIMULATED_TIME_DIRS: Tuple[str, ...] = ("sim", "core", "vm")
+
+#: Files allowed to read the wall clock no matter what (the profiler).
+WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = ("obs/profiling.py",)
+
+#: Files allowed to assign ``PageState`` to a directory entry.
+STATE_ASSIGN_ALLOWLIST: Tuple[str, ...] = (
+    "core/transitions.py",
+    "core/numa_manager.py",
+)
+
+_ALLOW_LINE_RE = re.compile(r"#\s*repro-lint:\s*allow\[([^\]]+)\]")
+_ALLOW_FILE_RE = re.compile(r"#\s*repro-lint:\s*allow-file\[([^\]]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding at a specific source location."""
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """The human-readable one-liner, editor-clickable."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id}[{self.rule_name}] {self.message}"
+        )
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat record for the JSONL exporters."""
+        return {
+            "t": "lint",
+            "rule_id": self.rule_id,
+            "rule": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class: subclasses define ``id``/``name`` and yield findings."""
+
+    id = "RN000"
+    name = "abstract"
+    description = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule scans the file at *relpath* at all."""
+        return True
+
+    def check(
+        self, tree: ast.AST, relpath: str
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield ``(line, col, message)`` findings for one module."""
+        raise NotImplementedError
+
+    def violation(
+        self, relpath: str, line: int, col: int, message: str
+    ) -> Violation:
+        """Package one finding."""
+        return Violation(self.id, self.name, relpath, line, col, message)
+
+
+#: Wall-clock attribute reads: ``<module>.<attr>``.
+_WALL_CLOCK_ATTRS: Dict[str, Set[str]] = {
+    "time": {"time", "perf_counter", "monotonic", "process_time", "clock"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: Wall-clock names importable from :mod:`time`.
+_WALL_CLOCK_TIME_NAMES: Set[str] = {
+    "time",
+    "perf_counter",
+    "monotonic",
+    "process_time",
+}
+
+
+class NoWallClockRule(Rule):
+    """RN001: simulated-time layers must not read the wall clock."""
+
+    id = "RN001"
+    name = "no-wall-clock"
+    description = (
+        "no time.time/perf_counter/monotonic/datetime.now inside "
+        + "/".join(SIMULATED_TIME_DIRS)
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath in WALL_CLOCK_ALLOWLIST:
+            return False
+        return relpath.startswith(
+            tuple(f"{d}/" for d in SIMULATED_TIME_DIRS)
+        )
+
+    def check(self, tree, relpath):
+        imported_clocks: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_TIME_NAMES:
+                        imported_clocks.add(alias.asname or alias.name)
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            f"import of wall-clock 'time.{alias.name}' in "
+                            "simulated-time code",
+                        )
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and node.attr in _WALL_CLOCK_ATTRS.get(base.id, ())
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"wall-clock read '{base.id}.{node.attr}' in "
+                        "simulated-time code",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in imported_clocks
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"wall-clock call '{func.id}()' in simulated-time "
+                        "code",
+                    )
+
+
+class StateAssignRule(Rule):
+    """RN002: PageState assignment only in the transition funnel."""
+
+    id = "RN002"
+    name = "state-assign"
+    description = (
+        "direct PageState assignment allowed only in "
+        + ", ".join(STATE_ASSIGN_ALLOWLIST)
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath not in STATE_ASSIGN_ALLOWLIST
+
+    def check(self, tree, relpath):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            mentions_page_state = any(
+                isinstance(sub, ast.Name) and sub.id == "PageState"
+                for sub in ast.walk(node.value)
+            )
+            if not mentions_page_state:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"direct PageState assignment to "
+                        f"'.{target.attr}'; route through "
+                        "NUMAManager._transition so the event bus sees it",
+                    )
+                    break
+
+
+class BareExceptRule(Rule):
+    """RN003: no bare ``except:`` clauses."""
+
+    id = "RN003"
+    name = "bare-except"
+    description = "bare 'except:' swallows KeyboardInterrupt and bugs"
+
+    def check(self, tree, relpath):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "bare 'except:'; name the exceptions you mean",
+                )
+
+
+class MutableDefaultRule(Rule):
+    """RN004: no mutable default arguments."""
+
+    id = "RN004"
+    name = "mutable-default"
+    description = "list/dict/set defaults are shared across calls"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque"}
+
+    def check(self, tree, relpath):
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self._MUTABLE_CALLS
+                ):
+                    yield (
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in '{node.name}()'",
+                    )
+
+
+class TransitionEventRule(Rule):
+    """RN005: state-assigning functions must emit a transition event."""
+
+    id = "RN005"
+    name = "transition-event"
+    description = (
+        "every function assigning '.state' in the transition-funnel "
+        "modules must call emit_transition"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath in STATE_ASSIGN_ALLOWLIST
+
+    def check(self, tree, relpath):
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            assigns = [
+                sub
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Assign)
+                and any(
+                    isinstance(t, ast.Attribute) and t.attr == "state"
+                    for t in sub.targets
+                )
+            ]
+            if not assigns:
+                continue
+            emits = any(
+                isinstance(sub, ast.Call)
+                and (
+                    (
+                        isinstance(sub.func, ast.Attribute)
+                        and "emit_transition" in sub.func.attr
+                    )
+                    or (
+                        isinstance(sub.func, ast.Name)
+                        and "emit_transition" in sub.func.id
+                    )
+                )
+                for sub in ast.walk(node)
+            )
+            if not emits:
+                first = assigns[0]
+                yield (
+                    first.lineno,
+                    first.col_offset,
+                    f"'{node.name}()' assigns '.state' without emitting a "
+                    "transition event; use NUMAManager._transition",
+                )
+
+
+#: The rules ``repro-numa lint`` runs, in report order.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    NoWallClockRule(),
+    StateAssignRule(),
+    BareExceptRule(),
+    MutableDefaultRule(),
+    TransitionEventRule(),
+)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: List[Violation]
+    suppressed: int
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found nothing."""
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        """Stable CI exit code: 0 clean, 1 violations."""
+        return 0 if self.ok else 1
+
+    def format(self) -> str:
+        """Human-readable report."""
+        lines = [v.format() for v in self.violations]
+        summary = (
+            f"checked {self.files_checked} files: "
+            f"{len(self.violations)} violation(s), "
+            f"{self.suppressed} suppressed"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """Flat records (one per violation plus a summary) for JSONL."""
+        records: List[Dict[str, object]] = [
+            v.as_record() for v in self.violations
+        ]
+        records.append(
+            {
+                "t": "lint_summary",
+                "files_checked": self.files_checked,
+                "violations": len(self.violations),
+                "suppressed": self.suppressed,
+            }
+        )
+        return records
+
+
+def _suppressions(
+    source_lines: Sequence[str],
+) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """File-wide and per-line suppressed rule names/ids."""
+    file_wide: Set[str] = set()
+    per_line: Dict[int, Set[str]] = {}
+    for index, text in enumerate(source_lines, start=1):
+        match = _ALLOW_FILE_RE.search(text)
+        if match:
+            file_wide.update(
+                part.strip() for part in match.group(1).split(",")
+            )
+        match = _ALLOW_LINE_RE.search(text)
+        if match:
+            per_line[index] = {
+                part.strip() for part in match.group(1).split(",")
+            }
+    return file_wide, per_line
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+) -> Tuple[List[Violation], int]:
+    """Lint one module's source; returns (violations, suppressed_count).
+
+    *relpath* is the path relative to the ``repro`` package root in
+    POSIX form (e.g. ``"sim/engine.py"``); the directory-scoped rules
+    key off it.
+    """
+    tree = ast.parse(source, filename=relpath)
+    source_lines = source.splitlines()
+    file_wide, per_line = _suppressions(source_lines)
+    violations: List[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        wide = rule.name in file_wide or rule.id in file_wide
+        for line, col, message in rule.check(tree, relpath):
+            allowed = per_line.get(line, ())
+            if wide or rule.name in allowed or rule.id in allowed:
+                suppressed += 1
+                continue
+            violations.append(rule.violation(relpath, line, col, message))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations, suppressed
+
+
+def package_root() -> pathlib.Path:
+    """The installed ``repro`` package directory (default lint target)."""
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def iter_python_files(root: pathlib.Path) -> Iterator[pathlib.Path]:
+    """All ``.py`` files under *root*, sorted for deterministic output."""
+    yield from sorted(root.rglob("*.py"))
+
+
+def lint_paths(
+    paths: Optional[Sequence[pathlib.Path]] = None,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+    root: Optional[pathlib.Path] = None,
+) -> LintReport:
+    """Lint files or directory trees; defaults to the whole package.
+
+    *root* anchors the rule-scoping relative paths; it defaults to the
+    ``repro`` package directory, so rule scopes like ``sim/`` match
+    regardless of where the repo is checked out.
+    """
+    if root is None:
+        root = package_root()
+    if paths is None:
+        paths = [root]
+    files: List[pathlib.Path] = []
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.extend(iter_python_files(path))
+        else:
+            files.append(path)
+    violations: List[Violation] = []
+    suppressed = 0
+    for file_path in files:
+        try:
+            relpath = file_path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            relpath = file_path.as_posix()
+        found, skipped = lint_source(
+            file_path.read_text(encoding="utf-8"), relpath, rules
+        )
+        violations.extend(found)
+        suppressed += skipped
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return LintReport(
+        violations=violations,
+        suppressed=suppressed,
+        files_checked=len(files),
+    )

@@ -1,0 +1,429 @@
+"""Model-check the coherence tables against an independent transcription.
+
+Three layers of checking, all exhaustive over the (tiny, finite)
+protocol state space:
+
+1. **Transcription cross-check** — the paper's Tables 1 and 2 are
+   transcribed here *as printed* (:data:`PAPER_TABLE_1`,
+   :data:`PAPER_TABLE_2`: three text lines per cell) and every cell is
+   compared against what the live
+   :func:`repro.core.transitions.lookup` returns.  The benchmark
+   renders the tables *from* the code; this module checks the code
+   *against* the paper, closing the loop.
+2. **Totality and semantic cell checks** — every
+   ``(AccessKind, PlacementDecision, StateKey)`` triple must resolve to
+   a cell (no ``KeyError``), :func:`~repro.core.transitions.classify_state`
+   must classify every ``(PageState, owner-relation)`` or raise a
+   deliberate :class:`~repro.errors.ProtocolError` (never ``KeyError``),
+   and each cell must satisfy the structural rules implied by the
+   protocol (a ``GLOBAL`` decision ends ``GLOBAL_WRITABLE`` with no
+   local copy, leaving ``LOCAL_WRITABLE`` always syncs, ...).
+3. **Reachability** — abstract configurations ``(state, owner,
+   copy-holders)`` are explored exhaustively from the ``UNTOUCHED``
+   start for a small processor count; every reached configuration must
+   satisfy the directory invariants, and every table cell must be
+   exercised by some reachable configuration (a cell no walk can reach
+   is a dead transition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.state import AccessKind, PageState, PlacementDecision
+from repro.core.transitions import (
+    Cleanup,
+    StateKey,
+    classify_state,
+    first_touch_spec,
+    lookup,
+)
+from repro.errors import ProtocolError
+
+#: Table 1 of the paper ("NUMA Manager Actions for Read Requests"),
+#: transcribed cell by cell as printed: (cleanup line, copy line, new
+#: state line).  Deliberately *not* derived from ActionSpec.describe();
+#: an error in the declarative encoding must show up as a mismatch here.
+PAPER_TABLE_1: Dict[Tuple[PlacementDecision, StateKey], Tuple[str, str, str]] = {
+    (PlacementDecision.LOCAL, StateKey.READ_ONLY):
+        ("no action", "copy to local", "read-only"),
+    (PlacementDecision.LOCAL, StateKey.GLOBAL_WRITABLE):
+        ("unmap all", "copy to local", "read-only"),
+    (PlacementDecision.LOCAL, StateKey.LOCAL_WRITABLE_OWN):
+        ("no action", "-", "local-writable"),
+    (PlacementDecision.LOCAL, StateKey.LOCAL_WRITABLE_OTHER):
+        ("sync&flush other", "copy to local", "read-only"),
+    (PlacementDecision.GLOBAL, StateKey.READ_ONLY):
+        ("flush all", "-", "global-writable"),
+    (PlacementDecision.GLOBAL, StateKey.GLOBAL_WRITABLE):
+        ("no action", "-", "global-writable"),
+    (PlacementDecision.GLOBAL, StateKey.LOCAL_WRITABLE_OWN):
+        ("sync&flush own", "-", "global-writable"),
+    (PlacementDecision.GLOBAL, StateKey.LOCAL_WRITABLE_OTHER):
+        ("sync&flush other", "-", "global-writable"),
+}
+
+#: Table 2 ("... for Write Requests"), same shape.
+PAPER_TABLE_2: Dict[Tuple[PlacementDecision, StateKey], Tuple[str, str, str]] = {
+    (PlacementDecision.LOCAL, StateKey.READ_ONLY):
+        ("flush other", "copy to local", "local-writable"),
+    (PlacementDecision.LOCAL, StateKey.GLOBAL_WRITABLE):
+        ("unmap all", "copy to local", "local-writable"),
+    (PlacementDecision.LOCAL, StateKey.LOCAL_WRITABLE_OWN):
+        ("no action", "-", "local-writable"),
+    (PlacementDecision.LOCAL, StateKey.LOCAL_WRITABLE_OTHER):
+        ("sync&flush other", "copy to local", "local-writable"),
+    (PlacementDecision.GLOBAL, StateKey.READ_ONLY):
+        ("flush all", "-", "global-writable"),
+    (PlacementDecision.GLOBAL, StateKey.GLOBAL_WRITABLE):
+        ("no action", "-", "global-writable"),
+    (PlacementDecision.GLOBAL, StateKey.LOCAL_WRITABLE_OWN):
+        ("sync&flush own", "-", "global-writable"),
+    (PlacementDecision.GLOBAL, StateKey.LOCAL_WRITABLE_OTHER):
+        ("sync&flush other", "-", "global-writable"),
+}
+
+#: Abstract protocol configuration: (state, owner, copy holders).
+Config = Tuple[PageState, Optional[int], FrozenSet[int]]
+
+#: A table cell identifier for coverage accounting.
+CellKey = Tuple[str, PlacementDecision, StateKey]
+
+
+@dataclass
+class ModelCheckReport:
+    """Everything the model checker found (empty lists = all good)."""
+
+    mismatches: List[str] = field(default_factory=list)
+    totality_failures: List[str] = field(default_factory=list)
+    semantic_failures: List[str] = field(default_factory=list)
+    invariant_failures: List[str] = field(default_factory=list)
+    unreached_cells: List[str] = field(default_factory=list)
+    cells_checked: int = 0
+    n_configs: int = 0
+    n_cpus: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return not (
+            self.mismatches
+            or self.totality_failures
+            or self.semantic_failures
+            or self.invariant_failures
+            or self.unreached_cells
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """Stable CI exit code: 0 verified, 1 any failure."""
+        return 0 if self.ok else 1
+
+    def format(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "protocol model check (Tables 1-2 vs core/transitions.py):",
+            f"  table cells verified against the paper: "
+            f"{self.cells_checked}",
+            f"  reachable abstract configurations ({self.n_cpus} cpus): "
+            f"{self.n_configs}",
+        ]
+        sections = (
+            ("table mismatches", self.mismatches),
+            ("totality failures", self.totality_failures),
+            ("semantic failures", self.semantic_failures),
+            ("invariant failures", self.invariant_failures),
+            ("unreached table cells", self.unreached_cells),
+        )
+        for title, entries in sections:
+            if entries:
+                lines.append(f"  {title} ({len(entries)}):")
+                lines.extend(f"    - {entry}" for entry in entries)
+            else:
+                lines.append(f"  {title}: none")
+        lines.append("  VERDICT: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """Flat records for the JSONL exporters."""
+        records: List[Dict[str, object]] = []
+        for kind, entries in (
+            ("mismatch", self.mismatches),
+            ("totality", self.totality_failures),
+            ("semantic", self.semantic_failures),
+            ("invariant", self.invariant_failures),
+            ("unreached", self.unreached_cells),
+        ):
+            for entry in entries:
+                records.append(
+                    {"t": "modelcheck_failure", "kind": kind,
+                     "detail": entry}
+                )
+        records.append(
+            {
+                "t": "modelcheck_summary",
+                "ok": self.ok,
+                "cells_checked": self.cells_checked,
+                "n_configs": self.n_configs,
+                "n_cpus": self.n_cpus,
+            }
+        )
+        return records
+
+
+def _cell_name(kind: AccessKind, decision: PlacementDecision,
+               key: StateKey) -> str:
+    return f"{kind.value}/{decision.value}/{key.value}"
+
+
+def _check_transcription(report: ModelCheckReport) -> None:
+    """Layer 1: every live cell must match the paper transcription."""
+    for kind, paper in (
+        (AccessKind.READ, PAPER_TABLE_1),
+        (AccessKind.WRITE, PAPER_TABLE_2),
+    ):
+        for (decision, key), expected in paper.items():
+            name = _cell_name(kind, decision, key)
+            try:
+                spec = lookup(kind, decision, key)
+            except KeyError:
+                report.totality_failures.append(
+                    f"{name}: no cell in the live table"
+                )
+                continue
+            actual = spec.describe()
+            report.cells_checked += 1
+            if actual != expected:
+                report.mismatches.append(
+                    f"{name}: paper says {expected}, code says {actual}"
+                )
+
+
+def _check_totality(report: ModelCheckReport) -> None:
+    """Layer 2a: lookup/classify_state are total over their domains."""
+    for kind, decision, key in product(
+        AccessKind,
+        (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        StateKey,
+    ):
+        name = _cell_name(kind, decision, key)
+        try:
+            lookup(kind, decision, key)
+        except KeyError:
+            report.totality_failures.append(
+                f"{name}: lookup raised KeyError"
+            )
+    # classify_state: every (state, owner-relation) either classifies or
+    # raises the deliberate ProtocolError — never KeyError or similar.
+    for state, owner in product(PageState, (None, 0, 1)):
+        try:
+            classify_state(state, owner, cpu=0)
+        except ProtocolError:
+            deliberate = state is PageState.UNTOUCHED or (
+                state is PageState.LOCAL_WRITABLE and owner is None
+            )
+            if not deliberate:
+                report.totality_failures.append(
+                    f"classify_state({state.value}, owner={owner}) raised "
+                    "ProtocolError unexpectedly"
+                )
+        except Exception as error:  # noqa: BLE001 - the check's point
+            report.totality_failures.append(
+                f"classify_state({state.value}, owner={owner}) raised "
+                f"{type(error).__name__} (must be total or ProtocolError)"
+            )
+    # First touch must be defined for every (kind, decision) pair too.
+    for kind, decision in product(
+        AccessKind, (PlacementDecision.LOCAL, PlacementDecision.GLOBAL)
+    ):
+        try:
+            first_touch_spec(kind, decision)
+        except Exception as error:  # noqa: BLE001 - the check's point
+            report.totality_failures.append(
+                f"first_touch_spec({kind.value}, {decision.value}) raised "
+                f"{type(error).__name__}"
+            )
+
+
+def _check_cell_semantics(report: ModelCheckReport) -> None:
+    """Layer 2b: structural rules every cell must obey."""
+    for kind, decision, key in product(
+        AccessKind,
+        (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        StateKey,
+    ):
+        try:
+            spec = lookup(kind, decision, key)
+        except KeyError:
+            continue  # already reported by totality
+        name = _cell_name(kind, decision, key)
+        fail = report.semantic_failures.append
+        if decision is PlacementDecision.GLOBAL:
+            if spec.new_state is not PageState.GLOBAL_WRITABLE:
+                fail(f"{name}: GLOBAL decision must end GLOBAL_WRITABLE")
+            if spec.copy_to_local:
+                fail(f"{name}: GLOBAL decision must not copy to local")
+        if spec.new_state is PageState.LOCAL_WRITABLE:
+            if decision is not PlacementDecision.LOCAL:
+                fail(f"{name}: only a LOCAL decision may end "
+                     "LOCAL_WRITABLE")
+            if kind is AccessKind.READ and key is not (
+                StateKey.LOCAL_WRITABLE_OWN
+            ):
+                fail(f"{name}: a read may stay LOCAL_WRITABLE only on "
+                     "the owning processor")
+        # Leaving LOCAL_WRITABLE must sync the dirty copy back first.
+        if key is StateKey.LOCAL_WRITABLE_OTHER:
+            if spec.cleanup is not Cleanup.SYNC_FLUSH_OTHER:
+                fail(f"{name}: leaving another owner's LOCAL_WRITABLE "
+                     "page must sync&flush the owner")
+        if (
+            key is StateKey.LOCAL_WRITABLE_OWN
+            and spec.new_state is not PageState.LOCAL_WRITABLE
+            and spec.cleanup is not Cleanup.SYNC_FLUSH_OWN
+        ):
+            fail(f"{name}: demoting one's own LOCAL_WRITABLE page must "
+                 "sync&flush own")
+        # Sync cleanups only make sense where a dirty local copy exists.
+        if spec.cleanup in (
+            Cleanup.SYNC_FLUSH_OWN, Cleanup.SYNC_FLUSH_OTHER
+        ) and key in (StateKey.READ_ONLY, StateKey.GLOBAL_WRITABLE):
+            fail(f"{name}: sync cleanup on a state with no dirty copy")
+        # Non-sync flushes may only drop copies the global frame still
+        # covers, i.e. READ_ONLY replicas.
+        if spec.cleanup in (Cleanup.FLUSH_ALL, Cleanup.FLUSH_OTHER) and (
+            key is not StateKey.READ_ONLY
+        ):
+            fail(f"{name}: lossy flush outside READ_ONLY would drop "
+                 "dirty data")
+        if spec.cleanup is Cleanup.UNMAP_ALL and key is not (
+            StateKey.GLOBAL_WRITABLE
+        ):
+            fail(f"{name}: unmap-all cleanup only applies to "
+                 "GLOBAL_WRITABLE pages")
+
+
+def _apply_abstract(
+    config: Config, cpu: int, kind: AccessKind,
+    decision: PlacementDecision,
+) -> Tuple[Config, CellKey]:
+    """One abstract protocol step (the model of Tables 1-2 + first touch)."""
+    state, owner, copies = config
+    if state is PageState.UNTOUCHED:
+        spec = first_touch_spec(kind, decision)
+        cell: CellKey = ("first-touch", decision,
+                         StateKey.GLOBAL_WRITABLE)  # placeholder column
+    else:
+        key = classify_state(state, owner, cpu)
+        spec = lookup(kind, decision, key)
+        cell = (kind.value, decision, key)
+    if spec.cleanup is Cleanup.SYNC_FLUSH_OWN:
+        copies = copies - {cpu}
+    elif spec.cleanup is Cleanup.SYNC_FLUSH_OTHER:
+        copies = copies - ({owner} if owner is not None else set())
+    elif spec.cleanup is Cleanup.FLUSH_ALL:
+        copies = frozenset()
+    elif spec.cleanup is Cleanup.FLUSH_OTHER:
+        copies = copies & {cpu}
+    if spec.copy_to_local:
+        copies = copies | {cpu}
+    new_owner = cpu if spec.new_state is PageState.LOCAL_WRITABLE else None
+    return (spec.new_state, new_owner, frozenset(copies)), cell
+
+
+def _config_invariant(config: Config) -> Optional[str]:
+    """The directory invariant, restated over abstract configurations."""
+    state, owner, copies = config
+    if state is PageState.READ_ONLY:
+        if owner is not None:
+            return "READ_ONLY with an owner"
+        if not copies:
+            return "READ_ONLY with no copies"
+    elif state is PageState.LOCAL_WRITABLE:
+        if owner is None:
+            return "LOCAL_WRITABLE without owner"
+        if copies != frozenset({owner}):
+            return (
+                f"LOCAL_WRITABLE copies {sorted(copies)} != owner "
+                f"{{{owner}}}"
+            )
+    elif state is PageState.GLOBAL_WRITABLE:
+        if owner is not None:
+            return "GLOBAL_WRITABLE with an owner"
+        if copies:
+            return f"GLOBAL_WRITABLE with copies {sorted(copies)}"
+    elif state is PageState.UNTOUCHED:
+        if owner is not None or copies:
+            return "UNTOUCHED with cache state"
+    return None
+
+
+def _explore(report: ModelCheckReport, n_cpus: int) -> None:
+    """Layer 3: exhaustive reachability over abstract configurations."""
+    start: Config = (PageState.UNTOUCHED, None, frozenset())
+    seen: Set[Config] = {start}
+    frontier: List[Config] = [start]
+    exercised: Set[CellKey] = set()
+    while frontier:
+        config = frontier.pop()
+        for cpu, kind, decision in product(
+            range(n_cpus),
+            AccessKind,
+            (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        ):
+            try:
+                nxt, cell = _apply_abstract(config, cpu, kind, decision)
+            except (ProtocolError, KeyError) as error:
+                report.invariant_failures.append(
+                    f"step from {_config_name(config)} with cpu={cpu} "
+                    f"{kind.value}/{decision.value} raised "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
+            if cell[0] != "first-touch":
+                exercised.add(cell)
+            problem = _config_invariant(nxt)
+            if problem is not None:
+                report.invariant_failures.append(
+                    f"{_config_name(config)} --cpu{cpu} "
+                    f"{kind.value}/{decision.value}--> "
+                    f"{_config_name(nxt)}: {problem}"
+                )
+                continue
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    report.n_configs = len(seen)
+    # Every table cell must be reachable — a cell no walk exercises is
+    # a dead transition (or the reachable space shrank by mistake).
+    for kind, decision, key in product(
+        AccessKind,
+        (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        StateKey,
+    ):
+        if (kind.value, decision, key) not in exercised:
+            report.unreached_cells.append(
+                _cell_name(kind, decision, key)
+            )
+
+
+def _config_name(config: Config) -> str:
+    state, owner, copies = config
+    return f"({state.value}, owner={owner}, copies={sorted(copies)})"
+
+
+def run_model_check(n_cpus: int = 3) -> ModelCheckReport:
+    """Run every layer and return the combined report.
+
+    ``n_cpus=3`` is the smallest machine exhibiting all owner relations
+    (requester, owner, third party); the abstract space is symmetric in
+    processor identity beyond that.
+    """
+    report = ModelCheckReport(n_cpus=n_cpus)
+    _check_transcription(report)
+    _check_totality(report)
+    _check_cell_semantics(report)
+    _explore(report, n_cpus)
+    return report

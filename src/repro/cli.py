@@ -15,6 +15,8 @@ Usage::
     repro-numa bus               # IPC-bus utilization per application
     repro-numa speedup           # speedup curves (elapsed-time view)
     repro-numa metrics ParMult   # telemetry: time series + profile
+    repro-numa lint              # static protocol/hygiene lint over src/
+    repro-numa modelcheck        # verify Tables 1-2 against the paper
     repro-numa all               # tables, figures, latencies, alpha
 
 ``--quick`` uses the scaled-down test workloads (seconds instead of
@@ -40,7 +42,7 @@ from repro.analysis.report import (
 )
 from repro.core.state import AccessKind, PlacementDecision
 from repro.core.transitions import READ_TABLE, WRITE_TABLE, StateKey
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.machine.config import TimingParameters, ace_config
 from repro.obs.exporters import JsonSink
 from repro.sim.harness import measure_placement
@@ -222,7 +224,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     thresholds = [0, 1, 2, 4, 8, 16]
     names = args.apps or ["Primes3", "IMatMult"]
     for name in names:
-        factory = workloads[name]
+        factory = _find_workload(workloads, name)
         print(f"{name}: threshold sweep ({args.processors} processors)")
         print("  thresh   Tnuma    Snuma   moves   gamma")
         base_local: Optional[float] = None
@@ -352,7 +354,8 @@ def cmd_speedup(args: argparse.Namespace) -> None:
     workloads = _workload_set(args.quick)
     for name in args.apps or ["Primes1", "Primes3"]:
         curve = speedup_curve(
-            workloads[name], processors=(1, 2, 4, args.processors)
+            _find_workload(workloads, name),
+            processors=(1, 2, 4, args.processors),
         )
         print(curve.format())
         print()
@@ -367,7 +370,7 @@ def cmd_advise(args: argparse.Namespace) -> None:
 
     workloads = _workload_set(args.quick)
     for name in args.apps or ["Primes2", "Primes3"]:
-        factory = workloads[name]
+        factory = _find_workload(workloads, name)
         trace = TraceCollector(keep_faults=False)
         sim = build_simulation(
             factory(),
@@ -398,7 +401,7 @@ def cmd_mix(args: argparse.Namespace) -> None:
 
     workloads = _workload_set(args.quick)
     names = args.apps or ["IMatMult", "Primes3"]
-    factories = [workloads[name] for name in names]
+    factories = [_find_workload(workloads, name) for name in names]
     print(f"application mix on {args.processors} processors: "
           f"{' + '.join(names)}")
     standalone = {}
@@ -431,6 +434,26 @@ def cmd_mix(args: argparse.Namespace) -> None:
             f"  {task.workload:10s} standalone {solo / 1e6:8.3f}s   "
             f"in mix {task.user_time_s:8.3f}s   ({ratio:.3f}x)"
         )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro-specific static lint over the package sources."""
+    from repro.check import lint_paths
+
+    report = lint_paths(args.paths or None)
+    args.sink.extend(report.as_records())
+    print(report.format())
+    return report.exit_code
+
+
+def cmd_modelcheck(args: argparse.Namespace) -> int:
+    """Cross-check the live transition tables against the paper."""
+    from repro.check import run_model_check
+
+    report = run_model_check(n_cpus=args.cpus)
+    args.sink.extend(report.as_records())
+    print(report.format())
+    return report.exit_code
 
 
 def cmd_report(args: argparse.Namespace) -> None:
@@ -523,6 +546,8 @@ def build_parser() -> argparse.ArgumentParser:
         "speedup": cmd_speedup,
         "metrics": cmd_metrics,
         "mix": cmd_mix,
+        "lint": cmd_lint,
+        "modelcheck": cmd_modelcheck,
         "report": cmd_report,
         "all": cmd_all,
     }
@@ -548,15 +573,39 @@ def build_parser() -> argparse.ArgumentParser:
                 default=32,
                 help="scheduling rounds per telemetry sample (default 32)",
             )
+        if name == "lint":
+            sub.add_argument(
+                "paths",
+                nargs="*",
+                help="files or directories to lint "
+                     "(default: the installed repro package)",
+            )
+        if name == "modelcheck":
+            sub.add_argument(
+                "--cpus",
+                type=int,
+                default=3,
+                help="abstract processors for reachability (default 3, "
+                     "the smallest count with all owner relations)",
+            )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point."""
+    """Entry point.
+
+    Exit codes are stable for CI use: 0 success, 1 a check command
+    found violations, 2 a usage or simulation error (bad workload name,
+    invalid configuration, protocol violation under ``REPRO_SANITIZE``).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     args.sink = JsonSink()
-    args.func(args)
+    try:
+        status = args.func(args) or 0
+    except ReproError as error:
+        print(f"repro-numa: error: {error}", file=sys.stderr)
+        return 2
     if args.json:
         if not args.sink.records:
             # Commands without structured output still leave a marker so
@@ -565,7 +614,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.sink.add({"t": "meta", "command": args.command})
         lines = args.sink.write(args.json)
         print(f"wrote {lines} JSON records to {args.json}", file=sys.stderr)
-    return 0
+    return status
 
 
 if __name__ == "__main__":

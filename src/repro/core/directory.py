@@ -31,6 +31,14 @@ class Mapping:
     protection: Protection
     frame: Frame
 
+    def as_record(self) -> Dict[str, object]:
+        """Flat snapshot for structured :class:`ProtocolError` fields."""
+        return {
+            "vpage": self.vpage,
+            "protection": repr(self.protection),
+            "frame": repr(self.frame),
+        }
+
 
 @dataclass
 class DirectoryEntry:
@@ -65,9 +73,7 @@ class DirectoryEntry:
         """The frame holding the current page contents."""
         if self.state is PageState.LOCAL_WRITABLE:
             if self.owner is None:
-                raise ProtocolError(
-                    f"page {self.page_id} LOCAL_WRITABLE without owner"
-                )
+                raise self._invariant_error("LOCAL_WRITABLE without owner")
             return self.local_copies[self.owner]
         return self.global_frame
 
@@ -95,6 +101,31 @@ class DirectoryEntry:
         self.last_owner = cpu
         return moved
 
+    def _invariant_error(self, message: str) -> ProtocolError:
+        """A :class:`ProtocolError` carrying this entry's full shape.
+
+        Every invariant failure includes the page id, the complete
+        per-processor mapping table, and the state/owner/copy-holder
+        snapshot, so the sanitizer and tests can assert on structured
+        fields rather than message text.
+        """
+        return ProtocolError(
+            f"page {self.page_id}: {message}",
+            page_id=self.page_id,
+            mappings={
+                cpu: mapping.as_record()
+                for cpu, mapping in self.mappings.items()
+            },
+            details={
+                "state": self.state.value,
+                "owner": self.owner,
+                "last_owner": self.last_owner,
+                "move_count": self.move_count,
+                "copy_holders": sorted(self.local_copies),
+                "global_frame": repr(self.global_frame),
+            },
+        )
+
     def check_invariants(self) -> None:
         """Assert the state-definition invariants from Section 2.3.1.
 
@@ -102,52 +133,46 @@ class DirectoryEntry:
         request in tests (and cheaply enough to leave on in normal runs).
         """
         if self.global_frame.kind is not FrameKind.GLOBAL:
-            raise ProtocolError(
-                f"page {self.page_id}: global frame is {self.global_frame}"
+            raise self._invariant_error(
+                f"global frame is {self.global_frame}"
             )
         for cpu, frame in self.local_copies.items():
             if frame.kind is not FrameKind.LOCAL or frame.node != cpu:
-                raise ProtocolError(
-                    f"page {self.page_id}: copy for cpu {cpu} is {frame}"
+                raise self._invariant_error(
+                    f"copy for cpu {cpu} is {frame}"
                 )
         if self.state is PageState.UNTOUCHED:
             if self.local_copies or self.mappings or self.owner is not None:
-                raise ProtocolError(
-                    f"page {self.page_id}: untouched page has cache state"
+                raise self._invariant_error(
+                    "untouched page has cache state"
                 )
         elif self.state is PageState.READ_ONLY:
             if self.owner is not None:
-                raise ProtocolError(
-                    f"page {self.page_id}: READ_ONLY page has an owner"
-                )
+                raise self._invariant_error("READ_ONLY page has an owner")
             if not self.local_copies:
-                raise ProtocolError(
-                    f"page {self.page_id}: READ_ONLY page with no copies"
-                )
+                raise self._invariant_error("READ_ONLY page with no copies")
             for cpu, mapping in self.mappings.items():
                 if mapping.protection.writable:
-                    raise ProtocolError(
-                        f"page {self.page_id}: writable mapping on cpu {cpu} "
-                        "while READ_ONLY"
+                    raise self._invariant_error(
+                        f"writable mapping on cpu {cpu} while READ_ONLY"
                     )
                 if cpu not in self.local_copies:
-                    raise ProtocolError(
-                        f"page {self.page_id}: cpu {cpu} maps READ_ONLY page "
-                        "without a local copy"
+                    raise self._invariant_error(
+                        f"cpu {cpu} maps READ_ONLY page without a local copy"
                     )
                 if mapping.frame != self.local_copies[cpu]:
-                    raise ProtocolError(
-                        f"page {self.page_id}: cpu {cpu} maps {mapping.frame}, "
+                    raise self._invariant_error(
+                        f"cpu {cpu} maps {mapping.frame}, "
                         f"copy is {self.local_copies[cpu]}"
                     )
         elif self.state is PageState.LOCAL_WRITABLE:
             if self.owner is None:
-                raise ProtocolError(
-                    f"page {self.page_id}: LOCAL_WRITABLE page has no owner"
+                raise self._invariant_error(
+                    "LOCAL_WRITABLE page has no owner"
                 )
             if set(self.local_copies) != {self.owner}:
-                raise ProtocolError(
-                    f"page {self.page_id}: LOCAL_WRITABLE copies on "
+                raise self._invariant_error(
+                    f"LOCAL_WRITABLE copies on "
                     f"{sorted(self.local_copies)}, owner {self.owner}"
                 )
             home_frame = self.local_copies[self.owner]
@@ -158,26 +183,25 @@ class DirectoryEntry:
                 # of the owner's frame (the Section 4.4 extension):
                 # same physical memory, so no consistency question.
                 if mapping.frame != home_frame:
-                    raise ProtocolError(
-                        f"page {self.page_id}: cpu {cpu} maps "
-                        f"{mapping.frame} while LOCAL_WRITABLE on "
-                        f"{self.owner}"
+                    raise self._invariant_error(
+                        f"cpu {cpu} maps {mapping.frame} while "
+                        f"LOCAL_WRITABLE on {self.owner}"
                     )
         elif self.state is PageState.GLOBAL_WRITABLE:
             if self.owner is not None:
-                raise ProtocolError(
-                    f"page {self.page_id}: GLOBAL_WRITABLE page has an owner"
+                raise self._invariant_error(
+                    "GLOBAL_WRITABLE page has an owner"
                 )
             if self.local_copies:
-                raise ProtocolError(
-                    f"page {self.page_id}: GLOBAL_WRITABLE page has local "
-                    f"copies on {sorted(self.local_copies)}"
+                raise self._invariant_error(
+                    f"GLOBAL_WRITABLE page has local copies on "
+                    f"{sorted(self.local_copies)}"
                 )
             for cpu, mapping in self.mappings.items():
                 if mapping.frame != self.global_frame:
-                    raise ProtocolError(
-                        f"page {self.page_id}: cpu {cpu} maps {mapping.frame} "
-                        "while GLOBAL_WRITABLE"
+                    raise self._invariant_error(
+                        f"cpu {cpu} maps {mapping.frame} while "
+                        "GLOBAL_WRITABLE"
                     )
 
 

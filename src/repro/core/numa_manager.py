@@ -18,7 +18,10 @@ only does what the policy's LOCAL/GLOBAL answer plus the tables dictate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+if TYPE_CHECKING:
+    from repro.obs.events import EventBus
 
 from repro.core.actions import ActionExecutor
 from repro.core.directory import DirectoryEntry, PageDirectory
@@ -72,6 +75,7 @@ class NUMAManager:
         self._directory = PageDirectory()
         self._pages: Dict[int, PageLike] = {}
         self._check = check_invariants
+        self._bus: Optional["EventBus"] = None
         #: Page ids with local copies, per cpu, in insertion order — the
         #: FIFO eviction candidates when a local memory fills up.
         self._resident_by_cpu: Dict[int, Dict[int, None]] = {
@@ -98,6 +102,15 @@ class NUMAManager:
         """The per-page protocol directory."""
         return self._directory
 
+    @property
+    def bus(self) -> Optional["EventBus"]:
+        """The event bus protocol transitions are announced on, if any."""
+        return self._bus
+
+    @bus.setter
+    def bus(self, bus: Optional["EventBus"]) -> None:
+        self._bus = bus
+
     # -- page lifecycle ----------------------------------------------------
 
     def page_created(self, page: PageLike) -> DirectoryEntry:
@@ -112,7 +125,7 @@ class NUMAManager:
         entry = self._directory.add(page.page_id, page.global_frame)
         self._pages[page.page_id] = page
         if not page.zero_fill:
-            entry.state = PageState.GLOBAL_WRITABLE
+            self._transition(entry, PageState.GLOBAL_WRITABLE, cpu=-1)
         return entry
 
     def page_freed(self, page: PageLike, acting_cpu: int) -> FreeTag:
@@ -133,6 +146,8 @@ class NUMAManager:
         entry.local_copies.clear()
         self._policy.note_page_freed(page)
         self._stats.pages_freed += 1
+        if self._bus is not None:
+            self._bus.emit_page_freed(page.page_id)
         return FreeTag(page_id=page.page_id, deferred_frames=deferred)
 
     def free_page_sync(self, tag: FreeTag, acting_cpu: int) -> None:
@@ -147,6 +162,19 @@ class NUMAManager:
         tag.deferred_frames.clear()
         tag.completed = True
         self._stats.free_syncs += 1
+
+    def materialize_global(self, page_id: int, cpu: int) -> DirectoryEntry:
+        """Give an ``UNTOUCHED`` page content in its global frame.
+
+        Used by pmap operations (``pmap_copy_page``) that write a page's
+        global frame directly, outside the fault path: the deferred
+        zero-fill is now moot and the page becomes ``GLOBAL_WRITABLE``.
+        A page that already left ``UNTOUCHED`` is returned unchanged.
+        """
+        entry = self._directory.get(page_id)
+        if entry.state is PageState.UNTOUCHED:
+            self._transition(entry, PageState.GLOBAL_WRITABLE, cpu)
+        return entry
 
     # -- the fault path ----------------------------------------------------
 
@@ -308,7 +336,7 @@ class NUMAManager:
             self._executor.flush(victim, [cpu], cpu)
             self._note_nonresident(cpu, page_id)
             if not victim.local_copies:
-                victim.state = PageState.GLOBAL_WRITABLE
+                self._transition(victim, PageState.GLOBAL_WRITABLE, cpu)
             self._stats.evictions += 1
             if self._check:
                 victim.check_invariants()
@@ -379,7 +407,7 @@ class NUMAManager:
         cpu: int,
         page: Optional[PageLike] = None,
     ) -> None:
-        entry.state = new_state
+        moved = False
         if new_state is PageState.LOCAL_WRITABLE:
             moved = entry.note_ownership(cpu)
             if page is None:
@@ -390,6 +418,30 @@ class NUMAManager:
             self._policy.note_owner(page, cpu)
         else:
             entry.owner = None
+        self._transition(entry, new_state, cpu, moved=moved)
+
+    def _transition(
+        self,
+        entry: DirectoryEntry,
+        new_state: PageState,
+        cpu: int,
+        moved: bool = False,
+    ) -> None:
+        """The single site that rewrites a page's protocol state.
+
+        Everything that changes a :class:`PageState` funnels through
+        here so the transition is announced on the event bus; the lint
+        rules ``state-assign`` and ``transition-event`` enforce this
+        statically.  ``cpu=-1`` marks transitions with no requesting
+        processor (page creation from a load image).
+        """
+        old_state = entry.state
+        entry.state = new_state
+        bus = self._bus
+        if bus is not None and bus.wants_transitions:
+            bus.emit_transition(
+                entry.page_id, cpu, old_state, new_state, moved
+            )
 
     def _map(
         self,

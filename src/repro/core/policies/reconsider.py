@@ -31,6 +31,10 @@ class ReconsiderPolicy(MoveThresholdPolicy):
     move count resets to zero and the page becomes cacheable again.
     """
 
+    #: Unpinning live pages is this policy's whole point; the protocol
+    #: sanitizer's pin-stays-pinned check exempts policies that say so.
+    reconsiders_pinning = True
+
     def __init__(
         self,
         threshold: int = DEFAULT_MOVE_THRESHOLD,

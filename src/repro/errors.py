@@ -4,9 +4,17 @@ All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything the simulator may raise with a single handler.  Faults that
 are part of normal control flow (page faults, MMU misses) are *not* errors
 and live next to the components that raise them.
+
+:class:`ProtocolError` and :class:`ProtocolViolation` are *structured*:
+besides the human-readable message they carry the offending page id, a
+snapshot of the directory entry's mapping table, and (for violations
+raised by the runtime sanitizer) the trail of recent events, so tests and
+tooling can assert on fields instead of parsing messages.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 
 class ReproError(Exception):
@@ -35,7 +43,89 @@ class ProtocolError(ReproError):
 
     Raised by internal invariant checks; seeing one of these indicates a
     bug in the protocol implementation, never a user mistake.
+
+    ``page_id`` identifies the offending page when the check concerns a
+    single directory entry; ``mappings`` is a snapshot of that entry's
+    per-processor mapping table (``cpu -> {"vpage": ..., "protection":
+    ..., "frame": ...}``); ``details`` holds any further structured
+    context (state, owner, copy holders, ...).  All three are optional so
+    the class remains usable for free-form protocol errors.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        page_id: Optional[int] = None,
+        mappings: Optional[Dict[int, Dict[str, Any]]] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.page_id = page_id
+        self.mappings = mappings if mappings is not None else {}
+        self.details = details if details is not None else {}
+
+    def as_record(self) -> Dict[str, Any]:
+        """Flat record for the telemetry exporters / JSON output."""
+        return {
+            "t": "protocol_error",
+            "message": self.message,
+            "page_id": self.page_id,
+            "mappings": {
+                str(cpu): dict(mapping)
+                for cpu, mapping in self.mappings.items()
+            },
+            "details": dict(self.details),
+        }
+
+
+class ProtocolViolation(ProtocolError):
+    """A runtime sanitizer check failed.
+
+    Raised only by :mod:`repro.check.sanitizer` (opt-in via
+    ``REPRO_SANITIZE=1``).  ``check`` names the sanitizer rule that
+    tripped and ``events`` is the trail of the most recent event-bus
+    events leading up to the violation, oldest first, each a flat record
+    with a ``"t"`` discriminator.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        check: str = "unknown",
+        events: Sequence[Dict[str, Any]] = (),
+        page_id: Optional[int] = None,
+        mappings: Optional[Dict[int, Dict[str, Any]]] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(
+            message, page_id=page_id, mappings=mappings, details=details
+        )
+        self.check = check
+        self.events: Tuple[Dict[str, Any], ...] = tuple(events)
+
+    def as_record(self) -> Dict[str, Any]:
+        record = super().as_record()
+        record["t"] = "protocol_violation"
+        record["check"] = self.check
+        record["events"] = [dict(event) for event in self.events]
+        return record
+
+    def format_trail(self) -> str:
+        """The event trail as numbered lines, oldest first."""
+        if not self.events:
+            return "(no events recorded)"
+        lines = []
+        for index, event in enumerate(self.events):
+            detail = " ".join(
+                f"{key}={value}"
+                for key, value in event.items()
+                if key != "t"
+            )
+            lines.append(f"  [{index}] {event.get('t', '?')}: {detail}")
+        return "\n".join(lines)
 
 
 class SimulationError(ReproError):

@@ -27,6 +27,19 @@ location, writable_data)``
     A scheduling round completed.
 ``on_run_end(rounds)``
     The engine ran all threads to completion.
+``on_transition(page_id, cpu, old_state, new_state, moved)``
+    The NUMA manager moved a page to a new protocol state (the only
+    legal way a :class:`~repro.core.state.PageState` changes); ``moved``
+    is whether this transition was an ownership *move* in the paper's
+    Section 2.3.2 sense.  ``cpu`` is the requesting processor, or ``-1``
+    for transitions with no requester (page creation from a load image).
+``on_page_freed(page_id)``
+    A logical page left the directory; its protocol history is void.
+
+The protocol-level hooks are what the opt-in sanitizer
+(:mod:`repro.check.sanitizer`) subscribes to, and the lint rule
+``transition-event`` statically checks that every state-assigning site
+in the NUMA manager reaches the ``emit_transition`` call.
 """
 
 from __future__ import annotations
@@ -40,6 +53,8 @@ HOOKS: Tuple[str, ...] = (
     "on_fault_resolved",
     "on_round_end",
     "on_run_end",
+    "on_transition",
+    "on_page_freed",
 )
 
 
@@ -115,6 +130,11 @@ class EventBus:
         """Whether any observer handles ``on_round_end``."""
         return bool(self._hooks["on_round_end"])
 
+    @property
+    def wants_transitions(self) -> bool:
+        """Whether any observer handles ``on_transition``."""
+        return bool(self._hooks["on_transition"])
+
     # -- dispatch ------------------------------------------------------------
 
     def emit_reference(self, *args) -> None:
@@ -141,3 +161,15 @@ class EventBus:
         """Fan out run completion."""
         for hook in self._hooks["on_run_end"]:
             hook(rounds)
+
+    def emit_transition(
+        self, page_id: int, cpu: int, old_state, new_state, moved: bool
+    ) -> None:
+        """Fan out one protocol state transition."""
+        for hook in self._hooks["on_transition"]:
+            hook(page_id, cpu, old_state, new_state, moved)
+
+    def emit_page_freed(self, page_id: int) -> None:
+        """Fan out the removal of a page from the directory."""
+        for hook in self._hooks["on_page_freed"]:
+            hook(page_id)

@@ -22,6 +22,8 @@ profiler ever charges simulated time.
 
 from __future__ import annotations
 
+# repro-lint: allow-file[no-wall-clock] -- perf_counter feeds the
+# PhaseProfiler's self-timing only; it never charges simulated time.
 from time import perf_counter
 from typing import Dict, List, Optional, Protocol, Tuple
 

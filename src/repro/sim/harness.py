@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.check.sanitizer import maybe_attach_sanitizer
 from repro.core.numa_manager import NUMAManager
 from repro.core.policies import (
     AllGlobalPolicy,
@@ -104,8 +105,10 @@ def build_simulation(
         unix_master=unix_master,
         observer=observer,
     )
+    numa.bus = engine.bus
     if telemetry is not None:
         telemetry.attach(machine, numa, pool, engine)
+    maybe_attach_sanitizer(numa, engine.bus)
     return Simulation(
         machine=machine,
         numa=numa,

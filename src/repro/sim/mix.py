@@ -125,6 +125,7 @@ def run_mix(
         AffinityScheduler(machine.n_cpus),
         extra_handlers=extra,
     )
+    numa.bus = engine.bus
     rounds = engine.run(threads)
     tasks = [
         TaskResult(

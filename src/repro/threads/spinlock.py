@@ -12,16 +12,45 @@ workload that uses a work queue.
 :class:`SpinLock` therefore emits the references of an uncontended
 acquire/release pair (one test-and-set read-modify-write, one store to
 release) plus a small instruction cost.
+
+Lock *ordering* is observable: an optional module-level observer
+(installed with :func:`set_lock_observer`) is told about every
+acquire/release as the generator bodies execute, which is exactly when
+the simulated thread performs them.  The protocol sanitizer's
+:class:`~repro.check.lockorder.LockOrderChecker` uses this to build the
+lock-acquisition graph and flag A→B/B→A ordering cycles.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.sim.ops import Compute, MemBlock, Op
 
 #: Instruction overhead of an uncontended acquire or release, µs.
 _LOCK_PATH_US = 3.0
+
+#: The installed lock observer, or ``None`` (the common, untracked case).
+#: Duck-typed: it receives ``on_lock_acquire(holder, vpage)`` and
+#: ``on_lock_release(holder, vpage)``.
+_lock_observer: Optional[object] = None
+
+
+def set_lock_observer(observer: Optional[object]) -> Optional[object]:
+    """Install *observer* for all locks; returns the previous observer.
+
+    Pass ``None`` to stop observing.  Callers should restore the
+    previous observer when done (the harness does this per run).
+    """
+    global _lock_observer
+    previous = _lock_observer
+    _lock_observer = observer
+    return previous
+
+
+def lock_observer() -> Optional[object]:
+    """The currently installed lock observer, if any."""
+    return _lock_observer
 
 
 class SpinLock:
@@ -42,19 +71,32 @@ class SpinLock:
         """Completed acquire/release pairs."""
         return self._acquisitions
 
-    def acquire(self) -> Iterator[Op]:
-        """Ops for an uncontended acquire (test-and-set: fetch + store)."""
+    def acquire(self, holder: object = None) -> Iterator[Op]:
+        """Ops for an uncontended acquire (test-and-set: fetch + store).
+
+        ``holder`` identifies the acquiring thread for lock-order
+        tracking; the default anonymous holder still yields correct
+        memory traffic, it just cannot contribute ordering edges.
+        """
+        observer = _lock_observer
+        if observer is not None:
+            observer.on_lock_acquire(holder, self._vpage)
         yield Compute(_LOCK_PATH_US)
         yield MemBlock(self._vpage, reads=1, writes=1)
 
-    def release(self) -> Iterator[Op]:
+    def release(self, holder: object = None) -> Iterator[Op]:
         """Ops for a release (a single store)."""
         self._acquisitions += 1
+        observer = _lock_observer
+        if observer is not None:
+            observer.on_lock_release(holder, self._vpage)
         yield Compute(_LOCK_PATH_US)
         yield MemBlock(self._vpage, reads=0, writes=1)
 
-    def critical_section(self, body_ops: Iterator[Op]) -> Iterator[Op]:
+    def critical_section(
+        self, body_ops: Iterator[Op], holder: object = None
+    ) -> Iterator[Op]:
         """Acquire, run *body_ops*, release."""
-        yield from self.acquire()
+        yield from self.acquire(holder)
         yield from body_ops
-        yield from self.release()
+        yield from self.release(holder)

@@ -171,8 +171,9 @@ class ACEPmap(PmapInterface):
         else:
             token = machine.memory.read_token(src_entry.authoritative_frame())
         machine.memory.write_token(dst_entry.global_frame, token)
-        if dst_entry.state is PageState.UNTOUCHED:
-            dst_entry.state = PageState.GLOBAL_WRITABLE
+        # The destination's deferred zero-fill is now moot; the NUMA
+        # manager owns the state change (and announces it on the bus).
+        self._numa.materialize_global(destination.page_id, cpu)
         machine.cpu(cpu).charge_system(
             machine.timing.page_copy_us(
                 src_entry.authoritative_frame().location_for(cpu),

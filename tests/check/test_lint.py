@@ -1,0 +1,268 @@
+"""The repo-specific AST lint: rules, suppressions, and repo cleanliness."""
+
+import textwrap
+
+from repro.check.lint import (
+    DEFAULT_RULES,
+    lint_paths,
+    lint_source,
+)
+
+
+def lint(source: str, relpath: str):
+    violations, suppressed = lint_source(
+        textwrap.dedent(source), relpath, DEFAULT_RULES
+    )
+    return violations, suppressed
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]
+
+
+class TestNoWallClock:
+    def test_import_and_call_flagged_in_sim(self):
+        violations, _ = lint(
+            """
+            from time import perf_counter
+
+            def f():
+                return perf_counter()
+            """,
+            "sim/clock_abuse.py",
+        )
+        assert rule_ids(violations) == ["RN001", "RN001"]
+
+    def test_attribute_read_flagged_in_core(self):
+        violations, _ = lint(
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+            "core/clock_abuse.py",
+        )
+        assert rule_ids(violations) == ["RN001"]
+
+    def test_datetime_now_flagged_in_vm(self):
+        violations, _ = lint(
+            """
+            import datetime
+
+            def f():
+                return datetime.now()
+            """,
+            "vm/clock_abuse.py",
+        )
+        assert rule_ids(violations) == ["RN001"]
+
+    def test_profiling_module_is_allowlisted(self):
+        violations, _ = lint(
+            "from time import perf_counter\n", "obs/profiling.py"
+        )
+        assert violations == []
+
+    def test_outside_simulated_dirs_is_fine(self):
+        violations, _ = lint(
+            "from time import perf_counter\n", "analysis/report.py"
+        )
+        assert violations == []
+
+    def test_simulated_time_names_are_fine(self):
+        # The engine's own now_us() etc. are not wall-clock reads.
+        violations, _ = lint(
+            """
+            def f(engine):
+                return engine.now_us()
+            """,
+            "sim/fine.py",
+        )
+        assert violations == []
+
+
+class TestStateAssign:
+    BAD = """
+    from repro.core.state import PageState
+
+    def f(entry):
+        entry.state = PageState.READ_ONLY
+    """
+
+    def test_assignment_outside_funnel_flagged(self):
+        violations, _ = lint(self.BAD, "vm/pmap.py")
+        assert rule_ids(violations) == ["RN002"]
+
+    def test_funnel_modules_are_allowed(self):
+        # numa_manager may assign, but RN005 then demands an emit; this
+        # function has both, so it is fully clean.
+        violations, _ = lint(
+            """
+            from repro.core.state import PageState
+
+            def _transition(self, entry):
+                entry.state = PageState.READ_ONLY
+                self._bus.emit_transition(entry.page_id)
+            """,
+            "core/numa_manager.py",
+        )
+        assert violations == []
+
+    def test_comparison_is_not_assignment(self):
+        violations, _ = lint(
+            """
+            from repro.core.state import PageState
+
+            def f(entry):
+                return entry.state is PageState.READ_ONLY
+            """,
+            "vm/pmap.py",
+        )
+        assert violations == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        violations, _ = lint(
+            """
+            def f():
+                try:
+                    pass
+                except:
+                    pass
+            """,
+            "analysis/anything.py",
+        )
+        assert rule_ids(violations) == ["RN003"]
+
+    def test_typed_except_is_fine(self):
+        violations, _ = lint(
+            """
+            def f():
+                try:
+                    pass
+                except ValueError:
+                    pass
+            """,
+            "analysis/anything.py",
+        )
+        assert violations == []
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        violations, _ = lint(
+            "def f(items=[]):\n    pass\n", "workloads/x.py"
+        )
+        assert rule_ids(violations) == ["RN004"]
+
+    def test_dict_call_flagged(self):
+        violations, _ = lint(
+            "def f(*, table=dict()):\n    pass\n", "workloads/x.py"
+        )
+        assert rule_ids(violations) == ["RN004"]
+
+    def test_none_default_is_fine(self):
+        violations, _ = lint(
+            "def f(items=None):\n    pass\n", "workloads/x.py"
+        )
+        assert violations == []
+
+
+class TestTransitionEvent:
+    def test_silent_state_assign_in_funnel_flagged(self):
+        violations, _ = lint(
+            """
+            from repro.core.state import PageState
+
+            def sneak(entry):
+                entry.state = PageState.READ_ONLY
+            """,
+            "core/numa_manager.py",
+        )
+        assert rule_ids(violations) == ["RN005"]
+
+    def test_rule_only_applies_to_funnel_modules(self):
+        # Elsewhere RN002 owns the problem; RN005 must not double-report.
+        violations, _ = lint(
+            """
+            from repro.core.state import PageState
+
+            def sneak(entry):
+                entry.state = PageState.READ_ONLY
+            """,
+            "vm/pmap.py",
+        )
+        assert rule_ids(violations) == ["RN002"]
+
+
+class TestSuppressions:
+    def test_line_suppression_by_name(self):
+        violations, suppressed = lint(
+            """
+            def f():
+                try:
+                    pass
+                except:  # repro-lint: allow[bare-except]
+                    pass
+            """,
+            "analysis/x.py",
+        )
+        assert violations == []
+        assert suppressed == 1
+
+    def test_line_suppression_by_id(self):
+        violations, suppressed = lint(
+            "def f(items=[]):  # repro-lint: allow[RN004]\n    pass\n",
+            "workloads/x.py",
+        )
+        assert violations == []
+        assert suppressed == 1
+
+    def test_file_wide_suppression(self):
+        violations, suppressed = lint(
+            """
+            # repro-lint: allow-file[no-wall-clock]
+            from time import perf_counter
+
+            def f():
+                return perf_counter()
+            """,
+            "sim/x.py",
+        )
+        assert violations == []
+        assert suppressed == 2
+
+    def test_suppression_is_rule_specific(self):
+        violations, suppressed = lint(
+            """
+            def f(items=[]):  # repro-lint: allow[bare-except]
+                pass
+            """,
+            "workloads/x.py",
+        )
+        assert rule_ids(violations) == ["RN004"]
+        assert suppressed == 0
+
+
+class TestRepoIsClean:
+    def test_whole_package_lints_clean(self):
+        """The acceptance gate: repro-numa lint exits 0 on this repo."""
+        report = lint_paths()
+        assert report.violations == [], report.format()
+        assert report.exit_code == 0
+        assert report.files_checked > 50
+
+    def test_violation_format_is_clickable(self):
+        violations, _ = lint(
+            "def f(items=[]):\n    pass\n", "workloads/x.py"
+        )
+        line = violations[0].format()
+        assert line.startswith("workloads/x.py:1:")
+        assert "RN004[mutable-default]" in line
+
+    def test_records_round_trip_summary(self):
+        report = lint_paths()
+        records = report.as_records()
+        assert records[-1]["t"] == "lint_summary"
+        assert records[-1]["violations"] == 0

@@ -1,0 +1,119 @@
+"""Protocol model checker: clean pass, tamper detection, reachability."""
+
+import pytest
+
+from repro.check.modelcheck import (
+    PAPER_TABLE_1,
+    PAPER_TABLE_2,
+    run_model_check,
+)
+from repro.core import transitions
+from repro.core.state import PageState, PlacementDecision
+from repro.core.transitions import ActionSpec, Cleanup, StateKey
+
+
+class TestCleanRun:
+    def test_the_implementation_matches_the_paper(self):
+        report = run_model_check()
+        assert report.ok, report.format()
+        assert report.exit_code == 0
+
+    def test_all_sixteen_cells_are_verified(self):
+        report = run_model_check()
+        assert report.cells_checked == 16
+        assert len(PAPER_TABLE_1) == len(PAPER_TABLE_2) == 8
+
+    def test_reachable_space_is_explored(self):
+        report = run_model_check(n_cpus=3)
+        # UNTOUCHED, GW, 3x LW, and the non-empty RO copy subsets.
+        assert report.n_configs == 12
+        assert report.unreached_cells == []
+
+    def test_more_cpus_only_grow_the_space(self):
+        assert run_model_check(n_cpus=4).n_configs > 12
+
+    def test_report_records_include_summary(self):
+        records = run_model_check().as_records()
+        assert records[-1]["t"] == "modelcheck_summary"
+        assert records[-1]["ok"] is True
+
+
+class TestTamperDetection:
+    """Corrupt the live tables; every layer must notice."""
+
+    def test_wrong_new_state_is_a_mismatch(self, monkeypatch):
+        key = (PlacementDecision.LOCAL, StateKey.READ_ONLY)
+        monkeypatch.setitem(
+            transitions.READ_TABLE,
+            key,
+            ActionSpec(Cleanup.NONE, True, PageState.GLOBAL_WRITABLE),
+        )
+        report = run_model_check()
+        assert not report.ok
+        assert any("read/local" in m for m in report.mismatches)
+
+    def test_missing_cell_is_a_totality_failure(self, monkeypatch):
+        pruned = dict(transitions.WRITE_TABLE)
+        del pruned[(PlacementDecision.LOCAL, StateKey.GLOBAL_WRITABLE)]
+        monkeypatch.setattr(transitions, "WRITE_TABLE", pruned)
+        report = run_model_check()
+        assert not report.ok
+        assert report.totality_failures
+
+    def test_skipped_sync_is_a_semantic_failure(self, monkeypatch):
+        # "Forget" to sync the other owner's dirty copy before stealing
+        # the page: semantically a data-loss bug even if self-consistent.
+        key = (PlacementDecision.LOCAL, StateKey.LOCAL_WRITABLE_OTHER)
+        monkeypatch.setitem(
+            transitions.READ_TABLE,
+            key,
+            ActionSpec(Cleanup.NONE, True, PageState.READ_ONLY),
+        )
+        report = run_model_check()
+        assert not report.ok
+        assert any("sync" in m for m in report.semantic_failures)
+
+    def test_stale_copy_leak_is_an_invariant_failure(self, monkeypatch):
+        # Promote to GLOBAL_WRITABLE without flushing the replicas: the
+        # abstract walk reaches a GW config that still has local copies.
+        key = (PlacementDecision.GLOBAL, StateKey.READ_ONLY)
+        monkeypatch.setitem(
+            transitions.READ_TABLE,
+            key,
+            ActionSpec(Cleanup.NONE, False, PageState.GLOBAL_WRITABLE),
+        )
+        monkeypatch.setitem(
+            transitions.WRITE_TABLE,
+            key,
+            ActionSpec(Cleanup.NONE, False, PageState.GLOBAL_WRITABLE),
+        )
+        report = run_model_check()
+        assert not report.ok
+        assert report.invariant_failures
+
+    def test_tampering_never_crashes_the_checker(self, monkeypatch):
+        # Whatever the corruption, the checker reports rather than dies.
+        for key in list(transitions.READ_TABLE):
+            monkeypatch.setitem(
+                transitions.READ_TABLE,
+                key,
+                ActionSpec(Cleanup.NONE, False, PageState.GLOBAL_WRITABLE),
+            )
+        report = run_model_check()
+        assert not report.ok
+        assert "FAILED" in report.format()
+
+
+class TestTotalitySweep:
+    """Property-style sweep: the tables are total over their domain."""
+
+    @pytest.mark.parametrize("kind", list(transitions.AccessKind))
+    @pytest.mark.parametrize(
+        "decision", [PlacementDecision.LOCAL, PlacementDecision.GLOBAL]
+    )
+    @pytest.mark.parametrize("key", list(StateKey))
+    def test_every_cell_resolves(self, kind, decision, key):
+        spec = transitions.lookup(kind, decision, key)
+        assert isinstance(spec, ActionSpec)
+        lines = spec.describe()
+        assert len(lines) == 3

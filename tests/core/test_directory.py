@@ -217,3 +217,53 @@ class TestPageDirectory:
         directory.add(1, gframe(0))
         directory.add(2, gframe(1))
         assert {e.page_id for e in directory.entries()} == {1, 2}
+
+
+class TestStructuredProtocolErrors:
+    """Invariant failures carry the page id and full mapping table."""
+
+    def _broken_entry(self):
+        e = entry()
+        e.state = PageState.READ_ONLY  # no copies: invariant broken
+        e.record_mapping(0, 10, PROT_READ, gframe())
+        e.record_mapping(1, 11, PROT_READ, gframe())
+        return e
+
+    def test_error_carries_page_id(self):
+        with pytest.raises(ProtocolError) as exc:
+            self._broken_entry().check_invariants()
+        assert exc.value.page_id == 1
+
+    def test_error_carries_full_mapping_table(self):
+        with pytest.raises(ProtocolError) as exc:
+            self._broken_entry().check_invariants()
+        mappings = exc.value.mappings
+        assert set(mappings) == {0, 1}
+        assert mappings[0]["vpage"] == 10
+        assert mappings[1]["vpage"] == 11
+        assert "protection" in mappings[0]
+        assert "frame" in mappings[0]
+
+    def test_error_carries_state_snapshot(self):
+        with pytest.raises(ProtocolError) as exc:
+            self._broken_entry().check_invariants()
+        details = exc.value.details
+        assert details["state"] == PageState.READ_ONLY.value
+        assert details["owner"] is None
+        assert details["copy_holders"] == []
+        assert "move_count" in details
+
+    def test_as_record_is_json_shaped(self):
+        import json
+
+        with pytest.raises(ProtocolError) as exc:
+            self._broken_entry().check_invariants()
+        record = exc.value.as_record()
+        assert record["page_id"] == 1
+        json.dumps(record)  # fully serializable
+
+    def test_healthy_entry_raises_nothing(self):
+        e = entry()
+        e.state = PageState.READ_ONLY
+        e.local_copies[0] = lframe(0)
+        e.check_invariants()

@@ -185,3 +185,49 @@ class TestFirstTouch:
         assert cleanup == "sync&flush other"
         assert copy == "copy to local"
         assert state == "local-writable"
+
+
+class TestTotalitySweep:
+    """Property sweep: every reachable request shape resolves to a cell.
+
+    All (PageState, owner-relation) pairs flow through classify_state,
+    and every resulting column crossed with every (kind, decision) must
+    resolve through lookup -- no combination may raise KeyError.
+    """
+
+    #: owner-relation cases: (owner, requesting cpu).
+    OWNER_RELATIONS = [(None, 0), (0, 0), (0, 1)]
+
+    @pytest.mark.parametrize("state", list(PageState))
+    @pytest.mark.parametrize("owner, cpu", OWNER_RELATIONS)
+    @pytest.mark.parametrize("kind", list(AccessKind))
+    @pytest.mark.parametrize("decision", [L, G])
+    def test_classify_then_lookup_is_total(
+        self, state, owner, cpu, kind, decision
+    ):
+        try:
+            key = classify_state(state, owner, cpu)
+        except ProtocolError:
+            # The only deliberate refusals: untouched pages (first-touch
+            # path) and an ownerless LOCAL_WRITABLE page (corruption).
+            assert state is PageState.UNTOUCHED or (
+                state is PageState.LOCAL_WRITABLE and owner is None
+            )
+            if state is PageState.UNTOUCHED:
+                spec = first_touch_spec(kind, decision)
+                assert spec.cleanup is Cleanup.NONE
+            return
+        spec = lookup(kind, decision, key)  # must not raise KeyError
+        assert spec.new_state in (
+            PageState.READ_ONLY,
+            PageState.LOCAL_WRITABLE,
+            PageState.GLOBAL_WRITABLE,
+        )
+
+    def test_classify_never_raises_keyerror(self):
+        for state in PageState:
+            for owner, cpu in self.OWNER_RELATIONS:
+                try:
+                    classify_state(state, owner, cpu)
+                except ProtocolError:
+                    pass  # the deliberate refusals, asserted above

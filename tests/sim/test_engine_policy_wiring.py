@@ -96,9 +96,10 @@ class TestParserNegatives:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
-    def test_bad_processor_count_is_caught_at_run(self):
+    def test_bad_processor_count_is_caught_at_run(self, capsys):
         from repro.cli import main
-        from repro.errors import ConfigurationError
 
-        with pytest.raises(ConfigurationError):
-            main(["--quick", "--processors", "0", "table3"])
+        # Configuration errors exit with the stable usage-error code (2)
+        # and a one-line message instead of a traceback.
+        assert main(["--quick", "--processors", "0", "table3"]) == 2
+        assert "error" in capsys.readouterr().err
