@@ -6,8 +6,8 @@ Three layers of correctness tooling, all runnable from the CLI and CI:
   the source tree (no wall-clock time in simulated-time code, no
   ``PageState`` assignment outside the transition funnel, no bare
   ``except:``, no mutable default arguments, transitions must be
-  announced on the event bus), with per-rule suppression comments and
-  stable exit codes for CI.
+  announced on the event bus, no unseeded randomness), with per-rule
+  suppression comments and stable exit codes for CI.
 * :mod:`repro.check.modelcheck` — ``repro-numa modelcheck``: the
   paper's Tables 1-2, independently transcribed, cross-checked cell by
   cell against the live :mod:`repro.core.transitions` encoding, plus an

@@ -24,6 +24,12 @@ linters cannot know:
     assigns a ``.state`` attribute must also call ``emit_transition``
     (directly or through the transition funnel), so no transition can
     bypass the bus.
+``seeded-random`` (RN006)
+    No unseeded ``random.Random()`` and no module-level ``random.*``
+    draws (``random.random()``, ``random.choice()``, ...) anywhere in
+    the package: every consumer of randomness must hold an explicitly
+    seeded ``random.Random(seed)`` instance, or runs stop being
+    reproducible (the fault-injection plans depend on this).
 
 Suppression: append ``# repro-lint: allow[rule-name]`` to the offending
 line, or put ``# repro-lint: allow-file[rule-name]`` on its own line
@@ -327,6 +333,63 @@ class TransitionEventRule(Rule):
                 )
 
 
+class SeededRandomRule(Rule):
+    """RN006: all randomness must come from a seeded ``random.Random``."""
+
+    id = "RN006"
+    name = "seeded-random"
+    description = (
+        "unseeded random.Random() and module-level random.* draws break "
+        "run reproducibility; pass an explicit seed"
+    )
+
+    #: Module-level draw/state functions of :mod:`random` whose use
+    #: means the *global* (unseeded-by-us) RNG.
+    _MODULE_DRAWS: Set[str] = {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randint", "random", "randrange", "sample", "seed", "shuffle",
+        "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+
+    def check(self, tree, relpath):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in self._MODULE_DRAWS:
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            f"import of 'random.{alias.name}' binds the "
+                            "global RNG; instantiate random.Random(seed) "
+                            "instead",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                ):
+                    continue
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            "unseeded random.Random(); pass an explicit "
+                            "seed so runs are reproducible",
+                        )
+                elif func.attr in self._MODULE_DRAWS:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"module-level 'random.{func.attr}()' uses the "
+                        "global RNG; draw from a seeded random.Random "
+                        "instance",
+                    )
+
+
 #: The rules ``repro-numa lint`` runs, in report order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     NoWallClockRule(),
@@ -334,6 +397,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     BareExceptRule(),
     MutableDefaultRule(),
     TransitionEventRule(),
+    SeededRandomRule(),
 )
 
 

@@ -18,7 +18,12 @@ sanitizer re-checks:
   dropped while the page lives (policies that deliberately reconsider
   pins declare ``reconsiders_pinning = True`` and are exempt);
 * **lock ordering** — the spin-lock acquisition graph stays acyclic
-  (:class:`~repro.check.lockorder.LockOrderChecker`).
+  (:class:`~repro.check.lockorder.LockOrderChecker`);
+* **recovery soundness** — after every fault-injection *recovery*
+  (retry success, degradation to global, frame offlining, pressure
+  fallback) the full directory is re-swept, so a recovery path that
+  leaves the protocol inconsistent fails at the recovery, not at some
+  distant later transition.
 
 A failed check raises :class:`~repro.errors.ProtocolViolation` carrying
 the check name, the offending page, and the trail of recent events.
@@ -171,6 +176,34 @@ class ProtocolSanitizer:
         # by a fresh page with a fresh move budget.
         self._move_counts.pop(page_id, None)
         self._pinned_seen.discard(page_id)
+
+    def on_fault_injected(
+        self, kind: str, cpu: int, page_id: int, sim_us: float
+    ) -> None:
+        self._record(
+            {
+                "t": "fault_injected",
+                "kind": kind,
+                "cpu": cpu,
+                "page_id": page_id,
+                "sim_us": sim_us,
+            }
+        )
+
+    def on_recovery(
+        self, action: str, cpu: int, page_id: int, detail: str
+    ) -> None:
+        self._record(
+            {
+                "t": "recovery",
+                "action": action,
+                "cpu": cpu,
+                "page_id": page_id,
+                "detail": detail,
+            }
+        )
+        # Every recovery must leave the whole directory consistent.
+        self.check_directory()
 
     def on_round_end(self, round_index: int) -> None:
         self._rounds_seen += 1

@@ -15,6 +15,8 @@ Usage::
     repro-numa bus               # IPC-bus utilization per application
     repro-numa speedup           # speedup curves (elapsed-time view)
     repro-numa metrics ParMult   # telemetry: time series + profile
+    repro-numa chaos parmult --profile transient --seed 7
+                                 # run a workload under fault injection
     repro-numa lint              # static protocol/hygiene lint over src/
     repro-numa modelcheck        # verify Tables 1-2 against the paper
     repro-numa all               # tables, figures, latencies, alpha
@@ -436,6 +438,31 @@ def cmd_mix(args: argparse.Namespace) -> None:
         )
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one workload under a seeded fault-injection profile.
+
+    The run executes with the protocol sanitizer attached; every
+    injected fault's recovery re-validates the full directory.  The
+    structured recovery summary prints as canonical JSON (same workload,
+    profile and seed → byte-identical output) and also lands in the
+    ``--json`` sink.  Exit code 2 signals a recovery that broke a
+    protocol invariant.
+    """
+    from repro.faults import run_chaos
+
+    factory = _find_workload(_workload_set(args.quick), args.workload)
+    report = run_chaos(
+        factory(),
+        profile_name=args.profile,
+        seed=args.seed,
+        n_processors=args.processors,
+        sanitize=not args.no_sanitize,
+    )
+    args.sink.add({"t": "chaos_report", **report.as_dict()})
+    print(report.to_json())
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repro-specific static lint over the package sources."""
     from repro.check import lint_paths
@@ -545,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bus": cmd_bus,
         "speedup": cmd_speedup,
         "metrics": cmd_metrics,
+        "chaos": cmd_chaos,
         "mix": cmd_mix,
         "lint": cmd_lint,
         "modelcheck": cmd_modelcheck,
@@ -572,6 +600,29 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=32,
                 help="scheduling rounds per telemetry sample (default 32)",
+            )
+        if name == "chaos":
+            sub.add_argument(
+                "workload",
+                help="application to run under faults (case-insensitive)",
+            )
+            sub.add_argument(
+                "--profile",
+                default="transient",
+                help="fault profile: none, transient, frame-loss, storm "
+                     "(default transient)",
+            )
+            sub.add_argument(
+                "--seed",
+                type=int,
+                default=0,
+                help="fault-plan RNG seed (default 0); same seed and "
+                     "profile give byte-identical summaries",
+            )
+            sub.add_argument(
+                "--no-sanitize",
+                action="store_true",
+                help="skip the protocol sanitizer (overhead measurement)",
             )
         if name == "lint":
             sub.add_argument(

@@ -49,8 +49,19 @@ class ActionExecutor:
 
     # -- primitive actions -------------------------------------------------
 
-    def sync(self, entry: DirectoryEntry, copy_cpu: int, acting_cpu: int) -> None:
-        """Copy *copy_cpu*'s local copy of the page back to global memory."""
+    def sync(
+        self,
+        entry: DirectoryEntry,
+        copy_cpu: int,
+        acting_cpu: int,
+        cost_factor: float = 1.0,
+    ) -> None:
+        """Copy *copy_cpu*'s local copy of the page back to global memory.
+
+        ``cost_factor`` scales the charged copy cost; the fault-injection
+        degradation path uses it for the always-succeeding word-by-word
+        slow writeback (uncached, fully serialized on the bus).
+        """
         local = entry.local_copies.get(copy_cpu)
         if local is None:
             raise ProtocolError(
@@ -59,7 +70,7 @@ class ActionExecutor:
             )
         source = local.location_for(acting_cpu)
         cost = self._machine.timing.page_copy_us(source, MemoryLocation.GLOBAL)
-        self._charge(acting_cpu, cost)
+        self._charge(acting_cpu, cost * cost_factor)
         self._machine.memory.copy(local, entry.global_frame)
         self._stats.syncs += 1
 

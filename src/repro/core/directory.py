@@ -242,3 +242,16 @@ class PageDirectory:
     def entries(self):
         """Iterate over all entries (order unspecified)."""
         return iter(list(self._entries.values()))
+
+    def find_by_local_frame(self, frame: Frame) -> Optional[DirectoryEntry]:
+        """The entry holding *frame* as a local copy, if any.
+
+        Used by the frame-failure recovery path to locate the page
+        resident in a failing frame.  A frame belongs to at most one
+        entry (frames are never shared between pages), so the first hit
+        is the only hit.
+        """
+        for entry in self._entries.values():
+            if frame in entry.local_copies.values():
+                return entry
+        return None

@@ -13,6 +13,17 @@ what lets writable-but-unwritten pages stay replicated read-only.
 Ownership moves are detected here (mechanism) and reported to the policy,
 which counts them (policy).  The manager never decides to pin a page; it
 only does what the policy's LOCAL/GLOBAL answer plus the tables dictate.
+
+The one exception is *fault recovery* (:mod:`repro.faults`): when an
+injector is wired in, block transfers may transiently fail.  The manager
+retries them with capped exponential backoff charged to simulated system
+time and, after the envelope is exhausted, **degrades** the page to
+pinned global memory — deliberately reusing the paper's own graceful
+fallback ("when caching stops paying off, stop caching") rather than
+inventing a new mechanism.  A permanent local-frame failure likewise
+recovers by invalidating the resident page back to its global frame and
+retiring the frame.  Without an injector none of these paths run and the
+fault-free protocol is unchanged.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
     from repro.obs.events import EventBus
 
 from repro.core.actions import ActionExecutor
@@ -76,6 +88,15 @@ class NUMAManager:
         self._pages: Dict[int, PageLike] = {}
         self._check = check_invariants
         self._bus: Optional["EventBus"] = None
+        self._injector: Optional["FaultInjector"] = None
+        #: Cached rate gates for the injector's per-request probes (see
+        #: the ``injector`` setter).
+        self._inj_transfers = False
+        self._inj_delays = False
+        #: Pages pinned global by the degradation fallback.  Kept by the
+        #: manager (not only the policy) so degradation sticks even under
+        #: policies that ignore :meth:`NUMAPolicy.note_degraded`.
+        self._degraded_pins: Set[int] = set()
         #: Page ids with local copies, per cpu, in insertion order — the
         #: FIFO eviction candidates when a local memory fills up.
         self._resident_by_cpu: Dict[int, Dict[int, None]] = {
@@ -111,6 +132,38 @@ class NUMAManager:
     def bus(self, bus: Optional["EventBus"]) -> None:
         self._bus = bus
 
+    @property
+    def injector(self) -> Optional["FaultInjector"]:
+        """The fault injector consulted on protocol hot paths, if any."""
+        return self._injector
+
+    @injector.setter
+    def injector(self, injector: Optional["FaultInjector"]) -> None:
+        self._injector = injector
+        # Profiles are frozen, so rate gates can be cached once.  A
+        # zero-rate plan never draws from its RNG for that class, so
+        # skipping the probe entirely leaves the fault sequence
+        # byte-identical — it only removes per-request call overhead
+        # when a class is disabled (the whole `none` profile, message
+        # delays under plain `frame-loss`, ...).  Plans that override
+        # the draw methods (test doubles) must carry a nonzero rate.
+        profile = injector.plan.profile if injector is not None else None
+        self._inj_transfers = (
+            profile is not None and profile.transfer_fail_rate > 0.0
+        )
+        self._inj_delays = (
+            profile is not None and profile.message_delay_rate > 0.0
+        )
+
+    @property
+    def degraded_pages(self) -> Set[int]:
+        """Pages pinned in global memory by the degradation fallback."""
+        return set(self._degraded_pins)
+
+    def _now(self) -> float:
+        """Current simulated time (the engine's clock definition)."""
+        return max(c.total_time_us for c in self._machine.cpus)
+
     # -- page lifecycle ----------------------------------------------------
 
     def page_created(self, page: PageLike) -> DirectoryEntry:
@@ -144,6 +197,7 @@ class NUMAManager:
         for cpu in list(entry.local_copies):
             self._resident_by_cpu[cpu].pop(page.page_id, None)
         entry.local_copies.clear()
+        self._degraded_pins.discard(page.page_id)
         self._policy.note_page_freed(page)
         self._stats.pages_freed += 1
         if self._bus is not None:
@@ -195,7 +249,18 @@ class NUMAManager:
         """
         entry = self._directory.get(page.page_id)
         self._stats.faults[kind] += 1
+        if self._inj_delays:
+            delay = self._injector.directory_delay_us(
+                cpu, page.page_id, self._now
+            )
+            if delay > 0.0:
+                self._machine.cpu(cpu).charge_system(delay)
         decision = self._policy.cache_policy(page, kind, cpu)
+        if page.page_id in self._degraded_pins:
+            # Degradation outranks the policy: a page whose transfers
+            # keep failing stays in global memory until freed, even
+            # under policies that ignore note_degraded.
+            decision = PlacementDecision.GLOBAL
         if decision is PlacementDecision.REMOTE:
             frame = self._try_remote(entry, cpu, vpage, kind, max_prot)
             if frame is not None:
@@ -275,6 +340,10 @@ class NUMAManager:
             return None
         if entry.owner is None or entry.owner == cpu:
             return None
+        if not self.transfer_envelope(entry.page_id, cpu):
+            # The cross-bus setup keeps failing; fall back to LOCAL,
+            # which will move the page through global memory instead.
+            return None
         frame = entry.local_copies[entry.owner]
         wanted = PROT_READ_WRITE if kind is AccessKind.WRITE else PROT_READ
         if not max_prot.normalized().allows(wanted):
@@ -311,6 +380,18 @@ class NUMAManager:
             return decision
         if cpu in entry.local_copies:
             return decision
+        if (
+            self._injector is not None
+            and self._injector.pressure_possible
+            and self._injector.pressure_active(cpu, self._now())
+        ):
+            # Injected allocation-pressure spike: no new local frames on
+            # this node for the window's duration.  Existing copies are
+            # kept (the early return above); new placements take the
+            # same GLOBAL fallback a genuinely full local memory would.
+            self._stats.local_memory_fallbacks += 1
+            self._injector.note_pressure_fallback(cpu, entry.page_id)
+            return PlacementDecision.GLOBAL
         if self._machine.memory.local_available(cpu) > 0:
             return decision
         if self._evict_one(cpu, protect=entry.page_id):
@@ -331,7 +412,14 @@ class NUMAManager:
                 continue
             victim = self._directory.get(page_id)
             if victim.state is PageState.LOCAL_WRITABLE:
-                self._executor.sync(victim, cpu, cpu)
+                if not self._sync_with_retry(
+                    victim, cpu, cpu, self._pages[page_id]
+                ):
+                    # The victim degraded: its dirty copy went back via
+                    # the slow writeback and its frame is already free,
+                    # so the eviction achieved its goal anyway.
+                    self._stats.evictions += 1
+                    return True
                 victim.owner = None
             self._executor.flush(victim, [cpu], cpu)
             self._note_nonresident(cpu, page_id)
@@ -342,6 +430,137 @@ class NUMAManager:
                 victim.check_invariants()
             return True
         return False
+
+    # -- fault recovery (active only with an injector wired in) ------------
+
+    def transfer_envelope(self, page_id: int, cpu: int) -> bool:
+        """Run one block transfer through the retry envelope.
+
+        Returns ``True`` when the transfer (possibly after retries) may
+        proceed, ``False`` once the attempt budget is exhausted.  Each
+        retry charges capped exponential backoff to *cpu*'s system time,
+        so chaos runs pay for their recoveries in simulated time.
+        Without an injector, transfers always succeed at zero cost.
+        """
+        if not self._inj_transfers:
+            return True
+        injector = self._injector
+        retry = injector.retry
+        attempt = 1
+        while injector.transfer_attempt_fails(page_id, cpu, self._now):
+            if attempt >= retry.max_attempts:
+                return False
+            backoff = retry.backoff_us(attempt)
+            self._machine.cpu(cpu).charge_system(backoff)
+            self._stats.transfer_retries += 1
+            injector.note_retry(page_id, cpu, backoff)
+            attempt += 1
+        if attempt > 1:
+            injector.note_retry_success(page_id, cpu, attempt - 1)
+        return True
+
+    def _sync_with_retry(
+        self,
+        entry: DirectoryEntry,
+        copy_cpu: int,
+        acting_cpu: int,
+        page: PageLike,
+    ) -> bool:
+        """Sync through the envelope; degrade on permanent failure.
+
+        Returns ``True`` when the normal sync ran.  On permanent failure
+        the page is degraded — slow writeback, flush, pinned global —
+        and ``False`` is returned; the caller's table cell is moot
+        because the page is already ``GLOBAL_WRITABLE``.
+        """
+        if self.transfer_envelope(entry.page_id, acting_cpu):
+            self._executor.sync(entry, copy_cpu, acting_cpu)
+            return True
+        self._degrade(entry, acting_cpu, page)
+        return False
+
+    def _degrade(
+        self, entry: DirectoryEntry, cpu: int, page: PageLike
+    ) -> None:
+        """Permanent transfer failure: pin the page in global memory.
+
+        This deliberately reuses the paper's pinning mechanism — the
+        policy is told via ``note_degraded`` (MoveThresholdPolicy adds
+        the page to its pinned set) and the manager's own override makes
+        the decision stick under any policy.  A dirty copy is written
+        back first through the always-succeeding slow path (word-by-word
+        uncached writeback at ``degraded_cost_factor`` times the normal
+        copy cost), so no data is lost.
+        """
+        injector = self._injector
+        if (
+            entry.state is PageState.LOCAL_WRITABLE
+            and entry.owner is not None
+            and entry.owner in entry.local_copies
+        ):
+            factor = (
+                injector.retry.degraded_cost_factor
+                if injector is not None
+                else 1.0
+            )
+            self._executor.sync(entry, entry.owner, cpu, cost_factor=factor)
+        self._flush(entry, list(entry.local_copies), cpu)
+        self._enter_state(entry, PageState.GLOBAL_WRITABLE, cpu, page)
+        newly = entry.page_id not in self._degraded_pins
+        self._degraded_pins.add(entry.page_id)
+        self._policy.note_degraded(page)
+        if newly:
+            self._stats.degraded_pins += 1
+        if injector is not None:
+            injector.note_degraded(entry.page_id, cpu, pinned=True)
+        if self._check:
+            entry.check_invariants()
+
+    def handle_frame_failure(self, frame: Frame, acting_cpu: int) -> bool:
+        """Recover from a permanent local-frame failure (ECC-style).
+
+        The model is predictive offlining: the frame still reads
+        correctly, so a dirty resident page is first written back to its
+        global frame at degraded cost; then every mapping of the frame
+        is shot down, the page is invalidated back to global (the next
+        touch re-faults and the policy decides placement afresh), and
+        the frame is retired from its pool so it is never recycled.
+        Returns whether a resident page had to be invalidated.
+        """
+        entry = self._directory.find_by_local_frame(frame)
+        refaulted = False
+        page_id = -1
+        if entry is not None:
+            page_id = entry.page_id
+            holder = next(
+                c for c, f in entry.local_copies.items() if f == frame
+            )
+            if (
+                entry.state is PageState.LOCAL_WRITABLE
+                and entry.owner == holder
+            ):
+                factor = (
+                    self._injector.retry.degraded_cost_factor
+                    if self._injector is not None
+                    else 1.0
+                )
+                self._executor.sync(
+                    entry, holder, acting_cpu, cost_factor=factor
+                )
+                entry.owner = None
+            self._flush(entry, [holder], acting_cpu)
+            if not entry.local_copies:
+                self._transition(
+                    entry, PageState.GLOBAL_WRITABLE, acting_cpu
+                )
+            refaulted = True
+            if self._check:
+                entry.check_invariants()
+        self._machine.memory.take_offline(frame)
+        self._stats.frames_offlined += 1
+        if self._injector is not None:
+            self._injector.frame_recovered(frame, page_id, refaulted)
+        return refaulted
 
     def _apply_first_touch(
         self, entry: DirectoryEntry, spec: ActionSpec, cpu: int
@@ -358,9 +577,20 @@ class NUMAManager:
         self, entry: DirectoryEntry, spec: ActionSpec, cpu: int, page: PageLike
     ) -> None:
         """Execute one Table 1/2 cell."""
+        # The copy's transfer envelope runs *before* the cleanup: the
+        # directory is still fully consistent here, so recovery events
+        # (which trigger sanitizer sweeps) see a sound state, and a
+        # permanent failure degrades the page while its dirty copy is
+        # still in place to be written back.
+        will_copy = spec.copy_to_local and cpu not in entry.local_copies
+        if will_copy and not self.transfer_envelope(entry.page_id, cpu):
+            self._degrade(entry, cpu, page)
+            return
+
         cleanup = spec.cleanup
         if cleanup is Cleanup.SYNC_FLUSH_OWN:
-            self._executor.sync(entry, cpu, cpu)
+            if not self._sync_with_retry(entry, cpu, cpu, page):
+                return
             self._flush(entry, [cpu], cpu)
         elif cleanup is Cleanup.SYNC_FLUSH_OTHER:
             owner = entry.owner
@@ -368,7 +598,8 @@ class NUMAManager:
                 raise ProtocolError(
                     f"page {entry.page_id}: sync&flush other with no owner"
                 )
-            self._executor.sync(entry, owner, cpu)
+            if not self._sync_with_retry(entry, owner, cpu, page):
+                return
             self._flush(entry, [owner], cpu)
         elif cleanup is Cleanup.FLUSH_ALL:
             self._flush(entry, list(entry.local_copies), cpu)
@@ -378,7 +609,7 @@ class NUMAManager:
         elif cleanup is Cleanup.UNMAP_ALL:
             self._executor.unmap_all(entry, cpu)
 
-        if spec.copy_to_local and cpu not in entry.local_copies:
+        if will_copy:
             try:
                 self._executor.copy_to_local(entry, cpu, cpu)
             except OutOfMemoryError:

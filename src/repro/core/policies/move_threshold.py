@@ -53,6 +53,14 @@ class MoveThresholdPolicy(NUMAPolicy):
         if count > self._threshold:
             self._pinned.add(page.page_id)
 
+    def note_degraded(self, page: PageLike) -> None:
+        """Fault-injection degradation reuses the pinning mechanism.
+
+        A page whose transfers keep failing is pinned exactly as if it
+        had exhausted its move budget: GLOBAL forever, until freed.
+        """
+        self._pinned.add(page.page_id)
+
     def note_page_freed(self, page: PageLike) -> None:
         """Freed pages forget their history (pinned "until it is freed")."""
         self._moves.pop(page.page_id, None)

@@ -61,6 +61,18 @@ class NUMAPolicy(abc.ABC):
         makes a reallocated page start fresh.
         """
 
+    def note_degraded(self, page: PageLike) -> None:
+        """The manager degraded *page* to pinned-global after repeated
+        transfer failures (fault injection's graceful-degradation path).
+
+        Policies that keep a pin set (the paper's
+        :class:`~repro.core.policies.move_threshold.MoveThresholdPolicy`)
+        should record the page as pinned so ``is_pinned`` and the
+        sanitizer's pin-stays-pinned check see the degradation as the
+        paper's own mechanism.  The manager independently forces GLOBAL
+        decisions for degraded pages, so the default may ignore this.
+        """
+
     def tick(self, now_us: float) -> None:
         """Periodic notification of simulated time, for aging policies.
 

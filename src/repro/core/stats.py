@@ -50,6 +50,13 @@ class NUMAStats:
     pages_freed: int = 0
     #: Lazy free cleanups completed (pmap_free_page_sync work).
     free_syncs: int = 0
+    #: Block-transfer retries performed by the fault-injection envelope.
+    #: Zero unless a :mod:`repro.faults` injector is wired in.
+    transfer_retries: int = 0
+    #: Pages degraded to pinned-global after the retry envelope gave up.
+    degraded_pins: int = 0
+    #: Local frames taken offline by injected permanent failures.
+    frames_offlined: int = 0
 
     def total_faults(self) -> int:
         """All faults handled."""
@@ -113,4 +120,7 @@ class NUMAStats:
             "evictions": self.evictions,
             "pages_freed": self.pages_freed,
             "free_syncs": self.free_syncs,
+            "transfer_retries": self.transfer_retries,
+            "degraded_pins": self.degraded_pins,
+            "frames_offlined": self.frames_offlined,
         }

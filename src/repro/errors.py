@@ -26,7 +26,67 @@ class ConfigurationError(ReproError):
 
 
 class OutOfMemoryError(ReproError):
-    """A physical frame pool or the logical page pool was exhausted."""
+    """A physical frame pool or the logical page pool was exhausted.
+
+    Structured like :class:`ProtocolError`: besides the message it can
+    carry the exhausted pool's ``capacity``, the ``in_use`` count at the
+    moment of failure, a ``where`` label naming the pool (``"page
+    pool"``, ``"global memory"``, ``"local memory of cpu 3"``), and any
+    further ``details`` (pending lazy cleanups, offline frames, ...), so
+    tests and tooling can assert on fields instead of parsing messages.
+    All fields are optional; the class remains usable bare.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        capacity: Optional[int] = None,
+        in_use: Optional[int] = None,
+        where: Optional[str] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.capacity = capacity
+        self.in_use = in_use
+        self.where = where
+        self.details = details if details is not None else {}
+
+    def as_record(self) -> Dict[str, Any]:
+        """Flat record for the telemetry exporters / JSON output."""
+        return {
+            "t": "out_of_memory",
+            "message": self.message,
+            "capacity": self.capacity,
+            "in_use": self.in_use,
+            "where": self.where,
+            "details": dict(self.details),
+        }
+
+
+class TransferError(ReproError):
+    """A simulated block transfer failed (fault injection only).
+
+    Raised by the fault-injection layer to model a transient bus or
+    memory-module error during a page copy.  ``page_id`` names the page
+    being transferred and ``attempt`` the (zero-based) attempt that
+    failed.  The NUMA manager's retry envelope normally absorbs these;
+    one escaping to a caller means the retry/degradation machinery has a
+    bug.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        page_id: Optional[int] = None,
+        attempt: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.page_id = page_id
+        self.attempt = attempt
 
 
 class MappingError(ReproError):

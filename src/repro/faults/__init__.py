@@ -1,0 +1,49 @@
+"""Deterministic fault injection and the chaos harness.
+
+The subsystem splits cleanly in three:
+
+* :mod:`repro.faults.plan` — *what* goes wrong and *when*: named
+  :class:`~repro.faults.plan.FaultProfile` rate tables and the seeded,
+  simulated-time :class:`~repro.faults.plan.FaultPlan` schedule;
+* :mod:`repro.faults.injector` — *firing* the plan against one run and
+  booking recoveries: the :class:`~repro.faults.injector.FaultInjector`
+  the NUMA manager, pmap and engine consult, plus the
+  :class:`~repro.faults.injector.RetryPolicy` envelope and the
+  :class:`~repro.faults.injector.FaultStats` ledger;
+* :mod:`repro.faults.chaos` — running a whole workload under a profile
+  with the sanitizer attached and reporting a deterministic
+  :class:`~repro.faults.chaos.ChaosReport`.
+
+Recovery itself lives where the state lives — in
+:class:`~repro.core.numa_manager.NUMAManager` — not here; this package
+only decides, fires, and counts.
+"""
+
+from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.injector import (
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+    make_injector,
+)
+from repro.faults.plan import (
+    PROFILES,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+    get_profile,
+)
+
+__all__ = [
+    "PROFILES",
+    "ChaosReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultProfile",
+    "FaultStats",
+    "RetryPolicy",
+    "get_profile",
+    "make_injector",
+    "run_chaos",
+]

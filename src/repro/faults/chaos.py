@@ -1,0 +1,126 @@
+"""The chaos harness: one workload, one fault profile, one seed.
+
+:func:`run_chaos` builds a full simulation with a
+:class:`~repro.faults.injector.FaultInjector` wired into the NUMA
+manager's hot paths and the engine's policy tick, attaches the PR 2
+protocol sanitizer (on by default — a chaos run that does not check its
+recoveries proves nothing), runs the workload to completion, and returns
+a :class:`ChaosReport` whose :meth:`ChaosReport.as_dict` /
+:meth:`ChaosReport.to_json` views are deterministic: same workload,
+profile, and seed → byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.check.sanitizer import attach_sanitizer, sanitizer_enabled
+from repro.core.policies import MoveThresholdPolicy
+from repro.core.policy import NUMAPolicy
+from repro.faults.injector import FaultInjector, RetryPolicy, make_injector
+from repro.sim.harness import build_simulation
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ChaosReport:
+    """Structured recovery summary for one chaos run."""
+
+    workload: str
+    policy: str
+    profile: str
+    seed: int
+    n_processors: int
+    rounds: int
+    sanitized: bool
+    #: Sanitizer checks performed (0 when ``sanitized`` is False).
+    sanitizer_checks: int
+    #: Fault-injection ledger (:meth:`FaultStats.as_dict`).
+    faults: Dict[str, object] = field(default_factory=dict)
+    #: NUMA manager counters (:meth:`NUMAStats.as_dict`).
+    numa: Dict[str, int] = field(default_factory=dict)
+    #: Pages left pinned global by degradation at run end.
+    degraded_pages: int = 0
+    #: Local frames offline at run end.
+    offline_frames: int = 0
+    user_time_us: float = 0.0
+    system_time_us: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministically ordered flat view (same seed → same dict)."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "profile": self.profile,
+            "seed": self.seed,
+            "n_processors": self.n_processors,
+            "rounds": self.rounds,
+            "sanitized": self.sanitized,
+            "sanitizer_checks": self.sanitizer_checks,
+            "faults": dict(self.faults),
+            "numa": dict(self.numa),
+            "degraded_pages": self.degraded_pages,
+            "offline_frames": self.offline_frames,
+            "user_time_us": round(self.user_time_us, 3),
+            "system_time_us": round(self.system_time_us, 3),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: the byte-identical artifact CI compares."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)
+
+
+def run_chaos(
+    workload: Workload,
+    profile_name: str,
+    seed: int = 0,
+    n_processors: int = 7,
+    policy: Optional[NUMAPolicy] = None,
+    sanitize: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    injector: Optional[FaultInjector] = None,
+) -> ChaosReport:
+    """Run *workload* under a named fault profile and summarize recovery.
+
+    ``sanitize`` attaches the protocol sanitizer regardless of the
+    ``REPRO_SANITIZE`` environment (if the environment already opted the
+    process in, the harness-attached instance is reused rather than
+    doubled).  Any :class:`~repro.errors.ProtocolViolation` a recovery
+    provokes propagates to the caller — a chaos run is a *test*.
+    """
+    if injector is None:
+        injector = make_injector(profile_name, seed, retry)
+    if policy is None:
+        policy = MoveThresholdPolicy()
+    sim = build_simulation(
+        workload,
+        policy,
+        n_processors=n_processors,
+        injector=injector,
+    )
+    sanitizer = None
+    if sanitize and not sanitizer_enabled():
+        sanitizer = attach_sanitizer(sim.numa, sim.engine.bus)
+    rounds = sim.engine.run(sim.threads)
+    machine = sim.machine
+    offline = sum(
+        machine.memory.local_offline(cpu) for cpu in machine.config.cpus
+    )
+    return ChaosReport(
+        workload=workload.name,
+        policy=policy.name,
+        profile=injector.plan.profile.name,
+        seed=injector.plan.seed,
+        n_processors=machine.n_cpus,
+        rounds=rounds,
+        sanitized=sanitize or sanitizer_enabled(),
+        sanitizer_checks=sanitizer.checks if sanitizer is not None else 0,
+        faults=injector.stats.as_dict(),
+        numa=sim.numa.stats.as_dict(),
+        degraded_pages=len(sim.numa.degraded_pages),
+        offline_frames=offline,
+        user_time_us=machine.total_user_time_us(),
+        system_time_us=machine.total_system_time_us(),
+    )

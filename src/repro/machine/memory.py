@@ -67,6 +67,9 @@ class _FramePool:
         self._capacity = capacity
         self._free = list(range(capacity - 1, -1, -1))
         self._allocated: set[int] = set()
+        #: Frames retired from circulation (simulated ECC failure); they
+        #: are never handed out again and do not count as available.
+        self._offline: set[int] = set()
 
     @property
     def capacity(self) -> int:
@@ -80,12 +83,24 @@ class _FramePool:
     def available(self) -> int:
         return len(self._free)
 
+    @property
+    def offline(self) -> int:
+        return len(self._offline)
+
+    def _where(self) -> str:
+        if self._kind is FrameKind.GLOBAL:
+            return "global memory"
+        return f"local memory of cpu {self._node}"
+
     def allocate(self) -> Frame:
         if not self._free:
-            where = "global memory" if self._kind is FrameKind.GLOBAL else (
-                f"local memory of cpu {self._node}"
+            raise OutOfMemoryError(
+                f"no free frames in {self._where()}",
+                capacity=self._capacity,
+                in_use=len(self._allocated),
+                where=self._where(),
+                details={"offline": len(self._offline)},
             )
-            raise OutOfMemoryError(f"no free frames in {where}")
         index = self._free.pop()
         self._allocated.add(index)
         return Frame(self._kind, self._node, index)
@@ -94,7 +109,21 @@ class _FramePool:
         if frame.index not in self._allocated:
             raise OutOfMemoryError(f"double free of {frame}")
         self._allocated.remove(frame.index)
-        self._free.append(frame.index)
+        if frame.index not in self._offline:
+            self._free.append(frame.index)
+
+    def retire(self, frame: Frame) -> None:
+        """Take a frame out of circulation permanently (ECC failure).
+
+        A free frame leaves the free list immediately; an allocated one
+        is marked so that :meth:`free` will not recycle it.  Retiring an
+        already-offline frame is a no-op.
+        """
+        if frame.index in self._offline:
+            return
+        self._offline.add(frame.index)
+        if frame.index in self._free:
+            self._free.remove(frame.index)
 
 
 class PhysicalMemory:
@@ -149,6 +178,51 @@ class PhysicalMemory:
     def copy(self, source: Frame, destination: Frame) -> None:
         """Copy page contents (the token) from *source* to *destination*."""
         self.write_token(destination, self.read_token(source))
+
+    # -- fault injection -------------------------------------------------
+
+    def take_offline(self, frame: Frame) -> None:
+        """Retire *frame* permanently (simulated ECC failure).
+
+        The frame never re-enters its free list.  Callers are expected
+        to have evacuated any page contents first (the NUMA manager's
+        frame-failure recovery syncs and flushes before retiring); an
+        allocated frame may still be retired, in which case its eventual
+        :meth:`free` simply discards it.
+        """
+        if frame.kind is FrameKind.GLOBAL:
+            self._global.retire(frame)
+        else:
+            assert frame.node is not None
+            self._local[frame.node].retire(frame)
+
+    def local_offline(self, cpu: int) -> int:
+        """Frames of *cpu*'s local memory retired by injected failures."""
+        return self._local[cpu].offline
+
+    def allocated_local_frames(self) -> list:
+        """Every allocated local frame, sorted for deterministic choice."""
+        return sorted(
+            (f for f in self._tokens if f.kind is FrameKind.LOCAL),
+            key=lambda f: (f.node, f.index),
+        )
+
+    def online_local_frames(self) -> list:
+        """Every local frame not yet retired, allocated or free.
+
+        Fault injection draws ECC victims from here when no frame is
+        currently allocated — a real failure does not wait for the frame
+        to hold data.  Sorted by (node, index) for deterministic choice.
+        """
+        frames = []
+        for cpu in self._config.cpus:
+            pool = self._local[cpu]
+            frames.extend(
+                Frame(FrameKind.LOCAL, cpu, index)
+                for index in range(pool.capacity)
+                if index not in pool._offline
+            )
+        return frames
 
     # -- occupancy -------------------------------------------------------
 

@@ -35,6 +35,17 @@ location, writable_data)``
     for transitions with no requester (page creation from a load image).
 ``on_page_freed(page_id)``
     A logical page left the directory; its protocol history is void.
+``on_fault_injected(kind, cpu, page_id, sim_us)``
+    The fault-injection layer (:mod:`repro.faults`) fired a fault:
+    ``kind`` is the :class:`~repro.faults.plan.FaultKind` value
+    (``"transfer-fail"``, ``"frame-fail"``, ``"message-delay"``,
+    ``"pressure-spike"``), ``cpu``/``page_id`` identify the victim
+    (``-1`` when not applicable), ``sim_us`` is the simulated time.
+``on_recovery(action, cpu, page_id, detail)``
+    The protocol completed a recovery path: ``action`` is one of
+    ``"retry-succeeded"``, ``"degraded-to-global"``,
+    ``"frame-offlined"``, ``"pressure-fallback"``; ``detail`` is a
+    short human-readable string (attempt counts, frame names).
 
 The protocol-level hooks are what the opt-in sanitizer
 (:mod:`repro.check.sanitizer`) subscribes to, and the lint rule
@@ -55,6 +66,8 @@ HOOKS: Tuple[str, ...] = (
     "on_run_end",
     "on_transition",
     "on_page_freed",
+    "on_fault_injected",
+    "on_recovery",
 )
 
 
@@ -135,6 +148,16 @@ class EventBus:
         """Whether any observer handles ``on_transition``."""
         return bool(self._hooks["on_transition"])
 
+    @property
+    def wants_fault_injections(self) -> bool:
+        """Whether any observer handles ``on_fault_injected``."""
+        return bool(self._hooks["on_fault_injected"])
+
+    @property
+    def wants_recoveries(self) -> bool:
+        """Whether any observer handles ``on_recovery``."""
+        return bool(self._hooks["on_recovery"])
+
     # -- dispatch ------------------------------------------------------------
 
     def emit_reference(self, *args) -> None:
@@ -173,3 +196,17 @@ class EventBus:
         """Fan out the removal of a page from the directory."""
         for hook in self._hooks["on_page_freed"]:
             hook(page_id)
+
+    def emit_fault_injected(
+        self, kind: str, cpu: int, page_id: int, sim_us: float
+    ) -> None:
+        """Fan out one injected fault."""
+        for hook in self._hooks["on_fault_injected"]:
+            hook(kind, cpu, page_id, sim_us)
+
+    def emit_recovery(
+        self, action: str, cpu: int, page_id: int, detail: str
+    ) -> None:
+        """Fan out one completed recovery path."""
+        for hook in self._hooks["on_recovery"]:
+            hook(action, cpu, page_id, detail)

@@ -94,6 +94,8 @@ class Engine:
             # callers compose with new telemetry unchanged.
             self._bus.subscribe(observer)
         self._profiler = profiler
+        self._injector = None
+        self._pump_pending = False
         self._policy_tick_ops = policy_tick_ops
         self._round = 0
         self._ops_since_tick = 0
@@ -131,6 +133,18 @@ class Engine:
     @profiler.setter
     def profiler(self, profiler: Optional[PhaseProfiler]) -> None:
         self._profiler = profiler
+
+    @property
+    def injector(self):
+        """The fault injector pumped at policy ticks, if any."""
+        return self._injector
+
+    @injector.setter
+    def injector(self, injector) -> None:
+        self._injector = injector
+        self._pump_pending = (
+            injector is not None and injector.wants_pump
+        )
 
     # -- main loop ---------------------------------------------------------
 
@@ -197,6 +211,19 @@ class Engine:
         else:
             raise SimulationError(f"unknown operation {op!r}")
         self._ops_since_tick += 1
+        if self._pump_pending:
+            # Op granularity, not just policy ticks: local copies on
+            # small workloads live shorter than a tick, and a scheduled
+            # frame failure must be able to catch one resident.
+            injector = self._injector
+            injector.pump(
+                max(c.total_time_us for c in self._machine.cpus),
+                self._faults.pmap.numa,
+            )
+            # wants_pump only ever goes False (the frame-failure cap is
+            # absorbing), so profiles with nothing time-scheduled pay
+            # one plain attribute check per op, not a property chain.
+            self._pump_pending = injector.wants_pump
         if self._ops_since_tick >= self._policy_tick_ops:
             self._ops_since_tick = 0
             profiler = self._profiler

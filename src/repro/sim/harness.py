@@ -13,7 +13,10 @@ performs the paper's full Section 3.1 methodology for one application:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 from repro.check.sanitizer import maybe_attach_sanitizer
 from repro.core.numa_manager import NUMAManager
@@ -66,11 +69,14 @@ def build_simulation(
     observer: Optional[EngineObserver] = None,
     check_invariants: bool = True,
     telemetry: Optional[Telemetry] = None,
+    injector: Optional["FaultInjector"] = None,
 ) -> Simulation:
     """Assemble machine, VM, NUMA layer, and threads for one run.
 
     ``observer`` (the legacy single slot) and ``telemetry`` compose:
-    both end up subscribed to the engine's event bus.
+    both end up subscribed to the engine's event bus.  ``injector``
+    wires a :class:`~repro.faults.injector.FaultInjector` into the NUMA
+    manager's hot paths and the engine's policy tick (chaos runs).
     """
     if machine_config is None:
         machine_config = ace_config(n_processors)
@@ -106,6 +112,10 @@ def build_simulation(
         observer=observer,
     )
     numa.bus = engine.bus
+    if injector is not None:
+        injector.bind(machine, engine.bus)
+        numa.injector = injector
+        engine.injector = injector
     if telemetry is not None:
         telemetry.attach(machine, numa, pool, engine)
     maybe_attach_sanitizer(numa, engine.bus)

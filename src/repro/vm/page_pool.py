@@ -90,7 +90,23 @@ class PagePool:
             frame = self._machine.memory.allocate_global()
         except OutOfMemoryError:
             self.drain_cleanups(cpu)
-            frame = self._machine.memory.allocate_global()
+            try:
+                frame = self._machine.memory.allocate_global()
+            except OutOfMemoryError as exc:
+                # Re-raise with the *pool's* view: callers see the
+                # boot-time capacity and live-page count, not just the
+                # frame allocator's internals.
+                raise OutOfMemoryError(
+                    f"page pool exhausted: {self._live} live pages at "
+                    f"capacity {self.capacity}",
+                    capacity=self.capacity,
+                    in_use=self._live,
+                    where="page-pool",
+                    details={
+                        "pending_cleanups": len(self._pending),
+                        "frame_pool": exc.as_record(),
+                    },
+                ) from exc
         stored = (
             self._backing_store.fetch(vm_object, offset)
             if self._backing_store is not None

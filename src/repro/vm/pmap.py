@@ -170,6 +170,14 @@ class ACEPmap(PmapInterface):
             token = 0
         else:
             token = machine.memory.read_token(src_entry.authoritative_frame())
+        # The destination lives in global memory either way, so a copy
+        # whose fast block transfers keep failing cannot be re-placed —
+        # it completes on the slow word-by-word path at degraded cost.
+        cost_factor = 1.0
+        if not self._numa.transfer_envelope(destination.page_id, cpu):
+            injector = self._numa.injector
+            if injector is not None:
+                cost_factor = injector.retry.degraded_cost_factor
         machine.memory.write_token(dst_entry.global_frame, token)
         # The destination's deferred zero-fill is now moot; the NUMA
         # manager owns the state change (and announces it on the bus).
@@ -179,6 +187,7 @@ class ACEPmap(PmapInterface):
                 src_entry.authoritative_frame().location_for(cpu),
                 dst_entry.global_frame.location_for(cpu),
             )
+            * cost_factor
         )
 
     # -- directory co-maintenance ------------------------------------------

@@ -196,6 +196,75 @@ class TestTransitionEvent:
         assert rule_ids(violations) == ["RN002"]
 
 
+class TestSeededRandom:
+    def test_unseeded_random_flagged(self):
+        violations, _ = lint(
+            """
+            import random
+
+            def f():
+                return random.Random()
+            """,
+            "faults/plan.py",
+        )
+        assert rule_ids(violations) == ["RN006"]
+
+    def test_seeded_random_is_fine(self):
+        violations, _ = lint(
+            """
+            import random
+
+            def f(seed):
+                return random.Random(seed)
+            """,
+            "faults/plan.py",
+        )
+        assert violations == []
+
+    def test_module_level_draw_flagged(self):
+        violations, _ = lint(
+            """
+            import random
+
+            def f():
+                return random.choice([1, 2, 3]) + random.random()
+            """,
+            "sim/engine.py",
+        )
+        assert rule_ids(violations) == ["RN006", "RN006"]
+
+    def test_from_import_of_draw_flagged(self):
+        violations, _ = lint(
+            "from random import randint, shuffle\n", "core/policy.py"
+        )
+        assert rule_ids(violations) == ["RN006", "RN006"]
+
+    def test_from_import_of_random_class_is_fine(self):
+        violations, _ = lint(
+            """
+            from random import Random
+
+            def f(seed):
+                return Random(seed)
+            """,
+            "faults/plan.py",
+        )
+        assert violations == []
+
+    def test_suppression_comment_honored(self):
+        violations, suppressed = lint(
+            """
+            import random
+
+            def f():
+                return random.Random()  # repro-lint: allow[seeded-random]
+            """,
+            "faults/plan.py",
+        )
+        assert violations == []
+        assert suppressed == 1
+
+
 class TestSuppressions:
     def test_line_suppression_by_name(self):
         violations, suppressed = lint(

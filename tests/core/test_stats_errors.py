@@ -47,6 +47,9 @@ class TestNUMAStats:
             "evictions",
             "pages_freed",
             "free_syncs",
+            "transfer_retries",
+            "degraded_pins",
+            "frames_offlined",
         }
         assert set(flat) == expected_keys
 

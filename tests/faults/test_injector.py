@@ -1,0 +1,308 @@
+"""The injector, the retry envelope, and the protocol recovery paths."""
+
+import pytest
+
+from repro.core.state import AccessKind, PageState
+from repro.faults.injector import (
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+)
+from repro.faults.plan import FaultPlan, FaultProfile
+from repro.obs.events import EventBus
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+
+class ScriptedPlan(FaultPlan):
+    """A plan whose transfer outcomes are fixed in advance.
+
+    ``outcomes`` lists whether each successive transfer *attempt* fails;
+    once exhausted, every further attempt succeeds.  The profile carries
+    a nonzero ``transfer_fail_rate`` because the manager skips the probe
+    entirely for zero-rate profiles (the cached gate in its ``injector``
+    setter); the override below then decides the actual outcomes.
+    """
+
+    def __init__(self, outcomes):
+        super().__init__(
+            FaultProfile(name="scripted", transfer_fail_rate=1.0), seed=0
+        )
+        self._outcomes = list(outcomes)
+
+    def transfer_fails(self):
+        if self._outcomes:
+            return self._outcomes.pop(0)
+        return False
+
+
+def make_chaos_rig(plan, retry=None):
+    """A protocol rig with a fault injector wired into the manager."""
+    rig = make_rig()
+    injector = FaultInjector(plan, retry)
+    injector.bind(rig.machine, EventBus())
+    rig.numa.injector = injector
+    return rig, injector
+
+
+def map_shared(rig, pages=4):
+    return rig.space.map_object(shared_object("data", pages))
+
+
+def entry_for(rig, region, offset=0):
+    page = region.vm_object.resident_page(offset)
+    assert page is not None
+    return rig.numa.directory.get(page.page_id)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, backoff_base_us=50.0, backoff_cap_us=400.0
+        )
+        assert [policy.backoff_us(n) for n in range(1, 6)] == [
+            50.0,
+            100.0,
+            200.0,
+            400.0,
+            400.0,
+        ]
+
+    def test_stats_dict_covers_every_counter(self):
+        flat = FaultStats().as_dict()
+        assert set(flat) == {
+            "injected_transfer_fail",
+            "injected_frame_fail",
+            "injected_message_delay",
+            "injected_pressure_spike",
+            "transfer_retries",
+            "retry_successes",
+            "degradations",
+            "pages_pinned_by_fallback",
+            "frames_offlined",
+            "pages_refaulted",
+            "pressure_fallbacks",
+            "message_delays",
+            "injected_delay_us",
+        }
+
+
+class TestRetryEnvelope:
+    def test_transient_failures_are_retried_to_success(self):
+        rig, injector = make_chaos_rig(ScriptedPlan([True, True]))
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        system_before = rig.machine.cpu(1).system_time_us
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        assert injector.stats.transfer_retries == 2
+        assert injector.stats.retry_successes == 1
+        assert injector.stats.degradations == 0
+        # Capped exponential backoff charged to simulated system time.
+        charged = rig.machine.cpu(1).system_time_us - system_before
+        assert charged >= 50.0 + 100.0
+
+    def test_backoff_lands_on_the_acting_cpu(self):
+        def run(outcomes):
+            rig, _ = make_chaos_rig(ScriptedPlan(outcomes))
+            region = map_shared(rig)
+            rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+            rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+            return (
+                rig.machine.cpu(0).system_time_us,
+                rig.machine.cpu(1).system_time_us,
+            )
+
+        clean = run([])
+        faulty = run([True])
+        assert faulty[0] == clean[0]  # the owner pays nothing extra
+        assert faulty[1] == clean[1] + 50.0  # one base backoff on cpu 1
+
+    def test_no_injector_means_no_envelope_cost(self):
+        rig = make_rig()
+        assert rig.numa.transfer_envelope(page_id=0, cpu=0) is True
+        assert rig.numa.stats.transfer_retries == 0
+
+
+class TestDegradation:
+    def always_failing_rig(self):
+        plan = FaultPlan(
+            FaultProfile(name="always", transfer_fail_rate=1.0), seed=0
+        )
+        return make_chaos_rig(plan)
+
+    def test_exhausted_retries_pin_the_page_global(self):
+        rig, injector = self.always_failing_rig()
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        entry = entry_for(rig, region)
+        assert entry.state is PageState.GLOBAL_WRITABLE
+        assert entry.local_copies == {}
+        assert entry.page_id in rig.numa.degraded_pages
+        assert injector.stats.degradations >= 1
+        assert injector.stats.pages_pinned_by_fallback >= 1
+        assert rig.numa.stats.degraded_pins == 1
+
+    def test_dirty_copy_synced_before_degrading(self):
+        """The slow writeback path runs, so no data is lost."""
+        rig, _ = self.always_failing_rig()
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        syncs_before = rig.numa.stats.syncs
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        assert rig.numa.stats.syncs == syncs_before + 1
+
+    def test_degraded_page_stays_global(self):
+        """Later faults on a degraded page never try to go local again."""
+        rig, injector = self.always_failing_rig()
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        degradations = injector.stats.degradations
+        for cpu in range(4):
+            rig.faults.handle(cpu, region.vpage_at(0), AccessKind.WRITE)
+            rig.faults.handle(cpu, region.vpage_at(0), AccessKind.READ)
+        entry = entry_for(rig, region)
+        assert entry.state is PageState.GLOBAL_WRITABLE
+        assert injector.stats.degradations == degradations
+
+    def test_freeing_the_page_clears_the_degraded_pin(self):
+        rig, _ = self.always_failing_rig()
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.WRITE)
+        page = region.vm_object.resident_page(0)
+        assert page.page_id in rig.numa.degraded_pages
+        rig.pool.free(page, cpu=0)
+        assert page.page_id not in rig.numa.degraded_pages
+
+
+class TestFrameFailure:
+    def test_resident_page_invalidated_and_frame_retired(self):
+        rig = make_rig()
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        entry = entry_for(rig, region)
+        frame = entry.local_copies[0]
+        assert rig.numa.handle_frame_failure(frame, acting_cpu=0) is True
+        assert entry.state is PageState.GLOBAL_WRITABLE
+        assert entry.owner is None
+        assert entry.local_copies == {}
+        assert rig.machine.memory.local_offline(0) == 1
+        assert rig.numa.stats.frames_offlined == 1
+
+    def test_page_survives_and_refaults_after_frame_loss(self):
+        """Dirty content is written back; the next touch re-faults."""
+        rig = make_rig()
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        entry = entry_for(rig, region)
+        token = rig.machine.memory.read_token(entry.local_copies[0])
+        rig.numa.handle_frame_failure(entry.local_copies[0], acting_cpu=0)
+        assert rig.machine.memory.read_token(entry.global_frame) == token
+        frame = rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        assert frame is not None
+
+    def test_offline_frame_is_never_reallocated(self):
+        rig = make_rig(local_pages_per_cpu=2, global_pages=64)
+        region = map_shared(rig, pages=8)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
+        entry = entry_for(rig, region)
+        dead = entry.local_copies[0]
+        rig.numa.handle_frame_failure(dead, acting_cpu=0)
+        assert dead not in rig.machine.memory.online_local_frames()
+        # Touch many more pages on cpu 0: the retired frame must not
+        # come back even though the pool is starved.
+        for offset in range(1, 8):
+            rig.faults.handle(0, region.vpage_at(offset), AccessKind.READ)
+        used = set()
+        for other in rig.numa.directory.entries():
+            used.update(other.local_copies.values())
+        assert dead not in used
+
+    def test_failure_of_a_free_frame_just_retires_it(self):
+        rig = make_rig()
+        from repro.machine.memory import Frame, FrameKind
+
+        free_frame = Frame(FrameKind.LOCAL, 2, 7)
+        assert rig.numa.handle_frame_failure(free_frame, acting_cpu=0) is False
+        assert rig.machine.memory.local_offline(2) == 1
+
+    def test_injector_pump_fires_scheduled_frame_failures(self):
+        plan = FaultPlan(
+            FaultProfile(
+                name="t",
+                frame_fail_interval_us=100.0,
+                max_frame_failures=2,
+            ),
+            seed=7,
+        )
+        rig, injector = make_chaos_rig(plan)
+        # Each pump fires at most one scheduled failure (the redrawn
+        # deadline starts from *now*), so advance time across calls.
+        injector.pump(1_000_000.0, rig.numa)
+        injector.pump(3_000_000.0, rig.numa)
+        injector.pump(5_000_000.0, rig.numa)  # capped: fires nothing
+        assert injector.stats.injected["frame-fail"] == 2
+        assert injector.stats.frames_offlined == 2
+
+
+class TestPressure:
+    def test_spike_opens_a_window_and_downgrades_placement(self):
+        plan = FaultPlan(
+            FaultProfile(
+                name="t",
+                pressure_interval_us=100.0,
+                pressure_duration_us=500.0,
+            ),
+            seed=7,
+        )
+        rig, injector = make_chaos_rig(plan)
+        injector.pump(200.0, rig.numa)
+        assert injector.stats.injected["pressure-spike"] == 1
+        pressured = [
+            cpu for cpu in range(4) if injector.pressure_active(cpu, 300.0)
+        ]
+        assert len(pressured) == 1
+        cpu = pressured[0]
+        assert not injector.pressure_active(cpu, 10_000.0)
+
+    def test_pressured_cpu_places_pages_in_global(self):
+        plan = FaultPlan(
+            FaultProfile(
+                name="t",
+                pressure_interval_us=1.0,
+                pressure_duration_us=10_000_000.0,
+            ),
+            seed=7,
+        )
+        rig, injector = make_chaos_rig(plan)
+        # Open a pressure window on every CPU (spikes pick a random
+        # victim, so fire plenty of them at advancing timestamps).
+        for step in range(1, 65):
+            injector.pump(1_000.0 * step, rig.numa)
+        assert all(
+            injector.pressure_active(cpu, 65_000.0) for cpu in range(4)
+        )
+        region = map_shared(rig)
+        # First touch zero-fills; a second CPU's read would normally
+        # replicate into local memory but must fall back to global.
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        rig.faults.handle(1, region.vpage_at(0), AccessKind.READ)
+        assert injector.stats.pressure_fallbacks >= 1
+        assert rig.numa.stats.local_memory_fallbacks >= 1
+
+
+class TestMessageDelay:
+    def test_delay_charged_to_simulated_time(self):
+        plan = FaultPlan(
+            FaultProfile(
+                name="t", message_delay_rate=1.0, message_delay_us=40.0
+            ),
+            seed=7,
+        )
+        rig, injector = make_chaos_rig(plan)
+        region = map_shared(rig)
+        rig.faults.handle(0, region.vpage_at(0), AccessKind.READ)
+        assert injector.stats.message_delays >= 1
+        assert injector.stats.injected_delay_us >= 40.0

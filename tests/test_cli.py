@@ -233,3 +233,75 @@ class TestCheckCommands:
             err = capsys.readouterr().err
             assert "NoSuchApp" in err
             assert "Traceback" not in err
+
+
+class TestChaosCommand:
+    def test_chaos_parses_profile_and_seed(self):
+        args = build_parser().parse_args(
+            ["chaos", "parmult", "--profile", "frame-loss", "--seed", "9"]
+        )
+        assert args.workload == "parmult"
+        assert args.profile == "frame-loss"
+        assert args.seed == 9
+        assert callable(args.func)
+
+    def test_quick_chaos_prints_a_recovery_report(self, capsys):
+        argv = [
+            "--quick",
+            "--processors",
+            "4",
+            "chaos",
+            "parmult",
+            "--profile",
+            "transient",
+            "--seed",
+            "7",
+        ]
+        assert main(argv) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["profile"] == "transient"
+        assert decoded["seed"] == 7
+        assert decoded["sanitized"] is True
+
+    def test_chaos_output_is_byte_identical_for_a_seed(self, capsys):
+        argv = [
+            "--quick",
+            "--processors",
+            "4",
+            "chaos",
+            "parmult",
+            "--profile",
+            "storm",
+            "--seed",
+            "11",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_json_sink_gets_the_report(self, tmp_path, capsys):
+        path = tmp_path / "chaos.jsonl"
+        argv = [
+            "--quick",
+            "--processors",
+            "4",
+            "chaos",
+            "parmult",
+            "--profile",
+            "none",
+            "--json",
+            str(path),
+        ]
+        assert main(argv) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[-1]["t"] == "chaos_report"
+        assert records[-1]["profile"] == "none"
+
+    def test_unknown_profile_is_a_tidy_exit(self, capsys):
+        assert main(["--quick", "chaos", "parmult", "--profile", "x"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault profile" in err
+        assert "Traceback" not in err

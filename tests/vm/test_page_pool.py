@@ -97,6 +97,39 @@ class TestLazyFree:
         assert rig.pool.drain_cleanups(cpu=0) == 3
         assert rig.machine.memory.local_in_use(0) == 0
 
+    def test_exhaustion_error_carries_structured_pool_view(self):
+        """OutOfMemoryError is diagnosable from fields, not the message."""
+        pool, _ = make_pool(global_pages=2)
+        obj = shared_object("x", 4)
+        pool.allocate(obj, 0)
+        pool.allocate(obj, 1)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            pool.allocate(obj, 2)
+        err = excinfo.value
+        assert err.capacity == 2
+        assert err.in_use == 2
+        assert err.where == "page-pool"
+        assert err.details["pending_cleanups"] == 0
+        # The underlying frame-pool failure rides along, structured too.
+        assert err.details["frame_pool"]["t"] == "out_of_memory"
+        record = err.as_record()
+        assert record["capacity"] == 2
+        assert record["where"] == "page-pool"
+
+    def test_allocation_succeeds_after_lazy_free_drains(self):
+        """Freeing a page un-exhausts the pool on the next allocation."""
+        pool, _ = make_pool(global_pages=2)
+        obj = shared_object("x", 4)
+        survivor = pool.allocate(obj, 0)
+        doomed = pool.allocate(obj, 1)
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate(obj, 2)
+        pool.free(doomed)
+        page = pool.allocate(obj, 2)
+        assert page.offset == 2
+        assert pool.live_pages == 2
+        assert obj.resident_page(0) is survivor
+
     def test_exhaustion_drains_cleanups_before_failing(self):
         pool, _ = make_pool(global_pages=2)
         obj = shared_object("x", 4)
