@@ -30,6 +30,14 @@ linters cannot know:
     the package: every consumer of randomness must hold an explicitly
     seeded ``random.Random(seed)`` instance, or runs stop being
     reproducible (the fault-injection plans depend on this).
+``mmu-mutation`` (RN007)
+    Outside ``machine/`` and ``vm/pmap.py``, no direct MMU mutation
+    (``.mmu.enter(...)``, ``.mmu.remove(...)``, ``.mmu.protect(...)``,
+    ``.mmu.remove_frame(...)``): every mapping change must go through
+    the CPU's ``enter_translation``/``remove_translation``/
+    ``protect_translation`` funnel so the software TLB is invalidated
+    in the same breath.  A bypassed mutation leaves a stale cached
+    translation the fast path will happily keep charging.
 
 Suppression: append ``# repro-lint: allow[rule-name]`` to the offending
 line, or put ``# repro-lint: allow-file[rule-name]`` on its own line
@@ -61,6 +69,10 @@ STATE_ASSIGN_ALLOWLIST: Tuple[str, ...] = (
     "core/transitions.py",
     "core/numa_manager.py",
 )
+
+#: Path prefixes allowed to mutate an MMU directly (the machine layer
+#: itself and the pmap, which is the machine-dependent half of the VM).
+MMU_MUTATION_ALLOWLIST: Tuple[str, ...] = ("machine/", "vm/pmap.py")
 
 _ALLOW_LINE_RE = re.compile(r"#\s*repro-lint:\s*allow\[([^\]]+)\]")
 _ALLOW_FILE_RE = re.compile(r"#\s*repro-lint:\s*allow-file\[([^\]]+)\]")
@@ -390,6 +402,51 @@ class SeededRandomRule(Rule):
                     )
 
 
+class MMUMutationRule(Rule):
+    """RN007: MMU mutations only via the CPU's TLB-invalidation funnel."""
+
+    id = "RN007"
+    name = "mmu-mutation"
+    description = (
+        "direct MMU.enter/remove/protect/remove_frame calls allowed "
+        "only under " + "/".join(MMU_MUTATION_ALLOWLIST) + "; elsewhere "
+        "use CPU.enter_translation/remove_translation/protect_translation"
+    )
+
+    _MUTATORS: Set[str] = {"enter", "remove", "protect", "remove_frame"}
+    _MMU_NAMES: Set[str] = {"mmu", "_mmu"}
+
+    def applies_to(self, relpath: str) -> bool:
+        return not relpath.startswith(MMU_MUTATION_ALLOWLIST)
+
+    def _is_mmu(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._MMU_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._MMU_NAMES
+        return False
+
+    def check(self, tree, relpath):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._MUTATORS
+                and self._is_mmu(func.value)
+            ):
+                continue
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"direct MMU mutation '.{func.attr}()' bypasses the "
+                "TLB shootdown funnel; call the CPU's "
+                "enter_translation/remove_translation/"
+                "protect_translation instead",
+            )
+
+
 #: The rules ``repro-numa lint`` runs, in report order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     NoWallClockRule(),
@@ -398,6 +455,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     TransitionEventRule(),
     SeededRandomRule(),
+    MMUMutationRule(),
 )
 
 

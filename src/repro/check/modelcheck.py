@@ -24,6 +24,20 @@ protocol state space:
    satisfy the directory invariants, and every table cell must be
    exercised by some reachable configuration (a cell no walk can reach
    is a dead transition).
+4. **TLB reachability** — the same walk over ``(state, owner,
+   copy-holders, tlb-cached)`` configurations, where the fourth
+   component is the set of processors whose software TLB caches a
+   translation for the page.  Each cleanup carries its invalidation
+   edge (``sync&flush own`` shoots down the requester's entry,
+   ``sync&flush other`` the owner's, lossy flushes and ``unmap all``
+   everyone's); a spontaneous ``pmap_remove_all`` edge models policy
+   invalidations and fault-injection frame offlining, and after every
+   access the requester may or may not fill its TLB (both successors
+   are explored).  Every reached configuration must satisfy the cache
+   invariant: a TLB entry may only exist where the state says a
+   mapping can (``UNTOUCHED`` none, ``READ_ONLY`` only copy holders,
+   ``LOCAL_WRITABLE`` only the owner).  A missing invalidation edge
+   surfaces here as a stale-entry configuration.
 """
 
 from __future__ import annotations
@@ -88,6 +102,10 @@ PAPER_TABLE_2: Dict[Tuple[PlacementDecision, StateKey], Tuple[str, str, str]] = 
 #: Abstract protocol configuration: (state, owner, copy holders).
 Config = Tuple[PageState, Optional[int], FrozenSet[int]]
 
+#: Abstract configuration extended with the set of processors whose
+#: software TLB caches a translation for the page.
+TLBConfig = Tuple[PageState, Optional[int], FrozenSet[int], FrozenSet[int]]
+
 #: A table cell identifier for coverage accounting.
 CellKey = Tuple[str, PlacementDecision, StateKey]
 
@@ -101,8 +119,10 @@ class ModelCheckReport:
     semantic_failures: List[str] = field(default_factory=list)
     invariant_failures: List[str] = field(default_factory=list)
     unreached_cells: List[str] = field(default_factory=list)
+    tlb_failures: List[str] = field(default_factory=list)
     cells_checked: int = 0
     n_configs: int = 0
+    n_tlb_configs: int = 0
     n_cpus: int = 0
 
     @property
@@ -114,6 +134,7 @@ class ModelCheckReport:
             or self.semantic_failures
             or self.invariant_failures
             or self.unreached_cells
+            or self.tlb_failures
         )
 
     @property
@@ -129,6 +150,8 @@ class ModelCheckReport:
             f"{self.cells_checked}",
             f"  reachable abstract configurations ({self.n_cpus} cpus): "
             f"{self.n_configs}",
+            f"  reachable TLB configurations ({self.n_cpus} cpus): "
+            f"{self.n_tlb_configs}",
         ]
         sections = (
             ("table mismatches", self.mismatches),
@@ -136,6 +159,7 @@ class ModelCheckReport:
             ("semantic failures", self.semantic_failures),
             ("invariant failures", self.invariant_failures),
             ("unreached table cells", self.unreached_cells),
+            ("TLB coherence failures", self.tlb_failures),
         )
         for title, entries in sections:
             if entries:
@@ -155,6 +179,7 @@ class ModelCheckReport:
             ("semantic", self.semantic_failures),
             ("invariant", self.invariant_failures),
             ("unreached", self.unreached_cells),
+            ("tlb", self.tlb_failures),
         ):
             for entry in entries:
                 records.append(
@@ -167,6 +192,7 @@ class ModelCheckReport:
                 "ok": self.ok,
                 "cells_checked": self.cells_checked,
                 "n_configs": self.n_configs,
+                "n_tlb_configs": self.n_tlb_configs,
                 "n_cpus": self.n_cpus,
             }
         )
@@ -414,6 +440,128 @@ def _config_name(config: Config) -> str:
     return f"({state.value}, owner={owner}, copies={sorted(copies)})"
 
 
+# -- layer 4: TLB coherence over the same abstract walk ----------------------
+
+
+def _tlb_after_cleanup(
+    cleanup: Cleanup,
+    cpu: int,
+    owner: Optional[int],
+    cached: FrozenSet[int],
+) -> FrozenSet[int]:
+    """The invalidation edge each cleanup sends through the TLBs.
+
+    This mirrors what the live code paths do: every mapping a cleanup
+    drops goes through ``CPU.remove_translation``/``protect_translation``
+    (the RN007 funnel), which shoots down that processor's cached entry.
+    """
+    if cleanup is Cleanup.SYNC_FLUSH_OWN:
+        return cached - {cpu}
+    if cleanup is Cleanup.SYNC_FLUSH_OTHER:
+        return cached - ({owner} if owner is not None else set())
+    if cleanup in (Cleanup.FLUSH_ALL, Cleanup.UNMAP_ALL):
+        return frozenset()
+    if cleanup is Cleanup.FLUSH_OTHER:
+        return cached & {cpu}
+    return cached
+
+
+def _tlb_invariant(config: TLBConfig) -> Optional[str]:
+    """A TLB entry may only exist where the state permits a mapping."""
+    state, owner, copies, cached = config
+    if state is PageState.UNTOUCHED and cached:
+        return f"UNTOUCHED page cached by {sorted(cached)}"
+    if state is PageState.READ_ONLY and not cached <= copies:
+        return (
+            f"READ_ONLY cached by {sorted(cached)} but only "
+            f"{sorted(copies)} hold copies"
+        )
+    if state is PageState.LOCAL_WRITABLE and not cached <= {owner}:
+        return (
+            f"LOCAL_WRITABLE owned by {owner} but cached by "
+            f"{sorted(cached)}"
+        )
+    return None
+
+
+def _explore_tlb(report: ModelCheckReport, n_cpus: int) -> None:
+    """Layer 4: exhaustive reachability with per-CPU TLB cache state.
+
+    Successor configurations per access: the protocol step with its
+    cleanup's invalidation edge applied, then the requester either
+    filling its TLB (the engine's fast path resolved the block) or not
+    (slow path only, or the fill was evicted) — both are explored.  A
+    spontaneous ``pmap_remove_all`` edge (policy invalidation,
+    fault-injection frame offlining) shoots down every cached entry
+    while leaving the protocol configuration alone.
+    """
+    start: TLBConfig = (
+        PageState.UNTOUCHED, None, frozenset(), frozenset()
+    )
+    seen: Set[TLBConfig] = {start}
+    frontier: List[TLBConfig] = [start]
+    fail = report.tlb_failures.append
+
+    def visit(nxt: TLBConfig, source: TLBConfig, label: str) -> None:
+        problem = _tlb_invariant(nxt)
+        if problem is not None:
+            fail(
+                f"{_tlb_config_name(source)} --{label}--> "
+                f"{_tlb_config_name(nxt)}: {problem}"
+            )
+            return
+        if nxt not in seen:
+            seen.add(nxt)
+            frontier.append(nxt)
+
+    while frontier:
+        config = frontier.pop()
+        state, owner, copies, cached = config
+        # Spontaneous invalidation: pmap_remove_all drops every mapping
+        # (and so every cached translation); protocol state is untouched.
+        if cached:
+            visit(
+                (state, owner, copies, frozenset()),
+                config,
+                "pmap_remove_all",
+            )
+        for cpu, kind, decision in product(
+            range(n_cpus),
+            AccessKind,
+            (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        ):
+            try:
+                (new_state, new_owner, new_copies), _ = _apply_abstract(
+                    (state, owner, copies), cpu, kind, decision
+                )
+                if state is PageState.UNTOUCHED:
+                    spec_cleanup = Cleanup.NONE
+                else:
+                    key = classify_state(state, owner, cpu)
+                    spec_cleanup = lookup(kind, decision, key).cleanup
+            except (ProtocolError, KeyError):
+                continue  # layer 3 reports unexpected raises
+            survivors = _tlb_after_cleanup(
+                spec_cleanup, cpu, owner, cached
+            )
+            label = f"cpu{cpu} {kind.value}/{decision.value}"
+            for filled in (survivors | {cpu}, survivors - {cpu}):
+                visit(
+                    (new_state, new_owner, new_copies, filled),
+                    config,
+                    label,
+                )
+    report.n_tlb_configs = len(seen)
+
+
+def _tlb_config_name(config: TLBConfig) -> str:
+    state, owner, copies, cached = config
+    return (
+        f"({state.value}, owner={owner}, copies={sorted(copies)}, "
+        f"cached={sorted(cached)})"
+    )
+
+
 def run_model_check(n_cpus: int = 3) -> ModelCheckReport:
     """Run every layer and return the combined report.
 
@@ -426,4 +574,5 @@ def run_model_check(n_cpus: int = 3) -> ModelCheckReport:
     _check_totality(report)
     _check_cell_semantics(report)
     _explore(report, n_cpus)
+    _explore_tlb(report, n_cpus)
     return report

@@ -23,7 +23,14 @@ sanitizer re-checks:
   (retry success, degradation to global, frame offlining, pressure
   fallback) the full directory is re-swept, so a recovery path that
   leaves the protocol inconsistent fails at the recovery, not at some
-  distant later transition.
+  distant later transition;
+* **TLB coherence** — every translation cached in a per-CPU
+  :class:`~repro.machine.tlb.SoftwareTLB` must match the live MMU
+  (same frame, same protection), carry the latency class the frame
+  actually has from that processor, and agree with the directory's
+  mapping for that processor.  A stale entry means some MMU mutation
+  bypassed the CPU's invalidation funnel (lint rule RN007) and the
+  engine's fast path is charging references against a dead mapping.
 
 A failed check raises :class:`~repro.errors.ProtocolViolation` carrying
 the check name, the offending page, and the trail of recent events.
@@ -75,6 +82,10 @@ class ProtocolSanitizer:
         self._rounds_seen = 0
         #: Checks performed so far (cheap liveness signal for tests).
         self.checks = 0
+        #: TLB-coherence sweeps performed; counted apart from ``checks``
+        #: so reports that record ``sanitizer_checks`` stay comparable
+        #: with pre-TLB runs.
+        self.tlb_checks = 0
         self.locks = LockOrderChecker()
 
     # -- event trail ---------------------------------------------------------
@@ -291,7 +302,7 @@ class ProtocolSanitizer:
             )
 
     def check_directory(self) -> None:
-        """Re-validate every live directory entry."""
+        """Re-validate every live directory entry, then sweep the TLBs."""
         self.checks += 1
         for entry in self._numa.directory.entries():
             try:
@@ -305,6 +316,70 @@ class ProtocolSanitizer:
                     mappings=error.mappings,
                     details=error.details,
                 ) from error
+        self.check_tlbs()
+
+    def check_tlbs(self) -> None:
+        """Every cached TLB translation must match live MMU/directory state.
+
+        Runs wherever the directory sweep runs (recoveries, periodic
+        round sweeps, run end), so a mutation that bypassed the CPU's
+        invalidation funnel surfaces at the next sweep rather than as a
+        silently mispriced reference batch.
+        """
+        self.tlb_checks += 1
+        machine = self._numa.machine
+        timing = machine.timing
+        by_mapping: Dict[Tuple[int, int], Tuple[int, Any]] = {}
+        for entry in self._numa.directory.entries():
+            for cpu_id, mapping in entry.mappings.items():
+                by_mapping[(cpu_id, mapping.vpage)] = (entry.page_id, mapping)
+        for cpu in machine.cpus:
+            cpu_id = cpu.id
+            for cached in cpu.tlb.entries():
+                vpage = cached.vpage
+                live = cpu.mmu.lookup(vpage)
+                if live is None:
+                    self._fail(
+                        f"cpu {cpu_id} TLB caches vpage {vpage} but the "
+                        "MMU no longer maps it (missed shootdown?)",
+                        check="tlb-coherence",
+                        details={"cpu": cpu_id, "vpage": vpage},
+                    )
+                if (
+                    live.frame != cached.frame
+                    or live.protection != cached.protection
+                ):
+                    self._fail(
+                        f"cpu {cpu_id} TLB entry for vpage {vpage} is "
+                        f"stale: caches {cached.frame}/"
+                        f"{cached.protection!r}, MMU holds {live.frame}/"
+                        f"{live.protection!r}",
+                        check="tlb-coherence",
+                        details={"cpu": cpu_id, "vpage": vpage},
+                    )
+                location = cached.frame.location_for(cpu_id)
+                if (
+                    cached.location is not location
+                    or cached.fetch_us != timing.fetch_us(location)
+                    or cached.store_us != timing.store_us(location)
+                ):
+                    self._fail(
+                        f"cpu {cpu_id} TLB entry for vpage {vpage} carries "
+                        f"a wrong latency class ({cached.location.value}, "
+                        f"frame is {location.value} from cpu {cpu_id})",
+                        check="tlb-coherence",
+                        details={"cpu": cpu_id, "vpage": vpage},
+                    )
+                mapped = by_mapping.get((cpu_id, vpage))
+                if mapped is not None and mapped[1].frame != cached.frame:
+                    self._fail(
+                        f"cpu {cpu_id} TLB entry for vpage {vpage} maps "
+                        f"{cached.frame} but the directory maps "
+                        f"{mapped[1].frame}",
+                        check="tlb-coherence",
+                        page_id=mapped[0],
+                        details={"cpu": cpu_id, "vpage": vpage},
+                    )
 
     def check_locks(self) -> None:
         """Raise if the lock-acquisition graph has an ordering cycle."""

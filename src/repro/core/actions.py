@@ -107,7 +107,9 @@ class ActionExecutor:
         mapping = entry.drop_mapping(cpu)
         if mapping is None:
             return
-        self._machine.cpu(cpu).mmu.remove(mapping.vpage)
+        self._machine.cpu(cpu).remove_translation(
+            mapping.vpage, acting_cpu=acting_cpu
+        )
         self._charge(acting_cpu, self._mapping_cost(acting_cpu, cpu))
 
     def copy_to_local(

@@ -350,18 +350,18 @@ class NUMAManager:
             raise ProtocolError(
                 f"remote fault wants {wanted!r} but region allows {max_prot!r}"
             )
-        mmu = self._machine.cpu(cpu).mmu
-        existing = mmu.lookup(vpage)
+        target = self._machine.cpu(cpu)
+        existing = target.mmu.lookup(vpage)
         if existing is not None and existing.frame != frame:
-            mmu.remove(vpage)
+            target.remove_translation(vpage, acting_cpu=cpu)
         if (
             existing is not None
             and existing.frame == frame
             and existing.protection.allows(wanted)
         ):
             wanted = existing.protection
-        mmu.enter(vpage, frame, wanted)
-        self._machine.cpu(cpu).charge_system(self._machine.timing.mapping_op_us)
+        target.enter_translation(vpage, frame, wanted, acting_cpu=cpu)
+        target.charge_system(self._machine.timing.mapping_op_us)
         entry.record_mapping(cpu, vpage, wanted, frame)
         self._stats.remote_mappings += 1
         return frame
@@ -705,18 +705,18 @@ class NUMAManager:
         else:
             prot = wanted
         frame = entry.frame_for(cpu)
-        mmu = self._machine.cpu(cpu).mmu
-        existing = mmu.lookup(vpage)
+        target = self._machine.cpu(cpu)
+        existing = target.mmu.lookup(vpage)
         if existing is not None and existing.frame != frame:
-            mmu.remove(vpage)
+            target.remove_translation(vpage, acting_cpu=cpu)
         if (
             existing is not None
             and existing.frame == frame
             and existing.protection.allows(prot)
         ):
             prot = existing.protection  # keep the stronger mapping
-        mmu.enter(vpage, frame, prot)
-        self._machine.cpu(cpu).charge_system(self._machine.timing.mapping_op_us)
+        target.enter_translation(vpage, frame, prot, acting_cpu=cpu)
+        target.charge_system(self._machine.timing.mapping_op_us)
         entry.record_mapping(cpu, vpage, prot, frame)
         return frame
 

@@ -33,12 +33,19 @@ class PageState(enum.Enum):
     LOCAL_WRITABLE = "local-writable"
     GLOBAL_WRITABLE = "global-writable"
 
+    # Members are singletons compared by identity, so the identity hash
+    # is consistent — and C-speed, which matters for the transition-table
+    # lookups on every fault.
+    __hash__ = object.__hash__
+
 
 class AccessKind(enum.Enum):
     """The kind of access a fault is trying to perform."""
 
     READ = "read"
     WRITE = "write"
+
+    __hash__ = object.__hash__  # identity hash: see PageState
 
 
 class PlacementDecision(enum.Enum):

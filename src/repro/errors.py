@@ -188,5 +188,45 @@ class ProtocolViolation(ProtocolError):
         return "\n".join(lines)
 
 
+class FaultResolutionError(ProtocolError):
+    """A page fault did not settle after bounded handler retries.
+
+    The engine gives the fault handler a fixed number of attempts
+    (``MAX_FAULT_RESOLUTION_ATTEMPTS`` in :mod:`repro.sim.engine`) to
+    establish a translation that satisfies the faulting access; a page
+    that is still not mapped afterwards means the protocol is cycling —
+    a livelock, never a user mistake.  ``cpu``/``vpage`` locate the
+    access and ``attempts`` is how many handler invocations were spent.
+    Subclasses :class:`ProtocolError` so existing handlers keep catching
+    it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cpu: int,
+        vpage: int,
+        attempts: int,
+        page_id: Optional[int] = None,
+        mappings: Optional[Dict[int, Dict[str, Any]]] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(
+            message, page_id=page_id, mappings=mappings, details=details
+        )
+        self.cpu = cpu
+        self.vpage = vpage
+        self.attempts = attempts
+
+    def as_record(self) -> Dict[str, Any]:
+        record = super().as_record()
+        record["t"] = "fault_resolution_error"
+        record["cpu"] = self.cpu
+        record["vpage"] = self.vpage
+        record["attempts"] = self.attempts
+        return record
+
+
 class SimulationError(ReproError):
     """A workload emitted an operation the engine cannot execute."""

@@ -41,6 +41,10 @@ class ChaosReport:
     faults: Dict[str, object] = field(default_factory=dict)
     #: NUMA manager counters (:meth:`NUMAStats.as_dict`).
     numa: Dict[str, int] = field(default_factory=dict)
+    #: Software-TLB counters summed over CPUs
+    #: (:meth:`~repro.machine.machine.Machine.tlb_counters`); frame-loss
+    #: recovery shows up here as cross-CPU shootdowns.
+    tlb: Dict[str, int] = field(default_factory=dict)
     #: Pages left pinned global by degradation at run end.
     degraded_pages: int = 0
     #: Local frames offline at run end.
@@ -61,6 +65,7 @@ class ChaosReport:
             "sanitizer_checks": self.sanitizer_checks,
             "faults": dict(self.faults),
             "numa": dict(self.numa),
+            "tlb": dict(self.tlb),
             "degraded_pages": self.degraded_pages,
             "offline_frames": self.offline_frames,
             "user_time_us": round(self.user_time_us, 3),
@@ -119,6 +124,7 @@ def run_chaos(
         sanitizer_checks=sanitizer.checks if sanitizer is not None else 0,
         faults=injector.stats.as_dict(),
         numa=sim.numa.stats.as_dict(),
+        tlb=machine.tlb_counters(),
         degraded_pages=len(sim.numa.degraded_pages),
         offline_frames=offline,
         user_time_us=machine.total_user_time_us(),

@@ -10,9 +10,12 @@ data) rather than inferring it from times alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.machine.mmu import MMU
+from repro.machine.memory import Frame
+from repro.machine.mmu import MMU, MMUEntry
+from repro.machine.protection import Protection
+from repro.machine.tlb import SoftwareTLB
 from repro.machine.timing import MemoryLocation
 
 
@@ -55,6 +58,10 @@ class CPU:
     def __init__(self, cpu_id: int) -> None:
         self._id = cpu_id
         self._mmu = MMU(cpu_id)
+        #: Software translation cache; a plain attribute (not a property)
+        #: because the engine's fast path touches it on every reference
+        #: block.
+        self.tlb = SoftwareTLB(cpu_id)
         self._user_us = 0.0
         self._system_us = 0.0
         #: References made in user mode to writable data, for measuring α.
@@ -71,6 +78,43 @@ class CPU:
     def mmu(self) -> MMU:
         """This processor's translation hardware."""
         return self._mmu
+
+    # -- the invalidation funnel --------------------------------------------
+    #
+    # Every MMU *mutation* must go through these three methods (lint rule
+    # RN007 enforces it outside machine/ and vm/pmap.py) so the TLB can
+    # never hold a translation the MMU no longer backs.  ``acting_cpu``
+    # names the processor driving the change; when it is another CPU the
+    # invalidation is a shootdown and counted as such.
+
+    def enter_translation(
+        self,
+        vpage: int,
+        frame: Frame,
+        protection: Protection,
+        acting_cpu: Optional[int] = None,
+    ) -> None:
+        """Install a translation, invalidating any cached entry for it."""
+        self._mmu.enter(vpage, frame, protection)
+        self.tlb.invalidate(vpage, acting_cpu)
+
+    def remove_translation(
+        self, vpage: int, acting_cpu: Optional[int] = None
+    ) -> Optional[MMUEntry]:
+        """Remove a translation and shoot down its cached entry."""
+        entry = self._mmu.remove(vpage)
+        self.tlb.invalidate(vpage, acting_cpu)
+        return entry
+
+    def protect_translation(
+        self,
+        vpage: int,
+        protection: Protection,
+        acting_cpu: Optional[int] = None,
+    ) -> None:
+        """Change a translation's protection, dropping the cached entry."""
+        self._mmu.protect(vpage, protection)
+        self.tlb.invalidate(vpage, acting_cpu)
 
     @property
     def user_time_us(self) -> float:

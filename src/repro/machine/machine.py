@@ -9,7 +9,7 @@ that manages it.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.machine.config import MachineConfig
 from repro.machine.cpu import CPU
@@ -63,3 +63,11 @@ class Machine:
     def total_system_time_us(self) -> float:
         """Total system time across all processors (Table 4's S metric)."""
         return sum(cpu.system_time_us for cpu in self._cpus)
+
+    def tlb_counters(self) -> Dict[str, int]:
+        """Software-TLB counters summed across all processors."""
+        totals: Dict[str, int] = {}
+        for cpu in self._cpus:
+            for key, value in cpu.tlb.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

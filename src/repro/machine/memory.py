@@ -24,6 +24,8 @@ class FrameKind(enum.Enum):
     LOCAL = "local"
     GLOBAL = "global"
 
+    __hash__ = object.__hash__  # identity hash; members are singletons
+
 
 @dataclass(frozen=True)
 class Frame:
@@ -43,6 +45,14 @@ class Frame:
             raise ValueError("local frames must name their processor")
         if self.kind is FrameKind.GLOBAL and self.node is not None:
             raise ValueError("global frames have no owning processor")
+        # Frames key the MMU's reverse map and directory structures, so
+        # the (immutable) field-tuple hash is computed once up front.
+        object.__setattr__(
+            self, "_hash", hash((self.kind, self.node, self.index))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def location_for(self, cpu: int) -> MemoryLocation:
         """Where this frame appears to be from *cpu*'s point of view."""

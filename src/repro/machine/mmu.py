@@ -71,9 +71,10 @@ class MMU:
         existing_vpage = self._by_frame.get(frame)
         if existing_vpage is not None and existing_vpage != vpage:
             raise MappingError(
-                f"frame {frame} is already mapped at vpage {existing_vpage} "
-                f"on cpu {self._cpu}; Rosetta allows one virtual address "
-                "per physical page per processor"
+                f"cannot map frame {frame} at vpage {vpage}: it is "
+                f"already mapped at vpage {existing_vpage} on cpu "
+                f"{self._cpu}; Rosetta allows one virtual address per "
+                "physical page per processor"
             )
         old = self._by_vpage.get(vpage)
         if old is not None and old.frame != frame:

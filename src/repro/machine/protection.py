@@ -26,28 +26,39 @@ class Protection(enum.IntFlag):
     READ = 1
     WRITE = 2
 
+    # These run on every MMU translation and protocol step, so they work
+    # on the raw flag value: IntFlag's operators construct a new member
+    # per ``&``/``|``, which is pure overhead on the reference hot path.
+
     @property
     def readable(self) -> bool:
         """Whether a fetch through this mapping succeeds."""
-        return bool(self & Protection.READ)
+        return bool(self._value_ & 1)
 
     @property
     def writable(self) -> bool:
         """Whether a store through this mapping succeeds."""
-        return bool(self & Protection.WRITE)
+        return bool(self._value_ & 2)
 
     def allows(self, wanted: "Protection") -> bool:
         """Whether this protection grants every right in *wanted*."""
-        return (self & wanted) == wanted
+        value = wanted._value_
+        return (self._value_ & value) == value
 
     def normalized(self) -> "Protection":
         """Return the protection with ``WRITE implies READ`` applied."""
-        if self & Protection.WRITE:
-            return Protection.READ | Protection.WRITE
-        return self
+        return _NORMALIZED[self._value_]
 
 
 #: Convenience aliases matching Mach's VM_PROT_* constants.
 PROT_NONE = Protection.NONE
 PROT_READ = Protection.READ
-PROT_READ_WRITE = (Protection.READ | Protection.WRITE).normalized()
+PROT_READ_WRITE = Protection.READ | Protection.WRITE
+
+#: ``normalized()`` results indexed by raw flag value (WRITE gains READ).
+_NORMALIZED = (
+    PROT_NONE,
+    PROT_READ,
+    PROT_READ_WRITE,
+    PROT_READ_WRITE,
+)

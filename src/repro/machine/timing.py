@@ -27,6 +27,11 @@ class MemoryLocation(enum.Enum):
     GLOBAL = "global"
     REMOTE = "remote"
 
+    # Members are singletons compared by identity; the identity hash is
+    # consistent and C-speed, which matters for the reference-counter
+    # dict updates on every charged block.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class TimingModel:

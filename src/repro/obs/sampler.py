@@ -50,6 +50,11 @@ class RoundSample:
     #: ``None`` when the window had none.
     window_local_hit: Optional[float]
     per_cpu_window_local_hit: List[Optional[float]]
+    #: Software-TLB hits / lookups during this window; ``None`` when the
+    #: window had no lookups (e.g. the engine runs with fast_path off).
+    window_tlb_hit: Optional[float] = None
+    #: TLB shootdowns received across all CPUs during this window.
+    window_tlb_shootdowns: int = 0
 
     def as_record(self) -> Dict[str, object]:
         """Flat record for the JSONL exporter."""
@@ -69,6 +74,8 @@ class RoundSample:
             "per_cpu_user_us": list(self.per_cpu_user_us),
             "local_hit": self.window_local_hit,
             "per_cpu_local_hit": list(self.per_cpu_window_local_hit),
+            "tlb_hit": self.window_tlb_hit,
+            "tlb_shootdowns": self.window_tlb_shootdowns,
         }
 
 
@@ -95,6 +102,8 @@ class RoundSampler:
         self._prev_round = -1
         #: (local, total) writable-data references per CPU at window start.
         self._prev_refs = [self._cpu_refs(c) for c in machine.cpus]
+        #: (hits, misses, shootdowns) summed over CPUs at window start.
+        self._prev_tlb = self._tlb_totals()
 
     @property
     def interval(self) -> int:
@@ -125,6 +134,15 @@ class RoundSampler:
         counters = cpu.data_refs
         return (counters.total_to(MemoryLocation.LOCAL), counters.total())
 
+    def _tlb_totals(self) -> tuple:
+        hits = misses = shootdowns = 0
+        for cpu in self._machine.cpus:
+            tlb = cpu.tlb
+            hits += tlb.hits
+            misses += tlb.misses
+            shootdowns += tlb.shootdowns
+        return (hits, misses, shootdowns)
+
     def _take(self, round_index: int) -> None:
         stats = self._numa.stats.snapshot()
         delta = stats.diff(self._prev_stats)
@@ -142,6 +160,10 @@ class RoundSampler:
             per_cpu_hit.append(d_local / d_total if d_total else None)
         policy = self._numa.policy
         pinned = getattr(policy, "pinned_count", None)
+        tlb = self._tlb_totals()
+        d_hits = tlb[0] - self._prev_tlb[0]
+        d_lookups = d_hits + (tlb[1] - self._prev_tlb[1])
+        d_shootdowns = tlb[2] - self._prev_tlb[2]
         self._samples.append(
             RoundSample(
                 round_index=round_index,
@@ -162,8 +184,13 @@ class RoundSampler:
                     window_local / window_total if window_total else None
                 ),
                 per_cpu_window_local_hit=per_cpu_hit,
+                window_tlb_hit=(
+                    d_hits / d_lookups if d_lookups else None
+                ),
+                window_tlb_shootdowns=d_shootdowns,
             )
         )
         self._prev_stats = stats
         self._prev_round = round_index
         self._prev_refs = refs
+        self._prev_tlb = tlb

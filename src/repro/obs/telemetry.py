@@ -146,6 +146,14 @@ class Telemetry:
                 if total
                 else None
             )
+        tlb = self._machine.tlb_counters()
+        for key in ("hits", "misses", "fills", "evictions",
+                    "invalidations", "shootdowns", "flushes"):
+            self.registry.counter(f"tlb_{key}").inc(tlb[key])
+        lookups = tlb["hits"] + tlb["misses"]
+        self.registry.gauge("tlb_hit_ratio").set(
+            tlb["hits"] / lookups if lookups else None
+        )
         policy = self._numa.policy
         move_counts = getattr(policy, "move_counts", None)
         if callable(move_counts):

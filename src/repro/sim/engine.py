@@ -7,9 +7,21 @@ applications the paper chose, while ownership ping-pong (which the policy
 counts) still happens at a realistic rate because writers genuinely
 alternate.
 
-Memory references run against the MMU; misses trap into the
-machine-independent fault handler, which drives the NUMA protocol, and the
-reference is then charged at the speed of wherever the page ended up.
+Memory references are split into a fast path and a slow path, mirroring
+the paper's premise that the common case — a reference hitting an
+already-placed page — must be cheap.  The fast path resolves a whole
+same-page reference block through the per-CPU software TLB
+(:mod:`repro.machine.tlb`) and charges it in bulk off the cached latency
+class; only a TLB miss or a protection upgrade (write to a read-only
+entry) takes the slow path, where the MMU translates and misses trap into
+the machine-independent fault handler driving the NUMA protocol.  Both
+paths charge bit-identical simulated time: the TLB entry caches the very
+per-word costs ``block_us`` would recompute, and protocol activity —
+which is what could invalidate a translation mid-block — only ever runs
+from the slow path's fault handling or between operations (policy ticks,
+injector pumps), so a TLB hit guarantees the whole block is fault-free.
+A shootdown therefore never lands mid-batch; it lands between batches,
+splitting them exactly where the unbatched simulator would have faulted.
 
 Observation is fanned out through an :class:`~repro.obs.events.EventBus`:
 any number of observers (trace collectors, metrics, samplers) subscribe
@@ -28,7 +40,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.core.state import AccessKind
-from repro.errors import ProtocolError, SimulationError
+from repro.errors import FaultResolutionError, SimulationError
 from repro.machine.machine import Machine
 from repro.machine.memory import Frame
 from repro.machine.mmu import MMUFault
@@ -41,6 +53,13 @@ from repro.threads.cthreads import CThread, ThreadState
 from repro.threads.scheduler import Scheduler
 from repro.threads.unix_master import UnixMaster
 from repro.vm.fault import FaultHandler
+
+#: How many times the fault handler may run for one access before the
+#: engine declares the protocol livelocked.  Two attempts cover the
+#: legitimate double fault (read-establishes-mapping, then the protection
+#: upgrade); the third is headroom for an injected invalidation landing
+#: between them.
+MAX_FAULT_RESOLUTION_ATTEMPTS = 3
 
 
 class EngineObserver(Protocol):
@@ -79,8 +98,12 @@ class Engine:
         extra_handlers: Optional[Dict[int, FaultHandler]] = None,
         bus: Optional[EventBus] = None,
         profiler: Optional[PhaseProfiler] = None,
+        fast_path: bool = True,
     ) -> None:
         self._machine = machine
+        #: The live CPU list, cached: the reference path indexes it on
+        #: every operation and ``Machine.cpu`` is a method call away.
+        self._cpus = machine.cpus
         self._faults = fault_handler
         #: Fault handler per Mach task; single-task runs use only task 0.
         self._handlers: Dict[int, FaultHandler] = {0: fault_handler}
@@ -97,8 +120,15 @@ class Engine:
         self._injector = None
         self._pump_pending = False
         self._policy_tick_ops = policy_tick_ops
+        #: When False, every reference block takes the legacy slow path
+        #: (MMU translate + timing model per block).  The TLB is then
+        #: never consulted or filled; bench_hotpath uses this to measure
+        #: the fast path's speedup against identical simulated results.
+        self._fast_path = fast_path
         self._round = 0
         self._ops_since_tick = 0
+        #: Operations executed, all kinds; bench_hotpath's ops/sec base.
+        self.ops_executed = 0
         #: (task, vpage) -> (vm_object, offset, writable_data); regions
         #: are static once workloads finish building, so memoization is
         #: safe.
@@ -124,6 +154,11 @@ class Engine:
     def add_observer(self, observer: object) -> None:
         """Subscribe *observer* to this engine's event bus."""
         self._bus.subscribe(observer)
+
+    @property
+    def fast_path(self) -> bool:
+        """Whether reference blocks may resolve through the software TLB."""
+        return self._fast_path
 
     @property
     def profiler(self) -> Optional[PhaseProfiler]:
@@ -153,22 +188,28 @@ class Engine:
         if not threads:
             self._bus.emit_run_end(self._round)
             return 0
+        # The loop body runs once per thread per round; enum members and
+        # bound methods are hoisted to locals to keep that overhead off
+        # the fast path's back.
+        runnable = ThreadState.RUNNABLE
+        finished = ThreadState.FINISHED
+        cpu_for = self._scheduler.cpu_for
+        execute = self._execute
         while True:
-            live = [t for t in threads if not t.finished]
-            if not live:
+            if all(t.state is finished for t in threads):
                 break
             progressed = False
             for thread in threads:
-                if thread.state is not ThreadState.RUNNABLE:
+                if thread.state is not runnable:
                     continue
-                cpu = self._scheduler.cpu_for(thread, self._round)
+                cpu = cpu_for(thread, self._round)
                 op = thread.next_op()
                 if op is None:
                     # Finishing can release a barrier the rest are at.
                     if self._release_barriers(threads):
                         progressed = True
                     continue
-                self._execute(thread, cpu, op)
+                execute(thread, cpu, op)
                 progressed = True
             self._round += 1
             if self._bus.wants_rounds:
@@ -196,11 +237,13 @@ class Engine:
 
     def _execute(self, thread: CThread, cpu: int, op: Op) -> None:
         task = thread.task
-        if isinstance(op, Compute):
-            self._machine.cpu(cpu).charge_user(op.us)
-            self._charge_task(task, op.us)
-        elif isinstance(op, MemBlock):
+        if isinstance(op, MemBlock):
             self._mem_block(cpu, op, task)
+        elif isinstance(op, Compute):
+            us = op.us
+            self._cpus[cpu].charge_user(us)
+            task_us = self.task_user_us
+            task_us[task] = task_us.get(task, 0.0) + us
         elif isinstance(op, Barrier):
             thread.state = ThreadState.WAITING
             thread.waiting_on = op.name
@@ -210,6 +253,7 @@ class Engine:
             self._free_object(cpu, op, task)
         else:
             raise SimulationError(f"unknown operation {op!r}")
+        self.ops_executed += 1
         self._ops_since_tick += 1
         if self._pump_pending:
             # Op granularity, not just policy ticks: local copies on
@@ -239,17 +283,60 @@ class Engine:
     def _mem_block(self, cpu: int, op: MemBlock, task: int = 0) -> None:
         profiler = self._profiler
         started = perf_counter() if profiler is not None else 0.0
-        _, _, writable = self._info_for(op.vpage, task)
-        if op.reads:
-            frame = self._resolve(cpu, op.vpage, AccessKind.READ, task)
-            self._charge_refs(
-                cpu, op.vpage, frame, op.reads, 0, writable, task
-            )
-        if op.writes:
-            frame = self._resolve(cpu, op.vpage, AccessKind.WRITE, task)
-            self._charge_refs(
-                cpu, op.vpage, frame, 0, op.writes, writable, task
-            )
+        vpage = op.vpage
+        reads = op.reads
+        writes = op.writes
+        if self._fast_path:
+            cpu_obj = self._cpus[cpu]
+            entry = cpu_obj.tlb.lookup(vpage, writes > 0)
+            if entry is not None:
+                # FAST PATH: the cached entry proves the MMU would
+                # translate both halves of the block without faulting, so
+                # no protocol action — hence no shootdown — can land
+                # mid-block.  Charge the batch off the cached per-word
+                # costs; read then write halves stay separate charges so
+                # the float sums match the slow path bit for bit.  The
+                # counter updates are the body of ReferenceCounters.record
+                # with the zero half dropped — same state, fewer calls.
+                writable = entry.writable_data
+                location = entry.location
+                task_us = self.task_user_us
+                emit = self._bus.wants_references
+                if reads:
+                    cost = reads * entry.fetch_us
+                    cpu_obj.charge_user(cost)
+                    task_us[task] = task_us.get(task, 0.0) + cost
+                    cpu_obj.all_refs.fetches[location] += reads
+                    if writable:
+                        cpu_obj.data_refs.fetches[location] += reads
+                    if emit:
+                        self._emit_reference_event(
+                            cpu, vpage, reads, 0, location, writable, task
+                        )
+                if writes:
+                    cost = writes * entry.store_us
+                    cpu_obj.charge_user(cost)
+                    task_us[task] = task_us.get(task, 0.0) + cost
+                    cpu_obj.all_refs.stores[location] += writes
+                    if writable:
+                        cpu_obj.data_refs.stores[location] += writes
+                    if emit:
+                        self._emit_reference_event(
+                            cpu, vpage, 0, writes, location, writable, task
+                        )
+                if profiler is not None:
+                    profiler.add("reference_batch", perf_counter() - started)
+                return
+        # SLOW PATH: translate through the MMU, faulting as needed.
+        _, _, writable = self._info_for(vpage, task)
+        if reads:
+            frame = self._resolve(cpu, vpage, AccessKind.READ, task)
+            self._charge_refs(cpu, vpage, frame, reads, 0, writable, task)
+        if writes:
+            frame = self._resolve(cpu, vpage, AccessKind.WRITE, task)
+            self._charge_refs(cpu, vpage, frame, 0, writes, writable, task)
+        if self._fast_path:
+            self._fill_tlb(cpu, vpage, writable)
         if profiler is not None:
             profiler.add("reference_batch", perf_counter() - started)
 
@@ -289,10 +376,10 @@ class Engine:
     ) -> Frame:
         """Translate, faulting as needed; returns the frame accessed."""
         wanted = PROT_READ_WRITE if kind is AccessKind.WRITE else PROT_READ
-        mmu = self._machine.cpu(cpu).mmu
+        mmu = self._cpus[cpu].mmu
         bus = self._bus
         profiler = self._profiler
-        for _ in range(3):
+        for _ in range(MAX_FAULT_RESOLUTION_ATTEMPTS):
             try:
                 return mmu.translate(vpage, wanted)
             except MMUFault:
@@ -323,9 +410,13 @@ class Engine:
                         kind,
                         system_after - system_before,
                     )
-        raise ProtocolError(
+        raise FaultResolutionError(
             f"fault on vpage {vpage} (cpu {cpu}, {kind.value}) did not "
-            "resolve after repeated handling"
+            f"resolve after {MAX_FAULT_RESOLUTION_ATTEMPTS} attempts",
+            cpu=cpu,
+            vpage=vpage,
+            attempts=MAX_FAULT_RESOLUTION_ATTEMPTS,
+            details={"kind": kind.value},
         )
 
     def _charge_refs(
@@ -339,7 +430,7 @@ class Engine:
         task: int = 0,
     ) -> None:
         location = frame.location_for(cpu_id)
-        cpu = self._machine.cpu(cpu_id)
+        cpu = self._cpus[cpu_id]
         cost = self._machine.timing.block_us(location, reads, writes)
         cpu.charge_user(cost)
         self._charge_task(task, cost)
@@ -347,19 +438,58 @@ class Engine:
         if writable_data:
             cpu.data_refs.record(location, reads, writes)
         if self._bus.wants_references:
-            vm_object, offset, _ = self._info_for(vpage, task)
-            page = vm_object.resident_page(offset)  # type: ignore[attr-defined]
-            page_id = page.page_id if page is not None else -1
-            self._bus.emit_reference(
-                self._round,
-                cpu_id,
-                vpage,
-                page_id,
-                reads,
-                writes,
-                location,
-                writable_data,
+            self._emit_reference_event(
+                cpu_id, vpage, reads, writes, location, writable_data, task
             )
+
+    def _emit_reference_event(
+        self,
+        cpu_id: int,
+        vpage: int,
+        reads: int,
+        writes: int,
+        location: MemoryLocation,
+        writable_data: bool,
+        task: int,
+    ) -> None:
+        vm_object, offset, _ = self._info_for(vpage, task)
+        page = vm_object.resident_page(offset)  # type: ignore[attr-defined]
+        page_id = page.page_id if page is not None else -1
+        self._bus.emit_reference(
+            self._round,
+            cpu_id,
+            vpage,
+            page_id,
+            reads,
+            writes,
+            location,
+            writable_data,
+        )
+
+    def _fill_tlb(self, cpu_id: int, vpage: int, writable_data: bool) -> None:
+        """Cache the now-established translation for the next block.
+
+        Filled from the live MMU entry *after* the whole block resolved —
+        a write fault mid-block may have moved the page, and the entry
+        must describe where it ended up.  The cached protection is the
+        MMU's full protection (not the access that faulted), so a read
+        that established a writable mapping fast-paths later writes too.
+        """
+        mmu_entry = self._cpus[cpu_id].mmu.lookup(vpage)
+        if mmu_entry is None:
+            return
+        frame = mmu_entry.frame
+        location = frame.location_for(cpu_id)
+        timing = self._machine.timing
+        self._cpus[cpu_id].tlb.fill(
+            vpage,
+            frame,
+            mmu_entry.protection,
+            location,
+            timing.fetch_us(location),
+            timing.store_us(location),
+            writable_data,
+        )
 
     def _charge_task(self, task: int, microseconds: float) -> None:
         self.task_user_us[task] = (

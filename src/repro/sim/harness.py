@@ -70,6 +70,7 @@ def build_simulation(
     check_invariants: bool = True,
     telemetry: Optional[Telemetry] = None,
     injector: Optional["FaultInjector"] = None,
+    fast_path: bool = True,
 ) -> Simulation:
     """Assemble machine, VM, NUMA layer, and threads for one run.
 
@@ -77,6 +78,9 @@ def build_simulation(
     both end up subscribed to the engine's event bus.  ``injector``
     wires a :class:`~repro.faults.injector.FaultInjector` into the NUMA
     manager's hot paths and the engine's policy tick (chaos runs).
+    ``fast_path=False`` disables the engine's software-TLB fast path
+    (simulated results are identical either way; bench_hotpath measures
+    the difference in simulator throughput).
     """
     if machine_config is None:
         machine_config = ace_config(n_processors)
@@ -110,6 +114,7 @@ def build_simulation(
         scheduler,
         unix_master=unix_master,
         observer=observer,
+        fast_path=fast_path,
     )
     numa.bus = engine.bus
     if injector is not None:
@@ -142,6 +147,7 @@ def run_once(
     observer: Optional[EngineObserver] = None,
     check_invariants: bool = True,
     telemetry: Optional[Telemetry] = None,
+    fast_path: bool = True,
 ) -> RunResult:
     """Run *workload* under *policy* and collect the result."""
     sim = build_simulation(
@@ -155,6 +161,7 @@ def run_once(
         observer=observer,
         check_invariants=check_invariants,
         telemetry=telemetry,
+        fast_path=fast_path,
     )
     if telemetry is not None:
         with telemetry.profiler.span("engine_run"):

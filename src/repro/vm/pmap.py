@@ -99,8 +99,8 @@ class ACEPmap(PmapInterface):
         return self._numa.request(cpu, vpage, page, kind, max_prot)
 
     def pmap_protect(self, vpage: int, prot: Protection, cpu: int) -> None:
-        mmu = self._numa.machine.cpu(cpu).mmu
-        entry = mmu.lookup(vpage)
+        target = self._numa.machine.cpu(cpu)
+        entry = target.mmu.lookup(vpage)
         if entry is None:
             return
         prot = prot.normalized()
@@ -110,11 +110,11 @@ class ACEPmap(PmapInterface):
                 f"({entry.protection!r} -> {prot!r})"
             )
         self._record_protection(entry.frame, vpage, prot, cpu)
-        mmu.protect(vpage, prot)
+        target.protect_translation(vpage, prot, acting_cpu=cpu)
 
     def pmap_remove(self, vpage: int, cpu: int) -> None:
-        mmu = self._numa.machine.cpu(cpu).mmu
-        entry = mmu.remove(vpage)
+        target = self._numa.machine.cpu(cpu)
+        entry = target.remove_translation(vpage, acting_cpu=cpu)
         if entry is None:
             return
         self._forget_mapping(entry.frame, cpu)

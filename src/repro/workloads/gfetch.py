@@ -63,20 +63,25 @@ class Gfetch(Workload):
             # making the buffer writably shared in actual behaviour (not
             # just declaration).
             stripe = max(1, page_words // max(1, ctx.n_threads))
+            vpages = [buffer.vpage_at(i) for i in range(self.buffer_pages)]
             for _ in range(self.init_rounds):
-                for page_index in range(self.buffer_pages):
-                    yield MemBlock(
-                        buffer.vpage_at(page_index), reads=0, writes=stripe
-                    )
+                for vpage in vpages:
+                    yield MemBlock(vpage, reads=0, writes=stripe)
             yield Barrier("gfetch.init")
-            remaining = per_thread
-            page_index = thread % self.buffer_pages
-            while remaining > 0:
-                chunk = min(self.chunk_fetches, remaining)
-                yield MemBlock(
-                    buffer.vpage_at(page_index), reads=chunk, writes=0
-                )
-                remaining -= chunk
-                page_index = (page_index + 1) % self.buffer_pages
+            # Steady state.  Ops are frozen value objects, so the per-page
+            # fetch blocks are built once and re-yielded: the generator
+            # must not itself be a cost the simulator ends up measuring.
+            n_pages = self.buffer_pages
+            full_chunks, tail = divmod(per_thread, self.chunk_fetches)
+            blocks = [
+                MemBlock(vpage, reads=self.chunk_fetches, writes=0)
+                for vpage in vpages
+            ]
+            page_index = thread % n_pages
+            for _ in range(full_chunks):
+                yield blocks[page_index]
+                page_index = (page_index + 1) % n_pages
+            if tail:
+                yield MemBlock(vpages[page_index], reads=tail, writes=0)
 
         return [body(t) for t in range(ctx.n_threads)]

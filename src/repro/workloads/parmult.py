@@ -51,12 +51,15 @@ class ParMult(Workload):
         per_thread = self._split_chunks(n_chunks, ctx.n_threads)
 
         def body(chunks: int) -> ThreadBody:
+            # Grab, then compute.  The grab is one read-modify-write of
+            # the shared counter — the workload-allocation traffic the
+            # paper calls "too infrequent to be visible".  Both ops are
+            # frozen value objects, built once and re-yielded.
+            grab = MemBlock(counter_page, reads=1, writes=1)
+            compute = Compute(self.chunk_mults * MULT_US)
             for _ in range(chunks):
-                # Grab the next chunk: one read-modify-write of the shared
-                # counter.  This is the workload-allocation traffic the
-                # paper calls "too infrequent to be visible".
-                yield MemBlock(counter_page, reads=1, writes=1)
-                yield Compute(self.chunk_mults * MULT_US)
+                yield grab
+                yield compute
 
         return [body(chunks) for chunks in per_thread if chunks > 0]
 

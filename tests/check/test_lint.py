@@ -265,6 +265,71 @@ class TestSeededRandom:
         assert suppressed == 1
 
 
+class TestMMUMutation:
+    def test_direct_mmu_call_flagged_outside_funnel(self):
+        violations, _ = lint(
+            """
+            def sneak(machine, vpage, frame, prot):
+                machine.cpu(0).mmu.enter(vpage, frame, prot)
+            """,
+            "core/numa_manager.py",
+        )
+        assert rule_ids(violations) == ["RN007"]
+
+    def test_every_mutator_name_is_flagged(self):
+        violations, _ = lint(
+            """
+            def sneak(mmu, vpage, frame, prot):
+                mmu.enter(vpage, frame, prot)
+                mmu.remove(vpage)
+                mmu.protect(vpage, prot)
+                mmu.remove_frame(frame)
+            """,
+            "sim/engine.py",
+        )
+        assert rule_ids(violations) == ["RN007"] * 4
+
+    def test_private_attribute_spelling_is_flagged(self):
+        violations, _ = lint(
+            """
+            def sneak(self, vpage):
+                self._mmu.remove(vpage)
+            """,
+            "vm/vm_object.py",
+        )
+        assert rule_ids(violations) == ["RN007"]
+
+    def test_read_only_mmu_calls_are_fine(self):
+        violations, _ = lint(
+            """
+            def peek(mmu, vpage, frame):
+                return mmu.lookup(vpage), mmu.vpage_of(frame)
+            """,
+            "core/numa_manager.py",
+        )
+        assert violations == []
+
+    def test_funnel_layers_are_allowlisted(self):
+        source = """
+        def funnel(self, vpage, frame, prot):
+            self._mmu.enter(vpage, frame, prot)
+        """
+        for relpath in ("machine/cpu.py", "vm/pmap.py"):
+            violations, _ = lint(source, relpath)
+            assert violations == [], relpath
+
+    def test_suppression_comment_honored(self):
+        violations, suppressed = lint(
+            """
+            def sneak(mmu, vpage):
+                mmu.remove(vpage)  # repro-lint: allow[mmu-mutation]
+            """,
+            "core/numa_manager.py",
+        )
+        assert violations == []
+        assert suppressed == 1
+
+
 class TestSuppressions:
     def test_line_suppression_by_name(self):
         violations, suppressed = lint(

@@ -38,6 +38,39 @@ class TestCleanRun:
         assert records[-1]["ok"] is True
 
 
+class TestTLBLayer:
+    """Layer 4: cached-translation reachability over the same walk."""
+
+    def test_tlb_space_is_explored_and_clean(self):
+        report = run_model_check()
+        assert report.n_tlb_configs > report.n_configs
+        assert report.tlb_failures == []
+
+    def test_more_cpus_grow_the_tlb_space(self):
+        small = run_model_check(n_cpus=3).n_tlb_configs
+        assert run_model_check(n_cpus=4).n_tlb_configs > small
+
+    def test_missed_shootdown_is_a_tlb_failure(self, monkeypatch):
+        # Steal a READ_ONLY page for writing without flushing the other
+        # readers: their cached translations survive into LOCAL_WRITABLE,
+        # which the TLB invariant forbids.
+        key = (PlacementDecision.LOCAL, StateKey.READ_ONLY)
+        spec = transitions.WRITE_TABLE[key]
+        monkeypatch.setitem(
+            transitions.WRITE_TABLE,
+            key,
+            ActionSpec(Cleanup.NONE, spec.copy_to_local, spec.new_state),
+        )
+        report = run_model_check()
+        assert not report.ok
+        assert any("cached by" in m for m in report.tlb_failures)
+        assert "TLB coherence failures" in report.format()
+
+    def test_summary_record_counts_tlb_configs(self):
+        records = run_model_check().as_records()
+        assert records[-1]["n_tlb_configs"] > 0
+
+
 class TestTamperDetection:
     """Corrupt the live tables; every layer must notice."""
 

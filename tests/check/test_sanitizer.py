@@ -265,6 +265,95 @@ class TestPinningCheck:
         )
 
 
+class TestTLBCoherenceSweep:
+    """PR 4: cached translations must match live MMU/directory state."""
+
+    def _cached_rig(self):
+        from repro.machine.protection import PROT_READ_WRITE
+        from repro.vm.vm_object import shared_object
+        from tests.conftest import make_rig
+
+        rig = make_rig()
+        region = rig.space.map_object(shared_object("data", 2))
+        vpage = region.vpage_at(0)
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        rig.pmap.pmap_enter(
+            vpage, page, PROT_READ_WRITE, PROT_READ_WRITE, cpu=0
+        )
+        cpu = rig.machine.cpu(0)
+        live = cpu.mmu.lookup(vpage)
+        cpu.tlb.fill(
+            vpage,
+            live.frame,
+            live.protection,
+            live.frame.location_for(0),
+            rig.machine.timing.fetch_us(live.frame.location_for(0)),
+            rig.machine.timing.store_us(live.frame.location_for(0)),
+        )
+        return rig, vpage, cpu
+
+    def test_coherent_state_passes(self):
+        rig, _, _ = self._cached_rig()
+        sanitizer = ProtocolSanitizer(rig.numa)
+        sanitizer.check_directory()
+        assert sanitizer.tlb_checks == 1
+
+    def test_tlb_sweep_has_its_own_counter(self):
+        """`checks` must not move, or chaos baselines stop being stable."""
+        rig, _, _ = self._cached_rig()
+        sanitizer = ProtocolSanitizer(rig.numa)
+        before = sanitizer.checks
+        sanitizer.check_tlbs()
+        assert sanitizer.checks == before
+        assert sanitizer.tlb_checks == 1
+
+    def test_entry_surviving_mmu_remove_raises(self):
+        rig, vpage, cpu = self._cached_rig()
+        sanitizer = ProtocolSanitizer(rig.numa)
+        cpu.mmu.remove(vpage)  # bypasses the CPU invalidation funnel
+        with pytest.raises(ProtocolViolation) as exc:
+            sanitizer.check_tlbs()
+        assert exc.value.check == "tlb-coherence"
+        assert "missed shootdown" in str(exc.value)
+
+    def test_stale_protection_raises(self):
+        from repro.machine.protection import PROT_READ
+
+        rig, vpage, cpu = self._cached_rig()
+        sanitizer = ProtocolSanitizer(rig.numa)
+        cpu.mmu.protect(vpage, PROT_READ)  # again, around the funnel
+        with pytest.raises(ProtocolViolation) as exc:
+            sanitizer.check_tlbs()
+        assert exc.value.check == "tlb-coherence"
+        assert "stale" in str(exc.value)
+
+    def test_wrong_latency_class_raises(self):
+        from repro.machine.timing import MemoryLocation
+
+        rig, vpage, cpu = self._cached_rig()
+        live = cpu.mmu.lookup(vpage)
+        real = live.frame.location_for(0)
+        wrong = (
+            MemoryLocation.GLOBAL
+            if real is MemoryLocation.LOCAL
+            else MemoryLocation.LOCAL
+        )
+        cpu.tlb.invalidate(vpage, acting_cpu=0)
+        cpu.tlb.fill(  # poison: price the frame as if it lived elsewhere
+            vpage,
+            live.frame,
+            live.protection,
+            wrong,
+            rig.machine.timing.fetch_us(wrong),
+            rig.machine.timing.store_us(wrong),
+        )
+        sanitizer = ProtocolSanitizer(rig.numa)
+        with pytest.raises(ProtocolViolation) as exc:
+            sanitizer.check_tlbs()
+        assert exc.value.check == "tlb-coherence"
+        assert "latency class" in str(exc.value)
+
+
 class TestLockHooks:
     def test_abba_through_the_sanitizer_raises(self):
         sanitizer = ProtocolSanitizer(FakeNuma())

@@ -119,3 +119,25 @@ class TestRecovery:
         assert decoded["seed"] == 7
         assert decoded["n_processors"] == 4
         assert "faults" in decoded and "numa" in decoded
+        assert "tlb" in decoded
+
+
+class TestTLBCounters:
+    def test_report_carries_the_full_counter_set(self):
+        report = small_chaos("none")
+        assert set(report.tlb) == {
+            "hits", "misses", "fills", "evictions", "invalidations",
+            "shootdowns", "flushes",
+        }
+        # The single shared counter page ping-pongs between writers, so
+        # fills land but almost never survive to a hit in this workload.
+        assert report.tlb["fills"] > 0
+
+    def test_frame_loss_recovery_shoots_down_tlbs(self):
+        """Offlining a frame must invalidate from another CPU's context."""
+        report = small_chaos("frame-loss")
+        assert report.faults["injected_frame_fail"] > 0
+        assert report.tlb["shootdowns"] > 0
+
+    def test_tlb_counters_are_deterministic(self):
+        assert small_chaos("storm").tlb == small_chaos("storm").tlb

@@ -60,6 +60,22 @@ class TestEnter:
         mmu.enter(11, frame(0), PROT_READ)
         assert mmu.translate(11, PROT_READ) == frame(0)
 
+    def test_replacing_translation_drops_reverse_entry(self, mmu):
+        """The stale frame must not resolve back to the vpage."""
+        mmu.enter(10, frame(0), PROT_READ)
+        mmu.enter(10, frame(1), PROT_READ)
+        assert mmu.vpage_of(frame(0)) is None
+        assert mmu.vpage_of(frame(1)) == 10
+
+    def test_one_vpage_per_frame_violation_reports_both_vpages(self, mmu):
+        from repro.errors import MappingError
+
+        mmu.enter(10, frame(0), PROT_READ)
+        with pytest.raises(MappingError) as excinfo:
+            mmu.enter(11, frame(0), PROT_READ)
+        message = str(excinfo.value)
+        assert "10" in message and "11" in message
+
 
 class TestRemove:
     def test_remove_returns_entry(self, mmu):
@@ -80,6 +96,19 @@ class TestRemove:
 
     def test_remove_frame_missing_is_none(self, mmu):
         assert mmu.remove_frame(frame(5)) is None
+
+    def test_remove_drops_reverse_entry(self, mmu):
+        """After remove, the frame is free to map at another VA."""
+        mmu.enter(10, frame(0), PROT_READ)
+        mmu.remove(10)
+        assert mmu.vpage_of(frame(0)) is None
+        mmu.enter(11, frame(0), PROT_READ)
+        assert mmu.translate(11, PROT_READ) == frame(0)
+
+    def test_remove_frame_drops_forward_entry(self, mmu):
+        mmu.enter(10, frame(0), PROT_READ)
+        mmu.remove_frame(frame(0))
+        assert mmu.lookup(10) is None
 
 
 class TestProtect:

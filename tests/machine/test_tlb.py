@@ -1,0 +1,165 @@
+"""The per-CPU software TLB: lookups, fills, and the shootdown funnel."""
+
+import pytest
+
+from repro.machine.memory import Frame, FrameKind
+from repro.machine.protection import PROT_READ, PROT_READ_WRITE
+from repro.machine.timing import MemoryLocation
+from repro.machine.tlb import DEFAULT_TLB_ENTRIES, SoftwareTLB
+from repro.vm.vm_object import shared_object
+from tests.conftest import make_rig
+
+
+def frame(index: int) -> Frame:
+    return Frame(FrameKind.GLOBAL, None, index)
+
+
+def fill(tlb, vpage, prot=PROT_READ_WRITE, index=0):
+    return tlb.fill(
+        vpage, frame(index), prot, MemoryLocation.GLOBAL, 2.6, 3.0
+    )
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        tlb = SoftwareTLB(cpu_id=0)
+        assert tlb.lookup(10) is None
+        fill(tlb, 10)
+        entry = tlb.lookup(10)
+        assert entry is not None and entry.frame == frame(0)
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_write_lookup_on_read_only_entry_is_a_miss(self):
+        """A protection upgrade must trap to the slow path."""
+        tlb = SoftwareTLB(cpu_id=0)
+        fill(tlb, 10, prot=PROT_READ)
+        assert tlb.lookup(10, need_write=True) is None
+        assert tlb.misses == 1
+        # ...but the read-only entry stays cached for later reads.
+        assert tlb.lookup(10, need_write=False) is not None
+
+    def test_hit_ratio_none_before_lookups(self):
+        tlb = SoftwareTLB(cpu_id=0)
+        assert tlb.hit_ratio is None
+        tlb.lookup(10)
+        assert tlb.hit_ratio == 0.0
+
+    def test_entry_caches_latency_class(self):
+        tlb = SoftwareTLB(cpu_id=0)
+        fill(tlb, 10)
+        entry = tlb.lookup(10)
+        assert entry.location is MemoryLocation.GLOBAL
+        assert entry.fetch_us == 2.6 and entry.store_us == 3.0
+        assert entry.writable and not entry.writable_data
+
+
+class TestFillAndEvict:
+    def test_fifo_eviction_at_capacity(self):
+        tlb = SoftwareTLB(cpu_id=0, capacity=2)
+        fill(tlb, 10, index=0)
+        fill(tlb, 11, index=1)
+        fill(tlb, 12, index=2)  # evicts vpage 10, the oldest
+        assert tlb.lookup(10) is None
+        assert tlb.lookup(11) is not None
+        assert tlb.lookup(12) is not None
+        assert tlb.evictions == 1 and len(tlb) == 2
+
+    def test_refresh_does_not_evict(self):
+        tlb = SoftwareTLB(cpu_id=0, capacity=2)
+        fill(tlb, 10)
+        fill(tlb, 11)
+        fill(tlb, 10, prot=PROT_READ)  # refresh in place
+        assert tlb.evictions == 0 and len(tlb) == 2
+        assert not tlb.lookup(10).writable
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SoftwareTLB(cpu_id=0, capacity=0)
+
+    def test_default_capacity(self):
+        assert SoftwareTLB(0).capacity == DEFAULT_TLB_ENTRIES
+
+
+class TestInvalidate:
+    def test_same_cpu_invalidation_is_not_a_shootdown(self):
+        tlb = SoftwareTLB(cpu_id=0)
+        fill(tlb, 10)
+        assert tlb.invalidate(10, acting_cpu=0)
+        assert tlb.invalidations == 1 and tlb.shootdowns == 0
+
+    def test_cross_cpu_invalidation_counts_a_shootdown(self):
+        tlb = SoftwareTLB(cpu_id=0)
+        fill(tlb, 10)
+        assert tlb.invalidate(10, acting_cpu=3)
+        assert tlb.shootdowns == 1 and tlb.invalidations == 1
+
+    def test_shootdown_counted_even_when_nothing_cached(self):
+        """The IPI is sent whether or not the slot was live."""
+        tlb = SoftwareTLB(cpu_id=0)
+        assert not tlb.invalidate(99, acting_cpu=1)
+        assert tlb.shootdowns == 1 and tlb.invalidations == 0
+
+    def test_flush_drops_everything(self):
+        tlb = SoftwareTLB(cpu_id=0)
+        fill(tlb, 10)
+        fill(tlb, 11, index=1)
+        assert tlb.flush() == 2
+        assert len(tlb) == 0
+        assert tlb.flushes == 1 and tlb.invalidations == 2
+
+    def test_counters_snapshot_keys(self):
+        counters = SoftwareTLB(0).counters()
+        assert set(counters) == {
+            "hits", "misses", "fills", "evictions", "invalidations",
+            "shootdowns", "flushes",
+        }
+
+
+class TestCPUFunnel:
+    """Every MMU mutation through the CPU drops the cached entry."""
+
+    def _mapped_and_cached(self, rig, cpu=0):
+        region = rig.space.map_object(shared_object("data", 2))
+        vpage = region.vpage_at(0)
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        rig.pmap.pmap_enter(
+            vpage, page, PROT_READ_WRITE, PROT_READ_WRITE, cpu=cpu
+        )
+        target = rig.machine.cpu(cpu)
+        live = target.mmu.lookup(vpage)
+        target.tlb.fill(
+            vpage,
+            live.frame,
+            live.protection,
+            live.frame.location_for(cpu),
+            2.6,
+            3.0,
+        )
+        assert target.tlb.lookup(vpage) is not None
+        return region, vpage, target
+
+    def test_remove_translation_invalidates(self):
+        rig = make_rig()
+        _, vpage, target = self._mapped_and_cached(rig)
+        target.remove_translation(vpage, acting_cpu=0)
+        assert target.tlb.lookup(vpage) is None
+
+    def test_protect_translation_invalidates(self):
+        rig = make_rig()
+        _, vpage, target = self._mapped_and_cached(rig)
+        target.protect_translation(vpage, PROT_READ, acting_cpu=0)
+        assert target.tlb.lookup(vpage) is None
+
+    def test_pmap_remove_all_shoots_down_every_tlb(self):
+        """Coherence under the protocol's broadest invalidation."""
+        rig = make_rig()
+        region, vpage, target = self._mapped_and_cached(rig)
+        page = rig.pool.resident_or_allocate(region.vm_object, 0)
+        before = target.tlb.shootdowns
+        rig.numa.remove_all_mappings(page, acting_cpu=2)
+        assert target.tlb.lookup(vpage) is None
+        assert target.tlb.shootdowns == before + 1
+        # And nothing anywhere still caches a translation the MMU lost.
+        for cpu in rig.machine.cpus:
+            for cached in cpu.tlb.entries():
+                assert cpu.mmu.lookup(cached.vpage) is not None

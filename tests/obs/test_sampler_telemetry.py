@@ -133,6 +133,32 @@ class TestTelemetryInstruments:
         assert "fault_handling" in names
         assert "reference_batch" in names
 
+    def test_tlb_counters_present_and_consistent(self):
+        _, telemetry = run_with_telemetry("Gfetch")
+        flat = telemetry.registry.as_dict()
+        for key in ("tlb_hits", "tlb_misses", "tlb_fills",
+                    "tlb_shootdowns"):
+            assert key in flat, key
+        assert flat["tlb_hits"] > 0
+        # Every miss on the reference path fills (or refreshes) an entry.
+        assert flat["tlb_fills"] <= flat["tlb_misses"]
+
+    def test_tlb_hit_ratio_gauge(self):
+        _, telemetry = run_with_telemetry("Gfetch")
+        flat = telemetry.registry.as_dict()
+        ratio = telemetry.registry.gauges["tlb_hit_ratio"].value
+        lookups = flat["tlb_hits"] + flat["tlb_misses"]
+        assert ratio == flat["tlb_hits"] / lookups
+        assert 0.0 < ratio <= 1.0
+
+    def test_samples_carry_tlb_windows(self):
+        _, telemetry = run_with_telemetry("Gfetch", interval=4)
+        records = [s.as_record() for s in telemetry.samples]
+        assert all("tlb_hit" in r and "tlb_shootdowns" in r for r in records)
+        # Window hit fractions are deltas, so each stays within [0, 1].
+        ratios = [r["tlb_hit"] for r in records if r["tlb_hit"] is not None]
+        assert ratios and all(0.0 <= value <= 1.0 for value in ratios)
+
     def test_to_records_contains_all_sections(self):
         _, telemetry = run_with_telemetry("FFT")
         records = telemetry.to_records({"workload": "FFT"})
