@@ -57,6 +57,7 @@ def test_mix_preserves_each_applications_locality(benchmark, pair):
             [FACTORIES[name]() for name in pair],
             MoveThresholdPolicy(4),
             n_processors=7,
+            check_invariants=False,
         )
         return standalone, mix
 
@@ -81,11 +82,13 @@ def test_global_placement_hurts_the_mix_too(benchmark):
             [FACTORIES[name]() for name in pair],
             MoveThresholdPolicy(4),
             n_processors=7,
+            check_invariants=False,
         )
         all_global = run_mix(
             [FACTORIES[name]() for name in pair],
             AllGlobalPolicy(),
             n_processors=7,
+            check_invariants=False,
         )
         return numa, all_global
 

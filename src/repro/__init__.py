@@ -33,6 +33,7 @@ from repro.core.policies import (
     ReconsiderPolicy,
 )
 from repro.core.policy import NUMAPolicy
+from repro.exp import ResultCache, RunSpec, run_batch
 from repro.machine import MachineConfig, Machine, ace_config
 from repro.sim.harness import (
     PlacementMeasurement,
@@ -67,6 +68,9 @@ __all__ = [
     "PragmaPolicy",
     "ReconsiderPolicy",
     "NUMAPolicy",
+    "ResultCache",
+    "RunSpec",
+    "run_batch",
     "MachineConfig",
     "Machine",
     "ace_config",

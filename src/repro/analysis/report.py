@@ -13,7 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.analysis import model as eqs
 from repro.analysis.paper import TABLE_3, TABLE_4
 from repro.sim.harness import PlacementMeasurement, measure_placement
-from repro.workloads import TABLE_3_WORKLOADS, TABLE_4_WORKLOADS
+from repro.workloads import TABLE_4_WORKLOADS
 from repro.workloads.base import Workload
 
 
@@ -59,39 +59,98 @@ class Evaluation:
         raise KeyError(application)
 
 
+def _row_from_measurement(
+    name: str, measurement: PlacementMeasurement
+) -> EvaluationRow:
+    """Solve the model for one application's three measured runs."""
+    params = eqs.solve(
+        measurement.t_global_s,
+        measurement.t_numa_s,
+        measurement.t_local_s,
+        measurement.g_over_l,
+    )
+    return EvaluationRow(
+        application=name, measurement=measurement, params=params
+    )
+
+
 def run_evaluation(
     workloads: Optional[Dict[str, Callable[[], Workload]]] = None,
     n_processors: int = 7,
     threshold: int = 4,
     check_invariants: bool = False,
+    *,
+    apps: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    jobs: int = 1,
+    cache=None,
+    registry=None,
+    bus=None,
+    progress=None,
 ) -> Evaluation:
     """Measure Tnuma/Tglobal/Tlocal and solve the model for each app.
 
     Invariant checking is off by default here purely for speed; the test
     suite runs the same workloads with it on.
+
+    With ``workloads=None`` (the CLI's path) the evaluation is expressed
+    as a declarative :func:`~repro.exp.grid.table3_grid` and executed by
+    the batch orchestrator, which unlocks ``jobs`` worker processes, the
+    on-disk result ``cache``, and ``batch_*`` telemetry
+    (``registry``/``bus``/``progress`` pass straight through to
+    :func:`~repro.exp.batch.run_batch`).  ``apps`` restricts the grid
+    and ``quick`` selects the scaled-down workload instances.  Passing
+    an explicit ``workloads`` dict (custom factories the registries
+    cannot rebuild) keeps the classic in-process loop; the two paths
+    produce identical measurements because both execute the exact
+    :func:`~repro.exp.grid.placement_specs` triple.
     """
     if workloads is None:
-        workloads = dict(TABLE_3_WORKLOADS)
+        from repro.exp.batch import run_batch
+        from repro.exp.grid import flatten, table3_grid
+
+        groups = table3_grid(
+            apps=apps,
+            n_processors=n_processors,
+            threshold=threshold,
+            quick=quick,
+            check_invariants=check_invariants,
+        )
+        batch = run_batch(
+            flatten(groups),
+            jobs=jobs,
+            cache=cache,
+            registry=registry,
+            bus=bus,
+            progress=progress,
+        )
+        rows = []
+        for index, group in enumerate(groups):
+            tnuma, tglobal, tlocal = (
+                row.outcome.result
+                for row in batch.rows[3 * index: 3 * index + 3]
+            )
+            measurement = PlacementMeasurement(
+                workload=group.application,
+                g_over_l=group.tnuma.resolve_workload().g_over_l,
+                numa=tnuma,
+                all_global=tglobal,
+                local=tlocal,
+            )
+            rows.append(_row_from_measurement(group.application, measurement))
+        return Evaluation(
+            rows=rows, n_processors=n_processors, threshold=threshold
+        )
+
     rows = []
     for name, factory in workloads.items():
-        workload = factory()
         measurement = measure_placement(
-            workload,
+            factory(),
             n_processors=n_processors,
             threshold=threshold,
             check_invariants=check_invariants,
         )
-        params = eqs.solve(
-            measurement.t_global_s,
-            measurement.t_numa_s,
-            measurement.t_local_s,
-            workload.g_over_l,
-        )
-        rows.append(
-            EvaluationRow(
-                application=name, measurement=measurement, params=params
-            )
-        )
+        rows.append(_row_from_measurement(name, measurement))
     return Evaluation(rows=rows, n_processors=n_processors, threshold=threshold)
 
 

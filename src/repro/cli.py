@@ -69,6 +69,36 @@ def _find_workload(workloads: Dict[str, Callable], name: str) -> Callable:
     )
 
 
+def _cache_from(args: argparse.Namespace):
+    """The ``ResultCache`` the command-line flags ask for (or ``None``).
+
+    ``--cache-dir`` opts a command into the on-disk result cache;
+    ``--no-cache`` wins over it (the ``batch`` command defaults the
+    directory on, so it needs the off switch).
+    """
+    if getattr(args, "no_cache", False) or not args.cache_dir:
+        return None
+    from repro.exp.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _evaluation_from_args(args: argparse.Namespace):
+    """The Tables 3–4 evaluation, via the batch orchestrator.
+
+    All evaluation-shaped commands (``table3``, ``table4``, ``alpha``,
+    ``all``) share this path, so ``--quick``, ``--jobs`` and
+    ``--cache-dir`` behave identically across them.
+    """
+    return run_evaluation(
+        n_processors=args.processors,
+        threshold=args.threshold,
+        quick=args.quick,
+        jobs=args.jobs,
+        cache=_cache_from(args),
+    )
+
+
 def _sink_evaluation(args: argparse.Namespace, evaluation) -> None:
     """Push one evaluation (Tables 3/4 data) into the ``--json`` sink."""
     sink: JsonSink = args.sink
@@ -95,33 +125,21 @@ def _sink_evaluation(args: argparse.Namespace, evaluation) -> None:
 
 def cmd_table3(args: argparse.Namespace) -> None:
     """Regenerate Table 3."""
-    evaluation = run_evaluation(
-        _workload_set(args.quick),
-        n_processors=args.processors,
-        threshold=args.threshold,
-    )
+    evaluation = _evaluation_from_args(args)
     _sink_evaluation(args, evaluation)
     print(format_table3(evaluation))
 
 
 def cmd_table4(args: argparse.Namespace) -> None:
     """Regenerate Table 4."""
-    evaluation = run_evaluation(
-        _workload_set(args.quick),
-        n_processors=args.processors,
-        threshold=args.threshold,
-    )
+    evaluation = _evaluation_from_args(args)
     _sink_evaluation(args, evaluation)
     print(format_table4(evaluation))
 
 
 def cmd_alpha(args: argparse.Namespace) -> None:
     """Model-recovered versus directly measured α."""
-    evaluation = run_evaluation(
-        _workload_set(args.quick),
-        n_processors=args.processors,
-        threshold=args.threshold,
-    )
+    evaluation = _evaluation_from_args(args)
     _sink_evaluation(args, evaluation)
     print(format_measured_alpha(evaluation))
 
@@ -222,37 +240,47 @@ def cmd_latency(args: argparse.Namespace) -> None:
 
 def cmd_sweep(args: argparse.Namespace) -> None:
     """Move-threshold ablation: γ and overhead versus the threshold."""
-    workloads = _workload_set(args.quick)
-    thresholds = [0, 1, 2, 4, 8, 16]
+    from repro.exp.batch import run_batch
+    from repro.exp.grid import threshold_grid
+
+    thresholds = args.thresholds or [0, 1, 2, 4, 8, 16]
     names = args.apps or ["Primes3", "IMatMult"]
-    for name in names:
-        factory = _find_workload(workloads, name)
-        print(f"{name}: threshold sweep ({args.processors} processors)")
+    sweeps = threshold_grid(
+        names,
+        thresholds,
+        n_processors=args.processors,
+        quick=args.quick,
+    )
+    batch = run_batch(
+        [spec for sweep in sweeps for spec in sweep.specs],
+        jobs=args.jobs,
+        cache=_cache_from(args),
+    )
+    by_fp = {row.spec.fingerprint(): row.outcome for row in batch.rows}
+    for sweep in sweeps:
+        base_local = by_fp[sweep.tlocal.fingerprint()].result.user_time_s
+        print(
+            f"{sweep.application}: threshold sweep "
+            f"({args.processors} processors)"
+        )
         print("  thresh   Tnuma    Snuma   moves   gamma")
-        base_local: Optional[float] = None
-        for threshold in thresholds:
-            m = measure_placement(
-                factory(),
-                n_processors=args.processors,
-                threshold=threshold,
-            )
-            if base_local is None:
-                base_local = m.t_local_s
+        for threshold, spec in sweep.tnuma.items():
+            numa = by_fp[spec.fingerprint()].result
             args.sink.add(
                 {
                     "t": "sweep_point",
-                    "application": name,
+                    "application": sweep.application,
                     "threshold": threshold,
-                    "t_numa_s": m.t_numa_s,
-                    "s_numa_s": m.numa.system_time_s,
-                    "moves": m.numa.stats.moves,
-                    "gamma": m.t_numa_s / base_local,
+                    "t_numa_s": numa.user_time_s,
+                    "s_numa_s": numa.system_time_s,
+                    "moves": numa.stats.moves,
+                    "gamma": numa.user_time_s / base_local,
                 }
             )
             print(
-                f"  {threshold:>6d}  {m.t_numa_s:>6.2f}  "
-                f"{m.numa.system_time_s:>7.2f}  {m.numa.stats.moves:>6d}  "
-                f"{m.t_numa_s / base_local:>6.3f}"
+                f"  {threshold:>6d}  {numa.user_time_s:>6.2f}  "
+                f"{numa.system_time_s:>7.2f}  {numa.stats.moves:>6d}  "
+                f"{numa.user_time_s / base_local:>6.3f}"
             )
         print()
 
@@ -419,6 +447,7 @@ def cmd_mix(args: argparse.Namespace) -> None:
         [factory() for factory in factories],
         MoveThresholdPolicy(args.threshold),
         n_processors=args.processors,
+        check_invariants=False,
     )
     for task in mix.tasks:
         solo = standalone[task.workload]
@@ -463,6 +492,100 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Run a spec grid through the orchestrator, cached and resumable.
+
+    ``--grid`` picks the sweep: the full Tables 3–4 matrix (default),
+    the move-threshold ablation, or a chaos seed fan.  Results land in
+    the on-disk cache (default ``.repro-cache/``), so re-running the
+    same batch — or interrupting and resuming it — only simulates what
+    is missing.  The last stdout line is the batch summary as one JSON
+    object; ``--require-cache-ratio`` turns the summary into an exit
+    code (1 when too little came from cache) for CI assertions.
+    """
+    import json as _json
+
+    from repro.exp.batch import run_batch
+    from repro.exp.grid import (
+        flatten,
+        seed_fan,
+        table3_grid,
+        threshold_grid,
+    )
+    from repro.exp.cache import DEFAULT_CACHE_DIR
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.cache_dir is None:
+        args.cache_dir = DEFAULT_CACHE_DIR
+
+    if args.grid == "table3":
+        specs = flatten(
+            table3_grid(
+                apps=args.apps,
+                n_processors=args.processors,
+                threshold=args.threshold,
+                quick=args.quick,
+            )
+        )
+    elif args.grid == "sweep":
+        specs = flatten(
+            threshold_grid(
+                args.apps or ["Primes3", "IMatMult"],
+                args.thresholds or [0, 1, 2, 4, 8, 16],
+                n_processors=args.processors,
+                quick=args.quick,
+            )
+        )
+    else:  # chaos seed fan
+        specs = flatten(
+            seed_fan(
+                name,
+                args.profile,
+                args.seeds or [0, 1, 2],
+                n_processors=args.processors,
+                threshold=args.threshold,
+                quick=args.quick,
+            )
+            for name in (args.apps or ["ParMult"])
+        )
+
+    registry = MetricsRegistry()
+    batch = run_batch(
+        specs,
+        jobs=args.jobs,
+        cache=_cache_from(args),
+        registry=registry,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    for row in batch.rows:
+        args.sink.add(
+            {
+                "t": "batch_spec",
+                "fingerprint": row.spec.fingerprint(),
+                "label": row.spec.label,
+                "kind": row.outcome.kind,
+                "cached": row.cached,
+            }
+        )
+    summary = batch.as_dict()
+    args.sink.add({"t": "batch_summary", **summary})
+    args.sink.extend(
+        {**record, "t": "batch_metric"} for record in registry.as_records()
+    )
+    print(_json.dumps(summary, sort_keys=True))
+    if (
+        args.require_cache_ratio is not None
+        and batch.cache_ratio < args.require_cache_ratio
+    ):
+        print(
+            f"repro-numa batch: cache ratio {batch.cache_ratio:.3f} below "
+            f"required {args.require_cache_ratio:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repro-specific static lint over the package sources."""
     from repro.check import lint_paths
@@ -498,11 +621,7 @@ def cmd_report(args: argparse.Namespace) -> None:
 
 def cmd_all(args: argparse.Namespace) -> None:
     """Everything: tables, figures, latencies, α check."""
-    evaluation = run_evaluation(
-        _workload_set(args.quick),
-        n_processors=args.processors,
-        threshold=args.threshold,
-    )
+    evaluation = _evaluation_from_args(args)
     _sink_evaluation(args, evaluation)
     print(format_table3(evaluation))
     print()
@@ -547,6 +666,20 @@ def _add_global_options(parser: argparse.ArgumentParser, root: bool) -> None:
         default=None if root else argparse.SUPPRESS,
         help="also dump the command's data as JSON lines to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1 if root else argparse.SUPPRESS,
+        help="worker processes for batched sweeps "
+             "(default 1: serial, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None if root else argparse.SUPPRESS,
+        help="serve/store sweep results in an on-disk cache at PATH "
+             "(the batch command defaults to .repro-cache)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -574,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics": cmd_metrics,
         "chaos": cmd_chaos,
         "mix": cmd_mix,
+        "batch": cmd_batch,
         "lint": cmd_lint,
         "modelcheck": cmd_modelcheck,
         "report": cmd_report,
@@ -583,12 +717,53 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=func.__doc__)
         sub.set_defaults(func=func)
         _add_global_options(sub, root=False)
-        if name in ("sweep", "advise", "speedup", "mix"):
+        if name in ("sweep", "advise", "speedup", "mix", "batch"):
             sub.add_argument(
                 "--apps",
                 nargs="*",
                 default=None,
                 help="applications to analyze",
+            )
+        if name in ("sweep", "batch"):
+            sub.add_argument(
+                "--thresholds",
+                nargs="*",
+                type=int,
+                default=None,
+                help="move thresholds to sweep (default 0 1 2 4 8 16)",
+            )
+        if name == "batch":
+            sub.add_argument(
+                "--grid",
+                choices=("table3", "sweep", "chaos"),
+                default="table3",
+                help="spec grid to run: the Tables 3-4 matrix (default), "
+                     "the move-threshold ablation, or a chaos seed fan",
+            )
+            sub.add_argument(
+                "--profile",
+                default="transient",
+                help="fault profile for --grid chaos (default transient)",
+            )
+            sub.add_argument(
+                "--seeds",
+                nargs="*",
+                type=int,
+                default=None,
+                help="fault-plan seeds for --grid chaos (default 0 1 2)",
+            )
+            sub.add_argument(
+                "--no-cache",
+                action="store_true",
+                help="run without the on-disk result cache",
+            )
+            sub.add_argument(
+                "--require-cache-ratio",
+                type=float,
+                default=None,
+                metavar="RATIO",
+                help="exit 1 unless at least RATIO of the unique specs "
+                     "came from the cache (CI resumability assertion)",
             )
         if name == "metrics":
             sub.add_argument(

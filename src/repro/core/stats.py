@@ -103,6 +103,24 @@ class NUMAStats:
             )
         return delta
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "NUMAStats":
+        """Rebuild counters from an :meth:`as_dict` view.
+
+        The experiment cache stores run results as JSON; this is the
+        inverse that makes ``as_dict`` a lossless round trip.
+        """
+        stats = cls()
+        stats.faults = {
+            AccessKind.READ: int(data.get("read_faults", 0)),
+            AccessKind.WRITE: int(data.get("write_faults", 0)),
+        }
+        for spec in fields(cls):
+            if spec.name == "faults":
+                continue
+            setattr(stats, spec.name, int(data.get(spec.name, 0)))
+        return stats
+
     def as_dict(self) -> Dict[str, int]:
         """Flat dictionary view for reports."""
         return {

@@ -1,0 +1,68 @@
+"""Experiment orchestration: declarative specs, sweeps, caching, fan-out.
+
+The paper's evaluation is a parameter-sweep matrix; this package turns
+it into data.  :class:`~repro.exp.spec.RunSpec` captures one simulation
+declaratively, :mod:`repro.exp.grid` expands sweeps into spec lists,
+:func:`~repro.exp.batch.run_batch` executes them with fingerprint
+deduplication, an on-disk :class:`~repro.exp.cache.ResultCache`, and
+:class:`~repro.exp.runner.ParallelRunner` process fan-out.
+
+Quick start::
+
+    from repro.exp import ResultCache, run_batch, table3_grid
+    from repro.exp.grid import flatten
+
+    grid = flatten(table3_grid(quick=True))
+    batch = run_batch(grid, jobs=4, cache=ResultCache())
+    for row in batch.rows:
+        print(row.spec.label, row.cached, row.outcome.result.summary())
+"""
+
+from repro.exp.batch import BatchResult, SpecOutcome, run_batch
+from repro.exp.cache import CACHE_SCHEMA, DEFAULT_CACHE_DIR, ResultCache
+from repro.exp.grid import (
+    Matrix,
+    PlacementSpecs,
+    ThresholdSweep,
+    flatten,
+    placement_specs,
+    registry_names,
+    seed_fan,
+    table3_grid,
+    threshold_grid,
+)
+from repro.exp.runner import ParallelRunner, default_jobs
+from repro.exp.spec import (
+    POLICY_REGISTRY,
+    SPEC_SCHEMA,
+    Outcome,
+    RunSpec,
+    resolve_policy,
+    resolve_workload,
+)
+
+__all__ = [
+    "BatchResult",
+    "SpecOutcome",
+    "run_batch",
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "Matrix",
+    "PlacementSpecs",
+    "ThresholdSweep",
+    "flatten",
+    "placement_specs",
+    "registry_names",
+    "seed_fan",
+    "table3_grid",
+    "threshold_grid",
+    "ParallelRunner",
+    "default_jobs",
+    "POLICY_REGISTRY",
+    "SPEC_SCHEMA",
+    "Outcome",
+    "RunSpec",
+    "resolve_policy",
+    "resolve_workload",
+]

@@ -1,0 +1,182 @@
+"""The batch orchestrator: specs in, outcomes out, nothing recomputed.
+
+:func:`run_batch` is the one place sweeps execute.  It deduplicates the
+spec list by fingerprint, serves whatever the
+:class:`~repro.exp.cache.ResultCache` already holds, fans the remainder
+out through a :class:`~repro.exp.runner.ParallelRunner`, writes fresh
+results back to the cache as they land (so an interrupted sweep resumes
+where it stopped), and accounts for all of it through the existing
+telemetry surfaces: ``batch_*`` counters/gauges in a
+:class:`~repro.obs.metrics.MetricsRegistry` and progress events on an
+:class:`~repro.obs.events.EventBus` (hooks ``on_batch_spec_finished``
+and ``on_batch_end``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exp.cache import ResultCache
+from repro.exp.runner import ParallelRunner
+from repro.exp.spec import Outcome, RunSpec
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SpecOutcome:
+    """One spec's batched result and where it came from."""
+
+    spec: RunSpec
+    outcome: Outcome
+    #: Whether the outcome was served from the result cache.
+    cached: bool
+
+
+@dataclass
+class BatchResult:
+    """Everything one :func:`run_batch` call produced."""
+
+    #: Per-input-spec outcomes, aligned with the submitted list
+    #: (duplicates share one execution but each gets its row).
+    rows: List[SpecOutcome]
+    #: Unique specs submitted (after fingerprint deduplication).
+    unique: int
+    #: Unique specs actually simulated this invocation.
+    executed: int
+    #: Unique specs served from the result cache.
+    cache_hits: int
+    #: Host wall-clock for the whole batch, seconds.
+    wall_s: float
+    #: Worker processes used (1 = serial, in-process).
+    jobs: int
+
+    @property
+    def outcomes(self) -> List[Outcome]:
+        """Just the outcomes, aligned with the submitted spec list."""
+        return [row.outcome for row in self.rows]
+
+    @property
+    def cache_ratio(self) -> float:
+        """Fraction of unique specs served from cache (1.0 when empty)."""
+        if self.unique == 0:
+            return 1.0
+        return self.cache_hits / self.unique
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic summary view (the CLI's ``--json`` record)."""
+        return {
+            "specs": len(self.rows),
+            "unique": self.unique,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_ratio": round(self.cache_ratio, 4),
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+def run_batch(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry: Optional[MetricsRegistry] = None,
+    bus: Optional[EventBus] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BatchResult:
+    """Execute *specs* with deduplication, caching, and fan-out.
+
+    Serial execution (``jobs=1``) runs in-process on exactly the path
+    the classic drivers take, so its results are bit-identical to
+    calling them directly; parallel execution is value-identical (the
+    simulations are deterministic and marshalled as plain dicts).
+
+    Only fully declarative specs are cached — a spec that cannot be
+    rebuilt from registries alone has no trustworthy identity.
+    """
+    started = time.perf_counter()
+    total = len(specs)
+
+    # Deduplicate, preserving first-seen order.
+    order: List[str] = []
+    unique: Dict[str, RunSpec] = {}
+    for spec in specs:
+        fp = spec.fingerprint()
+        order.append(fp)
+        if fp not in unique:
+            unique[fp] = spec
+
+    done = 0
+    outcomes: Dict[str, Outcome] = {}
+    cached_fps: set = set()
+
+    def _announce(spec: RunSpec, cached: bool) -> None:
+        nonlocal done
+        done += 1
+        if bus is not None:
+            bus.emit_batch_spec_finished(
+                done, len(unique), spec.fingerprint(), spec.label, cached
+            )
+        if progress is not None:
+            source = "cached" if cached else f"ran ({jobs} jobs)"
+            progress(f"[{done}/{len(unique)}] {spec.label}: {source}")
+
+    # Phase 1: serve from the cache.
+    to_run: List[RunSpec] = []
+    for fp in unique:
+        spec = unique[fp]
+        hit = None
+        if cache is not None and spec.is_declarative():
+            hit = cache.get(spec)
+        if hit is not None:
+            outcomes[fp] = hit
+            cached_fps.add(fp)
+            _announce(spec, cached=True)
+        else:
+            to_run.append(spec)
+
+    # Phase 2: simulate the remainder, filling the cache as results land
+    # so an interrupted sweep resumes from what already completed.
+    def _on_result(spec: RunSpec, outcome: Outcome) -> None:
+        if cache is not None and spec.is_declarative():
+            cache.put(spec, outcome)
+        _announce(spec, cached=False)
+
+    if to_run:
+        runner = ParallelRunner(jobs=jobs)
+        fresh = runner.run(to_run, on_result=_on_result)
+        for spec, outcome in zip(to_run, fresh):
+            outcomes[spec.fingerprint()] = outcome
+
+    wall_s = time.perf_counter() - started
+    result = BatchResult(
+        rows=[
+            SpecOutcome(
+                spec=unique[fp],
+                outcome=outcomes[fp],
+                cached=fp in cached_fps,
+            )
+            for fp in order
+        ],
+        unique=len(unique),
+        executed=len(to_run),
+        cache_hits=len(cached_fps),
+        wall_s=wall_s,
+        jobs=jobs,
+    )
+
+    if registry is not None:
+        registry.counter("batch_specs").inc(total)
+        registry.counter("batch_unique_specs").inc(result.unique)
+        registry.counter("batch_executed").inc(result.executed)
+        registry.counter("batch_cache_hits").inc(result.cache_hits)
+        registry.gauge("batch_cache_ratio").set(result.cache_ratio)
+        registry.gauge("batch_jobs").set(float(jobs))
+        registry.gauge("batch_wall_s").set(wall_s)
+    if bus is not None:
+        bus.emit_batch_end(
+            result.unique, result.executed, result.cache_hits, wall_s
+        )
+    return result

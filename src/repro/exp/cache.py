@@ -1,0 +1,132 @@
+"""Content-addressed, on-disk result cache for experiment sweeps.
+
+A deterministic simulator never needs to run the same spec twice: the
+cache maps :meth:`RunSpec.fingerprint` → the spec's
+:class:`~repro.exp.spec.Outcome` as JSON, under ``.repro-cache/`` by
+default.  Interrupted sweeps become resumable for free — whatever
+completed before the interruption is served from disk on the next
+invocation, and only the remainder simulates.
+
+Invalidation is by construction rather than by mtime heuristics:
+
+* the *fingerprint* folds in :data:`~repro.exp.spec.SPEC_SCHEMA`, so any
+  code change that alters what a spec computes is announced by bumping
+  that tag, which retargets every lookup to fresh addresses;
+* each *entry* records :data:`CACHE_SCHEMA` and the full spec key; a
+  schema mismatch or a spec mismatch (hash collision, hand-edited file)
+  is treated as a miss and the entry is dropped.
+
+Entries are written atomically (temp file + :func:`os.replace`) so a
+killed sweep never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.exp.spec import Outcome, RunSpec
+
+#: Entry-format version.  Bump when the serialized Outcome layout (or
+#: anything else "code-relevant" to cached results) changes; old entries
+#: then read as misses and are replaced on the next run.
+CACHE_SCHEMA = "repro-exp-cache/v1"
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Spec-fingerprint → Outcome store on the local filesystem.
+
+    Layout: ``<root>/<fp[:2]>/<fp>.json`` (two-level fanout keeps
+    directories small on big sweeps).  The cache never caches specs that
+    are not fully declarative — those have no trustworthy identity.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        #: Lookup ledger for reporting (hits/misses since construction).
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """Where *spec*'s entry lives (whether or not it exists)."""
+        fp = spec.fingerprint()
+        return self.root / fp[:2] / f"{fp}.json"
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[Outcome]:
+        """The cached outcome for *spec*, or None on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry.get("schema") != CACHE_SCHEMA:
+                raise ValueError("cache schema mismatch")
+            if entry.get("spec") != spec.key():
+                raise ValueError("cached spec does not match fingerprint")
+            outcome = Outcome.from_dict(entry["outcome"])
+        except (ValueError, KeyError, TypeError):
+            # Corrupt, stale-schema, or colliding entry: drop and re-run.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, spec: RunSpec, outcome: Outcome) -> Path:
+        """Persist *outcome* for *spec* (atomic; returns the entry path)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry: Dict[str, object] = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": spec.fingerprint(),
+            "spec": spec.key(),
+            "outcome": outcome.as_dict(),
+        }
+        tmp = path.with_name(f".tmp-{path.name}")
+        tmp.write_text(
+            json.dumps(entry, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def invalidate(self, spec: RunSpec) -> bool:
+        """Drop *spec*'s entry; returns whether one existed."""
+        try:
+            self.path_for(spec).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        dropped = 0
+        if not self.root.exists():
+            return dropped
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                path.unlink()
+                dropped += 1
+            except OSError:
+                pass
+        return dropped
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,164 @@
+"""Execute spec lists — serially, or fanned out across worker processes.
+
+The simulations of a sweep are independent, deterministic, and
+CPU-bound, which makes them ideal :mod:`concurrent.futures` fan-out
+material.  :class:`ParallelRunner` marshals each unique
+:class:`~repro.exp.spec.RunSpec` to a worker as its canonical key dict,
+executes it there with **no** instance overrides (so the result depends
+on nothing but the spec), and marshals the outcome back as its
+:meth:`~repro.exp.spec.Outcome.as_dict` view — both directions are
+plain dicts of primitives, so the round trip is deterministic and the
+parallel results are value-identical to a serial run.
+
+``jobs=1`` never touches a process pool: it executes in-process on
+exactly the code path :meth:`RunSpec.execute` always takes, so serial
+batches are bit-identical to calling the classic drivers directly.
+
+Scheduling details that matter for wall-clock:
+
+* duplicate specs (a threshold sweep shares its Tlocal baseline across
+  thresholds) are executed once and fanned back out to every position;
+* unique specs are submitted heaviest-first (a static per-workload
+  weight table — longest-processing-time order keeps the pool's tail
+  short);
+* in-flight work is bounded to ``2 × jobs`` futures so a huge grid
+  neither floods the executor queue nor idles workers between waves.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.exp.spec import Outcome, RunSpec
+
+#: Rough relative wall-clock weight per workload (measured once on the
+#: full-scale Table 3 matrix); only the *ordering* matters, for
+#: longest-first submission.  Unknown workloads sort mid-pack.
+WORKLOAD_WEIGHTS: Dict[str, int] = {
+    "Primes1": 100,
+    "FFT": 60,
+    "Primes3": 40,
+    "Primes2": 30,
+    "IMatMult": 20,
+    "PlyTrace": 15,
+    "Gfetch": 8,
+    "ParMult": 5,
+}
+
+#: Default weight for workloads not in the table.
+_DEFAULT_WEIGHT = 25
+
+
+def spec_weight(spec: RunSpec) -> int:
+    """Heuristic relative cost of one spec (for submission ordering)."""
+    weight = WORKLOAD_WEIGHTS.get(spec.workload, _DEFAULT_WEIGHT)
+    if spec.fault_profile not in (None, "none"):
+        weight += 5  # recovery paths lengthen the run a little
+    return weight
+
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: spec key dict in, outcome dict out.
+
+    Module-level (picklable) on purpose; reconstructing the spec from
+    its canonical key keeps the worker independent of parent-process
+    object identity.
+    """
+    return RunSpec.from_key(payload).execute().as_dict()
+
+
+def warm_worker() -> None:
+    """Pool initializer: pre-import the simulator's hot modules.
+
+    Under the default ``fork`` start method this is free (the parent
+    already imported everything); under ``spawn`` it front-loads import
+    cost into pool startup instead of the first simulation, so per-spec
+    timings stay comparable across workers.
+    """
+    import repro.faults.chaos  # noqa: F401
+    import repro.sim.engine  # noqa: F401
+    import repro.workloads  # noqa: F401
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: the machine's CPU count."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ParallelRunner:
+    """Run specs with bounded process-pool fan-out (or serially)."""
+
+    def __init__(self, jobs: int = 1, max_inflight_factor: int = 2) -> None:
+        if jobs < 1:
+            raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._window = max(1, max_inflight_factor) * jobs
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[Callable[[RunSpec, Outcome], None]] = None,
+    ) -> List[Outcome]:
+        """Execute *specs*; returns outcomes aligned with the input order.
+
+        Duplicate specs (same fingerprint) execute once.  ``on_result``
+        fires once per *unique* spec as its outcome lands (in completion
+        order) — the batch layer uses it for cache writes and progress.
+        """
+        order: List[str] = []
+        unique: Dict[str, RunSpec] = {}
+        for spec in specs:
+            fp = spec.fingerprint()
+            order.append(fp)
+            if fp not in unique:
+                unique[fp] = spec
+        # Longest-first keeps the pool busy through the tail; ties break
+        # on fingerprint so submission order is deterministic.
+        todo = sorted(
+            unique.items(), key=lambda item: (-spec_weight(item[1]), item[0])
+        )
+        outcomes: Dict[str, Outcome] = {}
+        if self.jobs == 1:
+            for fp, spec in todo:
+                outcome = spec.execute()
+                outcomes[fp] = outcome
+                if on_result is not None:
+                    on_result(spec, outcome)
+        else:
+            self._run_pool(todo, outcomes, on_result)
+        return [outcomes[fp] for fp in order]
+
+    def _run_pool(
+        self,
+        todo: List,
+        outcomes: Dict[str, Outcome],
+        on_result: Optional[Callable[[RunSpec, Outcome], None]],
+    ) -> None:
+        """Bounded-in-flight fan-out over a process pool."""
+        pending = list(reversed(todo))  # pop() from the heavy end
+        with ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=warm_worker
+        ) as pool:
+            inflight = {}
+            while pending or inflight:
+                while pending and len(inflight) < self._window:
+                    fp, spec = pending.pop()
+                    future = pool.submit(execute_payload, spec.key())
+                    inflight[future] = (fp, spec)
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    fp, spec = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except Exception as error:
+                        raise SimulationError(
+                            f"worker failed on spec {spec.label} "
+                            f"({fp[:12]}): {error}"
+                        ) from error
+                    outcome = Outcome.from_dict(payload)
+                    outcomes[fp] = outcome
+                    if on_result is not None:
+                        on_result(spec, outcome)

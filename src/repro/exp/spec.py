@@ -1,0 +1,367 @@
+"""The declarative :class:`RunSpec`: one simulation, captured as data.
+
+A spec pins everything that determines a run's simulated results —
+workload (by registry name plus constructor parameters), policy and
+move threshold, machine shape, processor/thread counts, fault profile
+and seed, and the engine's fast-path switch — as a frozen, hashable
+dataclass.  Because the simulator is deterministic, the spec *is* the
+result's identity: :meth:`RunSpec.fingerprint` is a stable SHA-256 over
+the spec's canonical JSON, the same in every process and on every
+machine, which is what lets the on-disk
+:class:`~repro.exp.cache.ResultCache` recognize work it has already
+done and the :class:`~repro.exp.runner.ParallelRunner` marshal specs to
+worker processes and results back without ambiguity.
+
+``RunSpec.run()`` is the single front door for executing a simulation:
+:func:`repro.sim.harness.run_once`, :func:`repro.sim.mix.run_mix` and
+:func:`repro.faults.chaos.run_chaos` are shims over the same
+build/execute/collect path.  The in-memory overrides (``workload=``,
+``policy=``, ``machine_config=`` …) keep the classic instance-passing
+drivers working: a spec executed with overrides runs exactly the same
+way but is no longer declarative, so the orchestrator only caches specs
+it built itself from registry names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.policies import (
+    AllGlobalEverythingPolicy,
+    AllGlobalPolicy,
+    AllLocalPolicy,
+    DEFAULT_MOVE_THRESHOLD,
+    MigrationOnlyPolicy,
+    MoveThresholdPolicy,
+    ReplicationOnlyPolicy,
+)
+from repro.core.policy import NUMAPolicy
+from repro.errors import ConfigurationError
+from repro.machine.config import MachineConfig, ace_config
+from repro.sim import harness
+from repro.sim.result import RunResult
+from repro.workloads import TABLE_3_WORKLOADS
+from repro.workloads.base import Workload
+
+#: Version tag folded into every fingerprint.  Bump when a change to the
+#: simulator alters what an identical spec would compute, so stale cache
+#: entries (keyed by fingerprint) can never be returned for new code.
+SPEC_SCHEMA = "repro-exp/v1"
+
+#: Declarative policy registry: spec ``policy`` name → factory taking the
+#: spec's move threshold.  Baselines ignore the threshold, matching their
+#: constructors.
+POLICY_REGISTRY = {
+    "move-threshold": lambda threshold: MoveThresholdPolicy(threshold),
+    "all-global": lambda threshold: AllGlobalPolicy(),
+    "all-local": lambda threshold: AllLocalPolicy(),
+    "all-global-everything": lambda threshold: AllGlobalEverythingPolicy(),
+    "migration-only": lambda threshold: MigrationOnlyPolicy(),
+    "replication-only": lambda threshold: ReplicationOnlyPolicy(),
+}
+
+#: Pair-tuple type for the frozen dict-like fields.
+Pairs = Tuple[Tuple[str, object], ...]
+
+
+def _freeze_pairs(value: Union[Pairs, Mapping[str, object]]) -> Pairs:
+    """Normalize a mapping (or pair tuple) into a sorted pair tuple."""
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = tuple(value)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+def resolve_workload(
+    name: str, quick: bool = False, params: Pairs = ()
+) -> Workload:
+    """Build a workload instance from its registry name.
+
+    ``params`` (constructor keyword arguments) take precedence; with no
+    params, ``quick`` selects the scaled-down ``.small()`` instance,
+    matching the CLI's ``--quick`` behaviour.  Lookup is
+    case-insensitive, like the CLI's.
+    """
+    cls = None
+    for known, factory in TABLE_3_WORKLOADS.items():
+        if known.lower() == name.lower():
+            cls = factory
+            break
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; "
+            f"choose from {', '.join(TABLE_3_WORKLOADS)}"
+        )
+    if params:
+        return cls(**dict(params))
+    if quick:
+        return cls.small()
+    return cls()
+
+
+def resolve_policy(name: str, threshold: int) -> NUMAPolicy:
+    """Build a policy instance from its registry name."""
+    factory = POLICY_REGISTRY.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; "
+            f"choose from {', '.join(sorted(POLICY_REGISTRY))}"
+        )
+    return factory(threshold)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, captured declaratively.
+
+    All fields are hashable primitives (mapping-shaped fields are stored
+    as sorted pair tuples; passing a plain ``dict`` works and is
+    normalized), so specs can be set members, dictionary keys, pickled
+    to worker processes, and fingerprinted stably across processes.
+    """
+
+    #: Workload registry name (case-insensitive; see TABLE_3_WORKLOADS).
+    workload: str
+    #: Constructor keyword arguments for the workload, if not the default
+    #: instance (e.g. ``{"limit": 20_000, "private_divisors": True}``).
+    workload_params: Pairs = ()
+    #: Use the scaled-down ``.small()`` instance (the CLI's ``--quick``).
+    quick: bool = False
+    #: Policy registry name (see POLICY_REGISTRY).
+    policy: str = "move-threshold"
+    #: Move threshold for policies that take one (the paper's boot-time
+    #: parameter; ignored by the baselines).
+    threshold: int = DEFAULT_MOVE_THRESHOLD
+    n_processors: int = 7
+    #: Threads to run (None: one per processor).
+    n_threads: Optional[int] = None
+    #: :meth:`MachineConfig.scaled` overrides applied to the default
+    #: ACE configuration (e.g. ``{"global_pages": 8192}``).
+    machine: Pairs = ()
+    #: Named fault profile for chaos runs (None: no fault injection).
+    fault_profile: Optional[str] = None
+    #: Fault-plan RNG seed (meaningful only with a fault profile).
+    fault_seed: int = 0
+    #: Re-validate directory invariants after every protocol action.
+    check_invariants: bool = True
+    #: Engine software-TLB fast path (simulated results are identical
+    #: either way).
+    fast_path: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "workload_params", _freeze_pairs(self.workload_params)
+        )
+        object.__setattr__(self, "machine", _freeze_pairs(self.machine))
+
+    # -- identity ------------------------------------------------------------
+
+    def key(self) -> Dict[str, object]:
+        """Canonical, JSON-friendly view of every field."""
+        return {
+            "workload": self.workload,
+            "workload_params": {k: v for k, v in self.workload_params},
+            "quick": self.quick,
+            "policy": self.policy,
+            "threshold": self.threshold,
+            "n_processors": self.n_processors,
+            "n_threads": self.n_threads,
+            "machine": {k: v for k, v in self.machine},
+            "fault_profile": self.fault_profile,
+            "fault_seed": self.fault_seed,
+            "check_invariants": self.check_invariants,
+            "fast_path": self.fast_path,
+        }
+
+    @classmethod
+    def from_key(cls, data: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec from a :meth:`key` view (worker marshalling)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunSpec fields in key: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def canonical_json(self) -> str:
+        """Minified, key-sorted JSON of :meth:`key` — the hash input."""
+        return json.dumps(self.key(), sort_keys=True, separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content address of this spec.
+
+        Identical in every process and Python version (no reliance on
+        ``hash()``), versioned by :data:`SPEC_SCHEMA` so a semantics
+        change invalidates all previously cached results at once.
+        """
+        payload = f"{SPEC_SCHEMA}\n{self.canonical_json()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        policy = self.policy
+        if policy == "move-threshold":
+            policy = f"move-threshold({self.threshold})"
+        parts = [self.workload, policy, f"{self.n_processors}p"]
+        if self.quick:
+            parts.append("quick")
+        if self.fault_profile is not None:
+            parts.append(f"{self.fault_profile}#{self.fault_seed}")
+        return "/".join(parts)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve_workload(self) -> Workload:
+        """Instantiate the spec's workload from the registry."""
+        return resolve_workload(self.workload, self.quick, self.workload_params)
+
+    def resolve_policy(self) -> NUMAPolicy:
+        """Instantiate the spec's policy from the registry."""
+        return resolve_policy(self.policy, self.threshold)
+
+    def resolve_machine_config(self) -> Optional[MachineConfig]:
+        """The spec's machine, or None for the harness default ACE."""
+        if not self.machine:
+            return None
+        return ace_config(self.n_processors, **dict(self.machine))
+
+    def is_declarative(self) -> bool:
+        """Whether the spec resolves from registries alone (cacheable)."""
+        try:
+            self.resolve_workload()
+            self.resolve_policy()
+        except ConfigurationError:
+            return False
+        return True
+
+    # -- execution -----------------------------------------------------------
+
+    def build(
+        self,
+        *,
+        workload: Optional[Workload] = None,
+        policy: Optional[NUMAPolicy] = None,
+        machine_config: Optional[MachineConfig] = None,
+        scheduler_factory=None,
+        unix_master=None,
+        observer=None,
+        telemetry=None,
+        injector=None,
+    ) -> harness.Simulation:
+        """Wire the simulation this spec describes (overrides optional)."""
+        return harness.build_simulation(
+            workload if workload is not None else self.resolve_workload(),
+            policy if policy is not None else self.resolve_policy(),
+            n_processors=self.n_processors,
+            n_threads=self.n_threads,
+            machine_config=(
+                machine_config
+                if machine_config is not None
+                else self.resolve_machine_config()
+            ),
+            scheduler_factory=scheduler_factory,
+            unix_master=unix_master,
+            observer=observer,
+            check_invariants=self.check_invariants,
+            telemetry=telemetry,
+            injector=injector,
+            fast_path=self.fast_path,
+        )
+
+    def run(
+        self,
+        *,
+        workload: Optional[Workload] = None,
+        policy: Optional[NUMAPolicy] = None,
+        machine_config: Optional[MachineConfig] = None,
+        scheduler_factory=None,
+        unix_master=None,
+        observer=None,
+        telemetry=None,
+        injector=None,
+    ) -> RunResult:
+        """Build, execute and collect one run.
+
+        Telemetry handling (the ``engine_run`` profiler span and
+        :meth:`~repro.obs.telemetry.Telemetry.finalize`) lives here, so
+        every driver that routes through a spec — including chaos and
+        mix shims — gets profiled identically.
+        """
+        sim = self.build(
+            workload=workload,
+            policy=policy,
+            machine_config=machine_config,
+            scheduler_factory=scheduler_factory,
+            unix_master=unix_master,
+            observer=observer,
+            telemetry=telemetry,
+            injector=injector,
+        )
+        rounds = harness.run_engine(sim.engine, sim.threads, telemetry)
+        return harness.collect_result(sim, rounds)
+
+    def execute(self) -> "Outcome":
+        """Run the spec purely from its declarative fields.
+
+        This is what cache misses and pool workers execute: no instance
+        overrides, so the result depends on nothing but the spec.  Specs
+        with a fault profile run under the chaos harness (sanitizer
+        attached, recovery ledger collected) and yield a
+        :class:`~repro.faults.chaos.ChaosReport`; plain specs yield a
+        :class:`~repro.sim.result.RunResult`.
+        """
+        if self.fault_profile is not None:
+            from repro.faults.chaos import run_chaos  # deferred: no cycle
+
+            report = run_chaos(
+                self.resolve_workload(),
+                profile_name=self.fault_profile,
+                seed=self.fault_seed,
+                n_processors=self.n_processors,
+                policy=self.resolve_policy(),
+            )
+            return Outcome(chaos=report)
+        return Outcome(result=self.run())
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What executing one spec produced (exactly one side is set)."""
+
+    result: Optional[RunResult] = None
+    chaos: Optional["ChaosReport"] = field(default=None)  # noqa: F821
+
+    @property
+    def kind(self) -> str:
+        """``"run"`` or ``"chaos"``."""
+        return "chaos" if self.chaos is not None else "run"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-friendly view (the cached payload)."""
+        return {
+            "kind": self.kind,
+            "result": None if self.result is None else self.result.as_dict(),
+            "chaos": None if self.chaos is None else self.chaos.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Outcome":
+        """Rebuild an outcome from an :meth:`as_dict` view."""
+        from repro.faults.chaos import ChaosReport  # deferred: no cycle
+
+        result = data.get("result")
+        chaos = data.get("chaos")
+        return cls(
+            result=None if result is None else RunResult.from_dict(result),
+            chaos=None if chaos is None else ChaosReport.from_dict(chaos),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON (byte-identical for identical simulations)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)

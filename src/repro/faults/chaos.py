@@ -20,7 +20,8 @@ from repro.check.sanitizer import attach_sanitizer, sanitizer_enabled
 from repro.core.policies import MoveThresholdPolicy
 from repro.core.policy import NUMAPolicy
 from repro.faults.injector import FaultInjector, RetryPolicy, make_injector
-from repro.sim.harness import build_simulation
+from repro.obs.telemetry import Telemetry
+from repro.sim.harness import build_simulation, run_engine
 from repro.workloads.base import Workload
 
 
@@ -76,6 +77,27 @@ class ChaosReport:
         """Canonical JSON: the byte-identical artifact CI compares."""
         return json.dumps(self.as_dict(), indent=2, sort_keys=False)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosReport":
+        """Rebuild a report from an :meth:`as_dict` view (cache loads)."""
+        return cls(
+            workload=str(data["workload"]),
+            policy=str(data["policy"]),
+            profile=str(data["profile"]),
+            seed=int(data["seed"]),
+            n_processors=int(data["n_processors"]),
+            rounds=int(data["rounds"]),
+            sanitized=bool(data["sanitized"]),
+            sanitizer_checks=int(data["sanitizer_checks"]),
+            faults=dict(data["faults"]),
+            numa=dict(data["numa"]),
+            tlb=dict(data["tlb"]),
+            degraded_pages=int(data["degraded_pages"]),
+            offline_frames=int(data["offline_frames"]),
+            user_time_us=float(data["user_time_us"]),
+            system_time_us=float(data["system_time_us"]),
+        )
+
 
 def run_chaos(
     workload: Workload,
@@ -86,6 +108,7 @@ def run_chaos(
     sanitize: bool = True,
     retry: Optional[RetryPolicy] = None,
     injector: Optional[FaultInjector] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ChaosReport:
     """Run *workload* under a named fault profile and summarize recovery.
 
@@ -94,6 +117,9 @@ def run_chaos(
     process in, the harness-attached instance is reused rather than
     doubled).  Any :class:`~repro.errors.ProtocolViolation` a recovery
     provokes propagates to the caller — a chaos run is a *test*.
+    ``telemetry`` attaches the standard facade, so chaos runs get the
+    same profiled ``engine_run`` span and finalized gauges as
+    :func:`~repro.sim.harness.run_once`.
     """
     if injector is None:
         injector = make_injector(profile_name, seed, retry)
@@ -103,12 +129,13 @@ def run_chaos(
         workload,
         policy,
         n_processors=n_processors,
+        telemetry=telemetry,
         injector=injector,
     )
     sanitizer = None
     if sanitize and not sanitizer_enabled():
         sanitizer = attach_sanitizer(sim.numa, sim.engine.bus)
-    rounds = sim.engine.run(sim.threads)
+    rounds = run_engine(sim.engine, sim.threads, telemetry)
     machine = sim.machine
     offline = sum(
         machine.memory.local_offline(cpu) for cpu in machine.config.cpus

@@ -51,6 +51,22 @@ class ReferenceCounters:
             merged.stores[loc] = self.stores[loc] + other.stores[loc]
         return merged
 
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """JSON-friendly view keyed by :class:`MemoryLocation` value."""
+        return {
+            "fetches": {loc.value: self.fetches[loc] for loc in MemoryLocation},
+            "stores": {loc.value: self.stores[loc] for loc in MemoryLocation},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, int]]) -> "ReferenceCounters":
+        """Rebuild counters from an :meth:`as_dict` view."""
+        counters = cls()
+        for loc in MemoryLocation:
+            counters.fetches[loc] = int(data["fetches"].get(loc.value, 0))
+            counters.stores[loc] = int(data["stores"].get(loc.value, 0))
+        return counters
+
 
 class CPU:
     """A simulated ACE processor module."""

@@ -46,6 +46,17 @@ location, writable_data)``
     ``"retry-succeeded"``, ``"degraded-to-global"``,
     ``"frame-offlined"``, ``"pressure-fallback"``; ``detail`` is a
     short human-readable string (attempt counts, frame names).
+``on_batch_spec_finished(done, total, fingerprint, label, cached)``
+    The experiment orchestrator (:mod:`repro.exp.batch`) finished one
+    unique spec of a batch — either by simulating it or by serving it
+    from the result cache (``cached``); ``done``/``total`` count unique
+    specs, ``fingerprint`` is the spec's content address and ``label``
+    its human-readable identity.
+``on_batch_end(unique, executed, cache_hits, wall_s)``
+    A whole batch completed: ``unique`` deduplicated specs, of which
+    ``executed`` were simulated and ``cache_hits`` came from the cache,
+    in ``wall_s`` host seconds (the only host-time quantity on the bus;
+    batch orchestration is not part of the simulation).
 
 The protocol-level hooks are what the opt-in sanitizer
 (:mod:`repro.check.sanitizer`) subscribes to, and the lint rule
@@ -68,6 +79,8 @@ HOOKS: Tuple[str, ...] = (
     "on_page_freed",
     "on_fault_injected",
     "on_recovery",
+    "on_batch_spec_finished",
+    "on_batch_end",
 )
 
 
@@ -210,3 +223,18 @@ class EventBus:
         """Fan out one completed recovery path."""
         for hook in self._hooks["on_recovery"]:
             hook(action, cpu, page_id, detail)
+
+    def emit_batch_spec_finished(
+        self, done: int, total: int, fingerprint: str, label: str,
+        cached: bool,
+    ) -> None:
+        """Fan out the completion of one unique spec in a batch."""
+        for hook in self._hooks["on_batch_spec_finished"]:
+            hook(done, total, fingerprint, label, cached)
+
+    def emit_batch_end(
+        self, unique: int, executed: int, cache_hits: int, wall_s: float
+    ) -> None:
+        """Fan out the completion of a whole batch."""
+        for hook in self._hooks["on_batch_end"]:
+            hook(unique, executed, cache_hits, wall_s)

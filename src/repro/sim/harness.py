@@ -8,25 +8,29 @@ performs the paper's full Section 3.1 methodology for one application:
 * ``Tglobal`` — the all-writable-data-in-global baseline, same machine;
 * ``Tlocal`` — a single thread on a single-processor machine, everything
   local.
+
+Both drivers are thin shims over the declarative
+:class:`~repro.exp.spec.RunSpec` front door (they construct a spec and
+execute it with their in-memory workload/policy instances), so every run
+— direct, swept, or batched through :mod:`repro.exp` — takes the same
+build/execute/collect path.  Their parameters are keyword-only going
+forward; positional use beyond ``(workload, policy)`` still works but
+raises a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
 
 from repro.check.sanitizer import maybe_attach_sanitizer
 from repro.core.numa_manager import NUMAManager
-from repro.core.policies import (
-    AllGlobalPolicy,
-    AllLocalPolicy,
-    MoveThresholdPolicy,
-)
 from repro.core.policy import NUMAPolicy
-from repro.machine.config import MachineConfig, ace_config, uniprocessor_config
+from repro.machine.config import MachineConfig, ace_config
 from repro.machine.machine import Machine
 from repro.obs.telemetry import Telemetry
 from repro.sim.engine import Engine, EngineObserver
@@ -136,39 +140,24 @@ def build_simulation(
     )
 
 
-def run_once(
-    workload: Workload,
-    policy: NUMAPolicy,
-    n_processors: int = 7,
-    n_threads: Optional[int] = None,
-    machine_config: Optional[MachineConfig] = None,
-    scheduler_factory: Optional[SchedulerFactory] = None,
-    unix_master: Optional[UnixMaster] = None,
-    observer: Optional[EngineObserver] = None,
-    check_invariants: bool = True,
-    telemetry: Optional[Telemetry] = None,
-    fast_path: bool = True,
-) -> RunResult:
-    """Run *workload* under *policy* and collect the result."""
-    sim = build_simulation(
-        workload,
-        policy,
-        n_processors=n_processors,
-        n_threads=n_threads,
-        machine_config=machine_config,
-        scheduler_factory=scheduler_factory,
-        unix_master=unix_master,
-        observer=observer,
-        check_invariants=check_invariants,
-        telemetry=telemetry,
-        fast_path=fast_path,
-    )
+def run_engine(engine, threads, telemetry: Optional[Telemetry] = None) -> int:
+    """Run *threads* to completion, with uniform telemetry handling.
+
+    Every driver — single runs, mixes, chaos runs, batched specs — goes
+    through this helper, so ``engine_run`` profiler spans and
+    :meth:`~repro.obs.telemetry.Telemetry.finalize` happen the same way
+    everywhere instead of only on :func:`run_once`'s telemetry branch.
+    """
     if telemetry is not None:
         with telemetry.profiler.span("engine_run"):
-            rounds = sim.engine.run(sim.threads)
+            rounds = engine.run(threads)
         telemetry.finalize()
-    else:
-        rounds = sim.engine.run(sim.threads)
+        return rounds
+    return engine.run(threads)
+
+
+def collect_result(sim: Simulation, rounds: int) -> RunResult:
+    """Assemble the :class:`RunResult` for a finished simulation."""
     machine = sim.machine
     per_cpu = [
         CPUTimes(cpu=c.id, user_us=c.user_time_us, system_us=c.system_time_us)
@@ -180,8 +169,8 @@ def run_once(
         data_refs = data_refs.merged_with(c.data_refs)
         all_refs = all_refs.merged_with(c.all_refs)
     return RunResult(
-        workload=workload.name,
-        policy=policy.name,
+        workload=sim.context.space.name,
+        policy=sim.numa.policy.name,
         n_processors=machine.n_cpus,
         n_threads=len(sim.threads),
         per_cpu=per_cpu,
@@ -190,6 +179,117 @@ def run_once(
         all_refs=all_refs,
         rounds=rounds,
         migrations=sim.engine.scheduler.migrations(),
+    )
+
+
+def merge_legacy_positionals(
+    func_name: str,
+    n_leading: int,
+    accepted: Sequence[str],
+    legacy: Tuple[object, ...],
+    kwargs: Dict[str, object],
+) -> Dict[str, object]:
+    """Fold deprecated positional arguments into a keyword dictionary.
+
+    The harness drivers accept only their leading arguments positionally
+    (``workload`` and, where applicable, ``policy``); everything else is
+    keyword-only going forward.  Old call sites that passed more
+    positionals keep working, but get a :class:`DeprecationWarning`
+    naming the keywords to migrate to.
+    """
+    if not legacy:
+        return kwargs
+    if len(legacy) > len(accepted):
+        raise TypeError(
+            f"{func_name}() takes at most {n_leading + len(accepted)} "
+            f"positional arguments ({n_leading + len(legacy)} given)"
+        )
+    names = list(accepted[: len(legacy)])
+    warnings.warn(
+        f"passing {func_name}() arguments beyond the first {n_leading} "
+        f"positionally is deprecated; pass {', '.join(names)} by keyword",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    merged = dict(kwargs)
+    for name, value in zip(accepted, legacy):
+        if name in merged:
+            raise TypeError(
+                f"{func_name}() got multiple values for argument {name!r}"
+            )
+        merged[name] = value
+    return merged
+
+
+#: Deprecated positional order of :func:`run_once` beyond (workload, policy).
+_RUN_ONCE_ORDER = (
+    "n_processors",
+    "n_threads",
+    "machine_config",
+    "scheduler_factory",
+    "unix_master",
+    "observer",
+    "check_invariants",
+    "telemetry",
+    "fast_path",
+)
+
+
+_RUN_ONCE_DEFAULTS: Dict[str, object] = {
+    "n_processors": 7,
+    "n_threads": None,
+    "machine_config": None,
+    "scheduler_factory": None,
+    "unix_master": None,
+    "observer": None,
+    "check_invariants": True,
+    "telemetry": None,
+    "fast_path": True,
+}
+
+
+def run_once(workload: Workload, policy: NUMAPolicy, *legacy, **kwargs) -> RunResult:
+    """Run *workload* under *policy* and collect the result.
+
+    A thin shim over :class:`repro.exp.spec.RunSpec` — the spec is the
+    single front door for executing simulations; this keeps the classic
+    call shape while routing through the same path the experiment
+    orchestrator uses.  Keyword parameters (all optional):
+    ``n_processors`` (7), ``n_threads``, ``machine_config``,
+    ``scheduler_factory``, ``unix_master``, ``observer``,
+    ``check_invariants`` (True), ``telemetry``, ``fast_path`` (True).
+    They are keyword-only going forward; positional use beyond
+    ``(workload, policy)`` is deprecated.
+    """
+    kwargs = merge_legacy_positionals(
+        "run_once", 2, _RUN_ONCE_ORDER, legacy, kwargs
+    )
+    unknown = set(kwargs) - set(_RUN_ONCE_DEFAULTS)
+    if unknown:
+        raise TypeError(
+            f"run_once() got unexpected keyword arguments: {sorted(unknown)}"
+        )
+    opts = dict(_RUN_ONCE_DEFAULTS)
+    opts.update(kwargs)
+
+    from repro.exp.spec import RunSpec  # deferred: exp builds on sim
+
+    spec = RunSpec(
+        workload=workload.name,
+        policy=getattr(policy, "name", policy.__class__.__name__),
+        n_processors=opts["n_processors"],
+        n_threads=opts["n_threads"],
+        check_invariants=opts["check_invariants"],
+        fast_path=opts["fast_path"],
+    )
+    return spec.run(
+        workload=workload,
+        policy=policy,
+        machine_config=opts["machine_config"],
+        scheduler_factory=opts["scheduler_factory"],
+        unix_master=opts["unix_master"],
+        observer=opts["observer"],
+        telemetry=opts["telemetry"],
     )
 
 
@@ -219,14 +319,25 @@ class PlacementMeasurement:
         return self.local.user_time_s
 
 
-def measure_placement(
-    workload: Workload,
-    n_processors: int = 7,
-    threshold: int = 4,
-    machine_config: Optional[MachineConfig] = None,
-    check_invariants: bool = True,
-    telemetry: Optional[Telemetry] = None,
-) -> PlacementMeasurement:
+#: Deprecated positional order of :func:`measure_placement` beyond (workload,).
+_MEASURE_ORDER = (
+    "n_processors",
+    "threshold",
+    "machine_config",
+    "check_invariants",
+    "telemetry",
+)
+
+_MEASURE_DEFAULTS: Dict[str, object] = {
+    "n_processors": 7,
+    "threshold": 4,
+    "machine_config": None,
+    "check_invariants": True,
+    "telemetry": None,
+}
+
+
+def measure_placement(workload: Workload, *legacy, **kwargs) -> PlacementMeasurement:
     """Run the paper's three measurements for one application.
 
     ``Tlocal`` runs with one thread on a one-processor machine under the
@@ -234,34 +345,49 @@ def measure_placement(
     spin-lock time-slicing artifacts (Section 3.1).  ``telemetry``
     attaches to the Tnuma run only — that is the run whose dynamics the
     paper's tables describe.
+
+    The three runs are the :func:`repro.exp.grid.placement_specs` grid
+    executed in place, so a ``measure_placement`` call and a batched
+    sweep over the same application produce identical results.  Keyword
+    parameters: ``n_processors`` (7), ``threshold`` (4),
+    ``machine_config``, ``check_invariants`` (True), ``telemetry``;
+    positional use beyond ``(workload,)`` is deprecated.
     """
-    numa_result = run_once(
-        workload,
-        MoveThresholdPolicy(threshold),
-        n_processors=n_processors,
-        machine_config=machine_config,
-        check_invariants=check_invariants,
-        telemetry=telemetry,
+    kwargs = merge_legacy_positionals(
+        "measure_placement", 1, _MEASURE_ORDER, legacy, kwargs
     )
-    global_result = run_once(
-        workload,
-        AllGlobalPolicy(),
-        n_processors=n_processors,
+    unknown = set(kwargs) - set(_MEASURE_DEFAULTS)
+    if unknown:
+        raise TypeError(
+            "measure_placement() got unexpected keyword arguments: "
+            f"{sorted(unknown)}"
+        )
+    opts = dict(_MEASURE_DEFAULTS)
+    opts.update(kwargs)
+    machine_config: Optional[MachineConfig] = opts["machine_config"]
+
+    from repro.exp.grid import placement_specs  # deferred: exp builds on sim
+
+    specs = placement_specs(
+        workload.name,
+        n_processors=opts["n_processors"],
+        threshold=opts["threshold"],
+        check_invariants=opts["check_invariants"],
+    )
+    numa_result = specs.tnuma.run(
+        workload=workload,
         machine_config=machine_config,
-        check_invariants=check_invariants,
+        telemetry=opts["telemetry"],
+    )
+    global_result = specs.tglobal.run(
+        workload=workload, machine_config=machine_config
     )
     local_config = (
-        uniprocessor_config()
-        if machine_config is None
+        None if machine_config is None
         else machine_config.scaled(n_processors=1)
     )
-    local_result = run_once(
-        workload,
-        AllLocalPolicy(),
-        n_processors=1,
-        n_threads=1,
-        machine_config=local_config,
-        check_invariants=check_invariants,
+    local_result = specs.tlocal.run(
+        workload=workload, machine_config=local_config
     )
     return PlacementMeasurement(
         workload=workload.name,

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.stats import NUMAStats
 from repro.machine.cpu import ReferenceCounters
@@ -25,6 +26,23 @@ class CPUTimes:
     def total_us(self) -> float:
         """User plus system time."""
         return self.user_us + self.system_us
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (lossless; see :meth:`from_dict`)."""
+        return {
+            "cpu": self.cpu,
+            "user_us": self.user_us,
+            "system_us": self.system_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CPUTimes":
+        """Rebuild from an :meth:`as_dict` view."""
+        return cls(
+            cpu=int(data["cpu"]),
+            user_us=float(data["user_us"]),
+            system_us=float(data["system_us"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -90,6 +108,47 @@ class RunResult:
             return 0.0
         stores = sum(self.all_refs.stores.values())
         return stores / total
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministically ordered, JSON-friendly view of the run.
+
+        Together with :meth:`from_dict` this is a lossless round trip —
+        the experiment cache (:mod:`repro.exp.cache`) persists exactly
+        this dictionary, and floats survive byte-identically because
+        :mod:`json` prints the shortest round-trippable representation.
+        """
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "n_processors": self.n_processors,
+            "n_threads": self.n_threads,
+            "per_cpu": [t.as_dict() for t in self.per_cpu],
+            "stats": self.stats.as_dict(),
+            "data_refs": self.data_refs.as_dict(),
+            "all_refs": self.all_refs.as_dict(),
+            "rounds": self.rounds,
+            "migrations": self.migrations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from an :meth:`as_dict` view."""
+        return cls(
+            workload=str(data["workload"]),
+            policy=str(data["policy"]),
+            n_processors=int(data["n_processors"]),
+            n_threads=int(data["n_threads"]),
+            per_cpu=[CPUTimes.from_dict(t) for t in data["per_cpu"]],
+            stats=NUMAStats.from_dict(data["stats"]),
+            data_refs=ReferenceCounters.from_dict(data["data_refs"]),
+            all_refs=ReferenceCounters.from_dict(data["all_refs"]),
+            rounds=int(data["rounds"]),
+            migrations=int(data.get("migrations", 0)),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical for identical simulated runs."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

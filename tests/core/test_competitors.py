@@ -121,19 +121,22 @@ class TestEndToEndShape:
 
         workload = Primes3.small()
         paper = run_once(
-            workload, MoveThresholdPolicy(4), 4, check_invariants=False
+            workload, MoveThresholdPolicy(4), n_processors=4,
+            check_invariants=False,
         )
         migration = run_once(
-            Primes3.small(), MigrationOnlyPolicy(), 4, check_invariants=False
+            Primes3.small(), MigrationOnlyPolicy(), n_processors=4,
+            check_invariants=False,
         )
         assert migration.system_time_us > 3 * paper.system_time_us
 
     def test_replication_only_loses_the_handoff(self):
         paper = run_once(
-            Handoff.small(), MoveThresholdPolicy(4), 4, check_invariants=False
+            Handoff.small(), MoveThresholdPolicy(4), n_processors=4,
+            check_invariants=False,
         )
         replication = run_once(
-            Handoff.small(), ReplicationOnlyPolicy(), 4,
+            Handoff.small(), ReplicationOnlyPolicy(), n_processors=4,
             check_invariants=False,
         )
         assert replication.user_time_us > 1.2 * paper.user_time_us
@@ -142,10 +145,12 @@ class TestEndToEndShape:
         from repro.workloads.primes import Primes1
 
         paper = run_once(
-            Primes1.small(), MoveThresholdPolicy(4), 4, check_invariants=False
+            Primes1.small(), MoveThresholdPolicy(4), n_processors=4,
+            check_invariants=False,
         )
         migration = run_once(
-            Primes1.small(), MigrationOnlyPolicy(), 4, check_invariants=False
+            Primes1.small(), MigrationOnlyPolicy(), n_processors=4,
+            check_invariants=False,
         )
         assert migration.user_time_us == pytest.approx(
             paper.user_time_us, rel=0.05
@@ -153,11 +158,11 @@ class TestEndToEndShape:
 
     def test_replication_only_matches_paper_on_read_sharing(self):
         paper = run_once(
-            IMatMult.small(), MoveThresholdPolicy(4), 4,
+            IMatMult.small(), MoveThresholdPolicy(4), n_processors=4,
             check_invariants=False,
         )
         replication = run_once(
-            IMatMult.small(), ReplicationOnlyPolicy(), 4,
+            IMatMult.small(), ReplicationOnlyPolicy(), n_processors=4,
             check_invariants=False,
         )
         assert replication.user_time_us <= paper.user_time_us * 1.05

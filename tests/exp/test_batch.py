@@ -1,0 +1,145 @@
+"""run_batch + ParallelRunner: dedup, parity, resumability, telemetry."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.exp.batch import run_batch
+from repro.exp.cache import ResultCache
+from repro.exp.grid import flatten, table3_grid, threshold_grid
+from repro.exp.runner import ParallelRunner, spec_weight
+from repro.exp.spec import RunSpec
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+
+#: A small two-application grid (6 unique specs, quick instances).
+GRID_APPS = ("ParMult", "Gfetch")
+
+
+def small_grid():
+    return flatten(
+        table3_grid(apps=GRID_APPS, n_processors=2, quick=True)
+    )
+
+
+class TestRunner:
+    def test_serial_and_parallel_results_are_identical(self):
+        """The headline fidelity property: fanning a grid across worker
+        processes must not change a single byte of any outcome."""
+        specs = small_grid()
+        serial = ParallelRunner(jobs=1).run(specs)
+        parallel = ParallelRunner(jobs=2).run(specs)
+        assert len(serial) == len(parallel) == len(specs)
+        for left, right in zip(serial, parallel):
+            assert left.to_json() == right.to_json()
+
+    def test_duplicates_execute_once(self):
+        spec = RunSpec(workload="ParMult", quick=True, n_processors=2)
+        seen = []
+        outcomes = ParallelRunner(jobs=1).run(
+            [spec, spec, spec], on_result=lambda s, o: seen.append(s)
+        )
+        assert len(outcomes) == 3
+        assert len(seen) == 1
+        assert outcomes[0].to_json() == outcomes[2].to_json()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SimulationError):
+            ParallelRunner(jobs=0)
+
+    def test_worker_failures_carry_spec_context(self):
+        bad = RunSpec(workload="nope", quick=True)
+        with pytest.raises(Exception) as excinfo:
+            ParallelRunner(jobs=2).run([bad])
+        assert "nope" in str(excinfo.value)
+
+    def test_spec_weight_orders_heavy_workloads_first(self):
+        heavy = RunSpec(workload="Primes1")
+        light = RunSpec(workload="ParMult")
+        assert spec_weight(heavy) > spec_weight(light)
+        chaotic = RunSpec(workload="ParMult", fault_profile="transient")
+        assert spec_weight(chaotic) > spec_weight(light)
+
+
+class TestBatch:
+    def test_rows_align_with_submitted_order(self):
+        specs = small_grid()
+        batch = run_batch(specs)
+        assert [row.spec for row in batch.rows] == specs
+        assert batch.unique == len(specs)
+        assert batch.executed == len(specs)
+        assert batch.cache_hits == 0
+
+    def test_cold_then_warm_cache(self, tmp_path):
+        specs = small_grid()
+        cache = ResultCache(tmp_path)
+        cold = run_batch(specs, cache=cache)
+        warm = run_batch(specs, cache=cache)
+        assert cold.executed == len(specs) and cold.cache_hits == 0
+        assert warm.executed == 0 and warm.cache_hits == len(specs)
+        assert warm.cache_ratio == 1.0
+        for a, b in zip(cold.rows, warm.rows):
+            assert a.outcome.to_json() == b.outcome.to_json()
+            assert b.cached
+
+    def test_interrupted_sweep_resumes_from_cache(self, tmp_path):
+        """The resumability contract: whatever completed before an
+        interruption is never simulated again."""
+        specs = small_grid()
+        cache = ResultCache(tmp_path)
+        run_batch(specs[:2], cache=cache)  # the "interrupted" prefix
+        resumed = run_batch(specs, cache=cache)
+        assert resumed.cache_hits == 2
+        assert resumed.executed == len(specs) - 2
+
+    def test_threshold_sweep_shares_tlocal_baseline(self):
+        sweeps = threshold_grid(
+            ["ParMult"], [0, 4, 8], n_processors=2, quick=True
+        )
+        specs = flatten(sweeps)
+        batch = run_batch(specs)
+        # 3 Tnuma runs + exactly one Tlocal baseline.
+        assert batch.unique == 4
+
+    def test_metrics_and_events(self, tmp_path):
+        specs = small_grid()
+
+        class Probe:
+            def __init__(self):
+                self.finished = []
+                self.ended = []
+
+            def on_batch_spec_finished(self, done, total, fp, label, cached):
+                self.finished.append((done, total, cached))
+
+            def on_batch_end(self, unique, executed, cache_hits, wall_s):
+                self.ended.append((unique, executed, cache_hits))
+
+        registry = MetricsRegistry()
+        bus = EventBus()
+        probe = bus.subscribe(Probe())
+        run_batch(
+            specs, cache=ResultCache(tmp_path), registry=registry, bus=bus
+        )
+        assert [done for done, _, _ in probe.finished] == list(
+            range(1, len(specs) + 1)
+        )
+        assert probe.ended == [(len(specs), len(specs), 0)]
+        metrics = registry.as_dict()
+        assert metrics["batch_executed"] == len(specs)
+        assert metrics["batch_cache_hits"] == 0
+        assert metrics["batch_jobs"] == 1.0
+
+    def test_progress_lines_mention_cache_state(self, tmp_path):
+        spec = RunSpec(workload="ParMult", quick=True, n_processors=2)
+        cache = ResultCache(tmp_path)
+        lines = []
+        run_batch([spec], cache=cache, progress=lines.append)
+        run_batch([spec], cache=cache, progress=lines.append)
+        assert "ran" in lines[0] and "cached" in lines[1]
+
+    def test_parallel_batch_matches_serial(self, tmp_path):
+        specs = small_grid()
+        serial = run_batch(specs)
+        parallel = run_batch(specs, jobs=2)
+        for a, b in zip(serial.rows, parallel.rows):
+            assert a.outcome.to_json() == b.outcome.to_json()

@@ -1,0 +1,95 @@
+"""ResultCache: content-addressed hit/miss/invalidate round-trips."""
+
+import json
+
+from repro.exp.cache import CACHE_SCHEMA, ResultCache
+from repro.exp.spec import RunSpec
+
+
+def _spec(**overrides):
+    params = dict(workload="ParMult", quick=True, n_processors=2)
+    params.update(overrides)
+    return RunSpec(**params)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.get(spec) is None
+        outcome = spec.execute()
+        cache.put(spec, outcome)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.to_json() == outcome.to_json()
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_chaos_outcomes_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(fault_profile="transient", fault_seed=2)
+        outcome = spec.execute()
+        cache.put(spec, outcome)
+        hit = cache.get(spec)
+        assert hit.kind == "chaos"
+        assert hit.to_json() == outcome.to_json()
+
+    def test_distinct_specs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = _spec(threshold=0), _spec(threshold=8)
+        cache.put(a, a.execute())
+        assert cache.get(b) is None
+
+    def test_persists_across_instances(self, tmp_path):
+        spec = _spec()
+        ResultCache(tmp_path).put(spec, spec.execute())
+        assert ResultCache(tmp_path).get(spec) is not None
+
+
+class TestInvalidation:
+    def test_invalidate_removes_one_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = _spec(threshold=0), _spec(threshold=8)
+        cache.put(a, a.execute())
+        cache.put(b, b.execute())
+        assert len(cache) == 2
+        cache.invalidate(a)
+        assert cache.get(a) is None
+        assert cache.get(b) is not None
+        assert len(cache) == 1
+
+    def test_clear_empties_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, spec.execute())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(spec) is None
+
+    def test_schema_mismatch_is_a_miss_and_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, spec.execute())
+        path = cache.path_for(spec)
+        entry = json.loads(path.read_text())
+        entry["schema"] = "repro-exp-cache/v0"
+        path.write_text(json.dumps(entry))
+        assert cache.get(spec) is None
+        assert not path.exists(), "stale-schema entries must be dropped"
+
+    def test_corrupt_entries_are_dropped_not_fatal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, spec.execute())
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+        assert cache.get(spec) is None  # still just a miss
+
+    def test_entry_records_its_spec_for_audit(self, tmp_path):
+        """Entries are self-describing: fingerprint collisions aside,
+        a cache file names the exact spec key that produced it."""
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, spec.execute())
+        entry = json.loads(cache.path_for(spec).read_text())
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["spec"] == spec.key()

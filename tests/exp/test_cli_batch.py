@@ -1,0 +1,138 @@
+"""The ``repro-numa batch`` command and the orchestrated CLI paths."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.grid == "table3"
+        assert args.jobs == 1
+        assert args.cache_dir is None  # resolved to .repro-cache at run time
+        assert not args.no_cache
+        assert args.require_cache_ratio is None
+
+    def test_batch_options(self):
+        args = build_parser().parse_args(
+            [
+                "--jobs", "2",
+                "batch",
+                "--grid", "chaos",
+                "--apps", "parmult",
+                "--seeds", "0", "1",
+                "--profile", "storm",
+                "--no-cache",
+                "--require-cache-ratio", "0.9",
+            ]
+        )
+        assert args.jobs == 2
+        assert args.grid == "chaos"
+        assert args.apps == ["parmult"]
+        assert args.seeds == [0, 1]
+        assert args.profile == "storm"
+        assert args.no_cache
+        assert args.require_cache_ratio == pytest.approx(0.9)
+
+    def test_jobs_and_cache_dir_accepted_on_table_commands(self):
+        args = build_parser().parse_args(
+            ["table3", "--jobs", "2", "--cache-dir", "x"]
+        )
+        assert args.jobs == 2
+        assert args.cache_dir == "x"
+
+
+def _summary(capsys):
+    """The batch summary: the last stdout line, one JSON object."""
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    return json.loads(lines[-1])
+
+
+class TestBatchCommand:
+    def test_cold_then_warm_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = ["--quick", "batch", "--apps", "ParMult"]
+        assert main(argv) == 0
+        cold = _summary(capsys)
+        assert cold["unique"] == 3 and cold["executed"] == 3
+        assert (tmp_path / ".repro-cache").is_dir()
+
+        assert main(argv + ["--require-cache-ratio", "0.9"]) == 0
+        warm = _summary(capsys)
+        assert warm["executed"] == 0
+        assert warm["cache_ratio"] == 1.0
+
+    def test_require_cache_ratio_fails_cold_runs(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = [
+            "--quick", "batch", "--apps", "ParMult",
+            "--require-cache-ratio", "0.9",
+        ]
+        assert main(argv) == 1
+        assert "cache ratio" in capsys.readouterr().err
+
+    def test_no_cache_never_writes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = ["--quick", "batch", "--apps", "ParMult", "--no-cache"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert _summary(capsys)["cache_hits"] == 0
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_chaos_grid_emits_reports(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "batch.jsonl"
+        assert main(
+            [
+                "--quick", "batch", "--grid", "chaos",
+                "--apps", "ParMult", "--seeds", "0", "1",
+                "--json", str(out),
+            ]
+        ) == 0
+        assert _summary(capsys)["unique"] == 2
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = {r["t"] for r in records}
+        assert {"batch_spec", "batch_summary", "batch_metric"} <= kinds
+        chaos_rows = [r for r in records if r["t"] == "batch_spec"]
+        assert all(r["kind"] == "chaos" for r in chaos_rows)
+
+    def test_json_sink_carries_batch_counters(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "batch.jsonl"
+        assert main(
+            ["--quick", "batch", "--apps", "ParMult", "--json", str(out)]
+        ) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        metrics = {
+            r["name"]: r for r in records if r["t"] == "batch_metric"
+        }
+        assert metrics["batch_executed"]["value"] == 3
+
+
+class TestOrchestratedTables:
+    def test_table3_uses_cache_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = ["--quick", "table3", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert (tmp_path / "c").is_dir()
+
+    def test_sweep_routes_through_orchestrator(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            [
+                "--quick", "sweep", "--apps", "ParMult",
+                "--thresholds", "0", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "threshold sweep" in out
+        assert out.count("\n  ") >= 2  # one line per threshold

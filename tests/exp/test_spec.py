@@ -1,0 +1,149 @@
+"""RunSpec: identity, fingerprints, resolution, and execution."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp.spec import (
+    POLICY_REGISTRY,
+    SPEC_SCHEMA,
+    Outcome,
+    RunSpec,
+    resolve_policy,
+    resolve_workload,
+)
+
+
+class TestIdentity:
+    def test_key_round_trips(self):
+        spec = RunSpec(
+            workload="ParMult", quick=True, threshold=2, n_processors=3
+        )
+        assert RunSpec.from_key(spec.key()) == spec
+
+    def test_from_key_rejects_unknown_fields(self):
+        key = RunSpec(workload="ParMult").key()
+        key["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="surprise"):
+            RunSpec.from_key(key)
+
+    def test_fingerprint_is_order_insensitive(self):
+        spec = RunSpec(workload="FFT", quick=True)
+        key = spec.key()
+        shuffled = dict(reversed(list(key.items())))
+        assert RunSpec.from_key(shuffled).fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_distinguishes_parameters(self):
+        base = RunSpec(workload="ParMult", quick=True)
+        fingerprints = {
+            base.fingerprint(),
+            RunSpec(workload="ParMult").fingerprint(),
+            RunSpec(workload="ParMult", quick=True, threshold=0).fingerprint(),
+            RunSpec(workload="ParMult", quick=True, fault_seed=1).fingerprint(),
+            RunSpec(workload="FFT", quick=True).fingerprint(),
+        }
+        assert len(fingerprints) == 5
+
+    def test_fingerprint_is_salted_by_schema(self):
+        spec = RunSpec(workload="ParMult")
+        assert SPEC_SCHEMA.startswith("repro-exp/")
+        # Recomputing by hand with the schema salt reproduces the value.
+        import hashlib
+
+        manual = hashlib.sha256(
+            (SPEC_SCHEMA + "\n" + spec.canonical_json()).encode()
+        ).hexdigest()
+        assert manual == spec.fingerprint()
+
+    def test_fingerprint_stable_across_processes(self):
+        """Content addressing must not depend on process state (hash
+        randomization, import order) — a cache written by one process
+        must be readable by the next."""
+        spec = RunSpec(workload="Primes3", quick=True, threshold=8)
+        script = (
+            "from repro.exp.spec import RunSpec; "
+            "print(RunSpec(workload='Primes3', quick=True, threshold=8)"
+            ".fingerprint())"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert child.stdout.strip() == spec.fingerprint()
+
+    def test_label_is_human_readable(self):
+        spec = RunSpec(workload="ParMult", quick=True)
+        assert "ParMult" in spec.label
+        assert "move-threshold" in spec.label
+
+
+class TestResolution:
+    def test_resolve_workload_case_insensitive(self):
+        assert resolve_workload("parmult").name == "ParMult"
+
+    def test_resolve_workload_quick_uses_small_instances(self):
+        full = resolve_workload("ParMult")
+        quick = resolve_workload("ParMult", quick=True)
+        assert quick.name == full.name
+        assert quick is not full
+
+    def test_resolve_workload_unknown_raises_with_menu(self):
+        with pytest.raises(ConfigurationError, match="ParMult"):
+            resolve_workload("nope")
+
+    def test_resolve_policy_registry_covers_paper_policies(self):
+        for name in ("move-threshold", "all-global", "all-local"):
+            assert name in POLICY_REGISTRY
+        policy = resolve_policy("move-threshold", threshold=9)
+        assert policy.threshold == 9
+
+    def test_resolve_policy_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_policy("nope", threshold=4)
+
+
+class TestExecution:
+    def test_run_produces_the_workloads_result(self):
+        spec = RunSpec(workload="ParMult", quick=True, n_processors=3)
+        result = spec.run()
+        assert result.workload == "ParMult"
+        assert result.n_processors == 3
+        assert result.user_time_us > 0
+
+    def test_execute_wraps_plain_runs(self):
+        outcome = RunSpec(workload="ParMult", quick=True).execute()
+        assert outcome.kind == "run"
+        assert outcome.result is not None and outcome.chaos is None
+
+    def test_execute_routes_fault_profiles_to_chaos(self):
+        outcome = RunSpec(
+            workload="ParMult",
+            quick=True,
+            fault_profile="transient",
+            fault_seed=3,
+        ).execute()
+        assert outcome.kind == "chaos"
+        assert outcome.chaos.profile == "transient"
+        assert outcome.chaos.seed == 3
+
+    def test_outcome_round_trips_both_kinds(self):
+        for spec in (
+            RunSpec(workload="ParMult", quick=True),
+            RunSpec(workload="ParMult", quick=True, fault_profile="transient"),
+        ):
+            outcome = spec.execute()
+            rebuilt = Outcome.from_dict(outcome.as_dict())
+            assert rebuilt.to_json() == outcome.to_json()
+
+    def test_declarative_spec_is_deterministic(self):
+        spec = RunSpec(workload="ParMult", quick=True)
+        assert spec.is_declarative()
+        assert spec.run().to_json() == spec.run().to_json()
+
+    def test_unknown_registry_names_are_not_declarative(self):
+        assert not RunSpec(workload="nope").is_declarative()
+        assert not RunSpec(workload="ParMult", policy="nope").is_declarative()

@@ -12,15 +12,17 @@ from repro.workloads.primes import Primes1, Primes3
 
 class TestRunMix:
     def test_single_workload_mix_matches_run_once(self):
-        mix = run_mix([ParMult.small()], MoveThresholdPolicy(4), 4)
-        solo = run_once(ParMult.small(), MoveThresholdPolicy(4), 4)
+        mix = run_mix(
+            [ParMult.small()], MoveThresholdPolicy(4), n_processors=4
+        )
+        solo = run_once(ParMult.small(), MoveThresholdPolicy(4), n_processors=4)
         assert mix.total_user_us == pytest.approx(solo.user_time_us)
 
     def test_task_attribution_sums_to_total(self):
         mix = run_mix(
             [ParMult.small(), Primes1.small()],
             MoveThresholdPolicy(4),
-            4,
+            n_processors=4,
         )
         assert sum(t.user_time_us for t in mix.tasks) == pytest.approx(
             mix.total_user_us
@@ -30,12 +32,29 @@ class TestRunMix:
         mix = run_mix(
             [ParMult.small(), Primes1.small()],
             MoveThresholdPolicy(4),
-            4,
+            n_processors=4,
         )
         assert mix.task_named("ParMult").task == 0
         assert mix.task_named("Primes1").task == 1
         with pytest.raises(KeyError):
             mix.task_named("nope")
+
+    def test_positional_extras_are_deprecated_but_work(self):
+        """Positional args beyond (workloads, policy) still run, with a
+        DeprecationWarning steering callers to keywords."""
+        with pytest.warns(DeprecationWarning, match="run_mix"):
+            legacy = run_mix([ParMult.small()], MoveThresholdPolicy(4), 4)
+        modern = run_mix(
+            [ParMult.small()], MoveThresholdPolicy(4), n_processors=4
+        )
+        assert legacy.total_user_us == modern.total_user_us
+        assert legacy.rounds == modern.rounds
+
+    def test_invariants_checked_by_default(self):
+        """run_mix now shares run_once's check_invariants=True default."""
+        import repro.sim.mix as mix_mod
+
+        assert mix_mod._RUN_MIX_DEFAULTS["check_invariants"] is True
 
     def test_same_application_twice_does_not_cross_barriers(self):
         """Two IMatMult tasks use identical barrier names; they must
@@ -43,7 +62,7 @@ class TestRunMix:
         mix = run_mix(
             [IMatMult.small(), IMatMult.small()],
             MoveThresholdPolicy(4),
-            4,
+            n_processors=4,
         )
         a, b = mix.tasks
         assert a.user_time_us > 0 and b.user_time_us > 0
@@ -53,13 +72,13 @@ class TestRunMix:
         """The introduction's claim: each application in the mix keeps
         (almost) the locality it had standalone."""
         solo = run_once(
-            Primes1.small(), MoveThresholdPolicy(4), 4,
+            Primes1.small(), MoveThresholdPolicy(4), n_processors=4,
             check_invariants=False,
         )
         mix = run_mix(
             [Primes1.small(), Primes3.small()],
             MoveThresholdPolicy(4),
-            4,
+            n_processors=4,
         )
         mixed = mix.task_named("Primes1").user_time_us
         assert mixed == pytest.approx(solo.user_time_us, rel=0.05)
@@ -70,7 +89,7 @@ class TestRunMix:
         result = rm(
             [IMatMult.small(), Primes3.small()],
             MoveThresholdPolicy(4),
-            4,
+            n_processors=4,
             check_invariants=True,
         )
         assert result.stats.moves > 0
@@ -114,7 +133,7 @@ class TestRunMix:
         mix = run_mix(
             [ParMult.small(), ParMult.small()],
             MoveThresholdPolicy(4),
-            2,
+            n_processors=2,
         )
         a, b = mix.tasks
         assert a.user_time_us == pytest.approx(b.user_time_us, rel=0.05)

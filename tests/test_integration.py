@@ -95,7 +95,7 @@ class TestDeterminismAcrossTheBoard:
     @pytest.mark.parametrize("name", sorted(small_workloads()))
     def test_two_identical_runs_agree_exactly(self, name):
         workload = small_workloads()[name]
-        first = run_once(workload, MoveThresholdPolicy(4), 4)
-        second = run_once(workload, MoveThresholdPolicy(4), 4)
+        first = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
+        second = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
         assert first.user_time_us == second.user_time_us
         assert first.stats.as_dict() == second.stats.as_dict()

@@ -64,7 +64,9 @@ class TestPrimesHelpers:
 
 class TestParMult:
     def test_negligible_data_traffic(self):
-        result = run_once(ParMult.small(), MoveThresholdPolicy(4), 4)
+        result = run_once(
+            ParMult.small(), MoveThresholdPolicy(4), n_processors=4
+        )
         assert result.data_refs.total() <= 2 * 8 + 4  # ~2 refs per chunk
 
     def test_rejects_bad_sizes(self):
@@ -81,7 +83,9 @@ class TestGfetch:
         )
 
     def test_alpha_is_near_zero(self):
-        result = run_once(Gfetch.small(), MoveThresholdPolicy(4), 4)
+        result = run_once(
+            Gfetch.small(), MoveThresholdPolicy(4), n_processors=4
+        )
         assert result.measured_alpha < 0.35  # init writes loom large at small scale
 
     def test_rejects_bad_sizes(self):
@@ -111,7 +115,9 @@ class TestIMatMult:
         assert len(entry.local_copies) == 3
 
     def test_alpha_is_high(self):
-        result = run_once(IMatMult.small(), MoveThresholdPolicy(4), 4)
+        result = run_once(
+            IMatMult.small(), MoveThresholdPolicy(4), n_processors=4
+        )
         assert result.measured_alpha > 0.9
 
     def test_rejects_tiny_matrices(self):
@@ -121,7 +127,9 @@ class TestIMatMult:
 
 class TestPrimes1:
     def test_stack_traffic_dominates_and_stays_local(self):
-        result = run_once(Primes1.small(), MoveThresholdPolicy(4), 4)
+        result = run_once(
+            Primes1.small(), MoveThresholdPolicy(4), n_processors=4
+        )
         assert result.measured_alpha > 0.95
 
     def test_rejects_tiny_limit(self):
@@ -135,12 +143,12 @@ class TestPrimes2:
         shared = run_once(
             Primes2(limit=6_000, private_divisors=False),
             MoveThresholdPolicy(4),
-            4,
+            n_processors=4,
         )
         private = run_once(
             Primes2(limit=6_000, private_divisors=True),
             MoveThresholdPolicy(4),
-            4,
+            n_processors=4,
         )
         assert private.measured_alpha > shared.measured_alpha + 0.2
         assert private.measured_alpha > 0.9
@@ -158,11 +166,15 @@ class TestPrimes3:
         assert global_count >= len(sieve_states) - 1
 
     def test_alpha_is_low(self):
-        result = run_once(Primes3.small(), MoveThresholdPolicy(4), 4)
+        result = run_once(
+            Primes3.small(), MoveThresholdPolicy(4), n_processors=4
+        )
         assert result.measured_alpha < 0.6
 
     def test_heavy_copy_traffic_before_pinning(self):
-        result = run_once(Primes3.small(), MoveThresholdPolicy(4), 4)
+        result = run_once(
+            Primes3.small(), MoveThresholdPolicy(4), n_processors=4
+        )
         assert result.stats.total_page_copies() > 10
 
 
@@ -174,7 +186,7 @@ class TestFFT:
             assert all(s is PageState.LOCAL_WRITABLE for s in states)
 
     def test_alpha_is_high(self):
-        result = run_once(FFT.small(), MoveThresholdPolicy(4), 4)
+        result = run_once(FFT.small(), MoveThresholdPolicy(4), n_processors=4)
         assert result.measured_alpha > 0.9
 
     def test_size_must_be_power_of_two(self):
@@ -193,11 +205,13 @@ class TestPlyTrace:
         assert all(s is PageState.READ_ONLY for s in states)
 
     def test_packed_framebuffer_hurts_alpha(self):
-        padded = run_once(PlyTrace(n_polygons=1200), MoveThresholdPolicy(4), 7)
+        padded = run_once(
+            PlyTrace(n_polygons=1200), MoveThresholdPolicy(4), n_processors=7
+        )
         packed = run_once(
             PlyTrace(n_polygons=1200, padded_framebuffer=False),
             MoveThresholdPolicy(4),
-            7,
+            n_processors=7,
         )
         assert packed.measured_alpha < padded.measured_alpha - 0.08
 
