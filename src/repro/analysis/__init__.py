@@ -1,6 +1,22 @@
-"""Analysis: the paper's model, traces, false sharing, optimal placement."""
+"""Analysis: the paper's model, traces, reports from the result cache.
+
+Alongside the classic model/trace analytics, this package hosts the
+cache-backed reporting layer: :mod:`repro.analysis.frames` (the
+dependency-free :class:`~repro.analysis.frames.DataTable`),
+:mod:`repro.analysis.cachereport` (derived metrics over
+``.repro-cache/``) and :mod:`repro.analysis.versus` (ASCII versus
+plots), feeding ``repro-numa report --from-cache``.
+"""
 
 from repro.analysis import model, paper
+from repro.analysis.cachereport import (
+    CacheDataset,
+    EvaluationJoin,
+    derive_row,
+    evaluation_from_dataset,
+)
+from repro.analysis.frames import DataTable, format_cell
+from repro.analysis.versus import VersusSeries, versus_from_table, versus_plot
 from repro.analysis.bus import BusReport, analyze_bus
 from repro.analysis.diagrams import figure1, figure2, wiring_report
 from repro.analysis.layout_advisor import (
@@ -55,6 +71,15 @@ from repro.analysis.tracing import (
 __all__ = [
     "model",
     "paper",
+    "CacheDataset",
+    "EvaluationJoin",
+    "derive_row",
+    "evaluation_from_dataset",
+    "DataTable",
+    "format_cell",
+    "VersusSeries",
+    "versus_from_table",
+    "versus_plot",
     "BusReport",
     "analyze_bus",
     "figure1",

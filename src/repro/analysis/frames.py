@@ -1,0 +1,310 @@
+"""A dependency-free tabular core for the cache-backed reporting layer.
+
+:class:`DataTable` is the one data structure every derived-metric table,
+versus-plot and emitter in :mod:`repro.analysis.cachereport` operates
+on: a list of flat row dictionaries with a stable column order, plus the
+relational verbs a report generator needs — ``where``, ``select``,
+``sort_by``, ``group_by``, ``aggregate`` and ``pivot``.  It deliberately
+reimplements none of pandas: rows are plain dicts, values are plain
+scalars, and every operation is deterministic (group keys sort, column
+order is first-seen), which is what makes a report regenerated from the
+same cache byte-identical.
+
+Emitters cover the three formats the paper pipeline publishes in:
+GitHub-flavoured markdown (``to_markdown``), CSV (``to_csv``) and a
+booktabs-style LaTeX tabular (``to_latex``), plus the repo's classic
+fixed-width plain text (``to_text``).  All four share one cell
+formatter so a number renders identically everywhere.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+Row = Dict[str, object]
+#: An aggregation: builtin name or a callable over the grouped values.
+Aggregation = Union[str, Callable[[Sequence[object]], object]]
+
+#: Builtin aggregation functions, all total over empty input except
+#: the order statistics (which never see empty groups — a group exists
+#: because at least one row landed in it).
+_AGGREGATIONS: Dict[str, Callable[[Sequence[object]], object]] = {
+    "count": len,
+    "sum": lambda values: sum(values),
+    "min": min,
+    "max": max,
+    "mean": lambda values: sum(values) / len(values),
+    "first": lambda values: values[0],
+    "last": lambda values: values[-1],
+}
+
+
+def format_cell(value: object, float_digits: int = 4) -> str:
+    """One canonical cell rendering shared by every emitter.
+
+    ``None`` prints as ``na`` (the paper's marker), booleans as
+    lowercase words, floats trimmed to *float_digits* with trailing
+    zeros removed so ``1.0`` and ``1.2500`` render as ``1`` and
+    ``1.25`` in every output format alike.
+    """
+    if value is None:
+        return "na"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        text = f"{value:.{float_digits}f}".rstrip("0").rstrip(".")
+        return text if text not in ("", "-", "-0") else "0"
+    return str(value)
+
+
+def _sort_token(value: object) -> Tuple[int, str, object]:
+    """A total order over mixed-type cells (None first, then by type)."""
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, bool):
+        return (1, "", int(value))
+    if isinstance(value, (int, float)):
+        return (2, "", float(value))
+    return (3, type(value).__name__, str(value))
+
+
+class DataTable:
+    """An immutable-by-convention table of flat row dictionaries."""
+
+    def __init__(
+        self,
+        rows: Iterable[Mapping[str, object]],
+        columns: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.rows: List[Row] = [dict(row) for row in rows]
+        if columns is None:
+            seen: Dict[str, None] = {}
+            for row in self.rows:
+                for key in row:
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        self.columns: List[str] = list(columns)
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Mapping[str, object]]
+    ) -> "DataTable":
+        """Build a table from possibly-nested records (telemetry JSONL).
+
+        Nested dicts and lists flatten into ``parent.child`` columns via
+        :func:`repro.obs.exporters.flatten_record` — the same rule the
+        CSV exporter applies — so ``--json`` output loads straight into
+        a table with the column names the CSV would have had.
+        """
+        from repro.obs.exporters import flatten_record
+
+        return cls([flatten_record(dict(record)) for record in records])
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, row order preserved."""
+        return [row.get(name) for row in self.rows]
+
+    def unique(self, name: str) -> List[object]:
+        """Distinct values of one column, in deterministic sorted order."""
+        return sorted(set(self.column(name)), key=_sort_token)
+
+    # -- relational verbs ----------------------------------------------------
+
+    def where(
+        self,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        **equals: object,
+    ) -> "DataTable":
+        """Rows matching *predicate* and every ``column=value`` filter."""
+        kept = []
+        for row in self.rows:
+            if predicate is not None and not predicate(row):
+                continue
+            if any(row.get(k) != v for k, v in equals.items()):
+                continue
+            kept.append(row)
+        return DataTable(kept, columns=self.columns)
+
+    def select(self, *columns: str) -> "DataTable":
+        """A narrower table with just *columns*, in the given order."""
+        return DataTable(
+            [{c: row.get(c) for c in columns} for row in self.rows],
+            columns=list(columns),
+        )
+
+    def with_column(
+        self, name: str, fn: Callable[[Row], object]
+    ) -> "DataTable":
+        """A new table with ``row[name] = fn(row)`` appended to each row."""
+        rows = [{**row, name: fn(row)} for row in self.rows]
+        columns = self.columns + ([name] if name not in self.columns else [])
+        return DataTable(rows, columns=columns)
+
+    def sort_by(self, *columns: str, reverse: bool = False) -> "DataTable":
+        """Rows ordered by *columns* (None first; mixed types total-ordered)."""
+        rows = sorted(
+            self.rows,
+            key=lambda row: tuple(_sort_token(row.get(c)) for c in columns),
+            reverse=reverse,
+        )
+        return DataTable(rows, columns=self.columns)
+
+    def group_by(
+        self, *columns: str
+    ) -> List[Tuple[Tuple[object, ...], "DataTable"]]:
+        """Rows partitioned by *columns*, groups in sorted key order."""
+        groups: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in self.rows:
+            key = tuple(row.get(c) for c in columns)
+            groups.setdefault(key, []).append(row)
+        ordered = sorted(
+            groups.items(),
+            key=lambda item: tuple(_sort_token(v) for v in item[0]),
+        )
+        return [
+            (key, DataTable(rows, columns=self.columns))
+            for key, rows in ordered
+        ]
+
+    def aggregate(
+        self,
+        by: Sequence[str],
+        aggs: Mapping[str, Tuple[str, Aggregation]],
+    ) -> "DataTable":
+        """Group by *by* and fold columns: ``{out: (column, aggregation)}``.
+
+        The aggregation is a builtin name (``count``/``sum``/``min``/
+        ``max``/``mean``/``first``/``last``) or any callable over the
+        group's values; ``None`` values are dropped before folding
+        (``mean`` over an all-``None`` group yields ``None``).
+        """
+        out_rows: List[Row] = []
+        for key, group in self.group_by(*by):
+            row: Row = dict(zip(by, key))
+            for out, (column, how) in aggs.items():
+                fn = _AGGREGATIONS[how] if isinstance(how, str) else how
+                values = [v for v in group.column(column) if v is not None]
+                row[out] = fn(values) if values else None
+            out_rows.append(row)
+        return DataTable(out_rows, columns=list(by) + list(aggs))
+
+    def pivot(
+        self,
+        index: str,
+        column: str,
+        value: str,
+        how: Aggregation = "mean",
+    ) -> "DataTable":
+        """A wide table: one row per *index*, one column per *column* value."""
+        wide = self.aggregate((index, column), {value: (value, how)})
+        headers = [format_cell(v) for v in wide.unique(column)]
+        rows: Dict[object, Row] = {}
+        for row in wide.rows:
+            cell = rows.setdefault(row[index], {index: row[index]})
+            cell[format_cell(row[column])] = row[value]
+        ordered = sorted(rows, key=_sort_token)
+        return DataTable(
+            [rows[key] for key in ordered], columns=[index] + headers
+        )
+
+    # -- emitters ------------------------------------------------------------
+
+    def _rendered(self, float_digits: int) -> List[List[str]]:
+        return [
+            [format_cell(row.get(c), float_digits) for c in self.columns]
+            for row in self.rows
+        ]
+
+    def to_markdown(self, float_digits: int = 4) -> str:
+        """GitHub-flavoured markdown table."""
+        lines = [
+            "| " + " | ".join(self.columns) + " |",
+            "|" + "|".join("---" for _ in self.columns) + "|",
+        ]
+        for cells in self._rendered(float_digits):
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self, float_digits: int = 4) -> str:
+        """CSV text (RFC-style quoting via the stdlib writer)."""
+        import csv
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for cells in self._rendered(float_digits):
+            writer.writerow(cells)
+        return buffer.getvalue()
+
+    def to_latex(
+        self,
+        float_digits: int = 4,
+        caption: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> str:
+        """A booktabs-style LaTeX tabular (slp's table emitter shape)."""
+
+        def escape(text: str) -> str:
+            for char in "&%#_":
+                text = text.replace(char, "\\" + char)
+            return text
+
+        lines = ["\\begin{table}", "\\centering"]
+        lines.append(
+            "\\begin{tabular}{" + "l" * len(self.columns) + "}"
+        )
+        lines.append("\\toprule")
+        lines.append(
+            " & ".join(escape(c) for c in self.columns) + " \\\\"
+        )
+        lines.append("\\midrule")
+        for cells in self._rendered(float_digits):
+            lines.append(" & ".join(escape(c) for c in cells) + " \\\\")
+        lines.append("\\bottomrule")
+        lines.append("\\end{tabular}")
+        if caption:
+            lines.append(f"\\caption{{{escape(caption)}}}")
+        if label:
+            lines.append(f"\\label{{{label}}}")
+        lines.append("\\end{table}")
+        return "\n".join(lines)
+
+    def to_text(self, title: Optional[str] = None, float_digits: int = 4) -> str:
+        """Fixed-width plain text, matching the repo's classic tables."""
+        materialized = [list(self.columns)] + self._rendered(float_digits)
+        widths = [
+            max(len(row[col]) for row in materialized)
+            for col in range(len(self.columns))
+        ]
+        lines = [title] if title else []
+        for index, row in enumerate(materialized):
+            lines.append(
+                "  ".join(
+                    cell.rjust(width) for cell, width in zip(row, widths)
+                )
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)

@@ -1,18 +1,44 @@
 """One-shot reproduction report: every table, figure and check, as text.
 
-``repro-numa report`` (or :func:`generate_report`) runs the whole
-evaluation — Tables 1-4, Figures 1-2, the latency check, the measured-α
-cross-check and a Section 4.2 false-sharing summary — and assembles a
-single markdown document, so a reader can regenerate the paper's
-artifacts with one command and diff the result against EXPERIMENTS.md.
+``repro-numa report`` (or :func:`generate_report`) assembles a single
+markdown document with the whole evaluation — Tables 1-4, Figures 1-2,
+the latency check, the measured-α cross-check — so a reader can
+regenerate the paper's artifacts with one command and diff the result
+against EXPERIMENTS.md.
+
+Two paths produce that document:
+
+* the classic in-process path (:func:`generate_report` with a
+  workloads dict, kept for the library API), which simulates and then
+  renders;
+* the cache-backed path (:func:`generate_cache_report`), which renders
+  purely from a :class:`~repro.analysis.cachereport.CacheDataset` over
+  ``.repro-cache/`` — **zero re-execution**, every artifact footnoted
+  with the spec fingerprints and cache-schema version it was derived
+  from, and byte-identical output for an identical cache.  This is the
+  path behind ``repro-numa report --from-cache``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pathlib
-from typing import Callable, Dict, Optional, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro import __version__
+from repro.analysis.cachereport import (
+    CacheDataset,
+    EvaluationJoin,
+    chaos_fan_section,
+    evaluation_from_dataset,
+    footnote,
+    missing_lines,
+    summary_section,
+    table3_frame,
+    table4_frame,
+    threshold_versus_section,
+)
 from repro.analysis.diagrams import figure1, figure2, wiring_report
 from repro.analysis.paper import ACE_RATIOS
 from repro.analysis.report import (
@@ -23,6 +49,8 @@ from repro.analysis.report import (
     run_evaluation,
 )
 from repro.core.transitions import READ_TABLE, WRITE_TABLE
+from repro.exp.cache import CACHE_SCHEMA
+from repro.exp.spec import SPEC_SCHEMA
 from repro.machine.config import TimingParameters, ace_config
 from repro.workloads.base import Workload
 
@@ -39,23 +67,10 @@ def _render_transition_table(table, title: str) -> str:
     return "\n".join(lines)
 
 
-def generate_report(
-    workloads: Optional[Dict[str, Callable[[], Workload]]] = None,
-    n_processors: int = 7,
-    threshold: int = 4,
-    evaluation: Optional[Evaluation] = None,
-) -> str:
-    """Build the full reproduction report as a markdown string.
-
-    Pass a precomputed *evaluation* to skip re-running the applications
-    (the CLI reuses one evaluation for Tables 3 and 4).
-    """
-    if evaluation is None:
-        evaluation = run_evaluation(
-            workloads, n_processors=n_processors, threshold=threshold
-        )
+def _header_sections(n_processors: int, threshold: int) -> List[str]:
+    """The static preamble shared by both report paths."""
     timing = TimingParameters()
-    sections = [
+    return [
         "# Reproduction report",
         "",
         f"repro {__version__} — Bolosky, Fitzgerald & Scott, "
@@ -77,14 +92,47 @@ def generate_report(
         "```",
         "",
         "## Tables 1-2 — protocol actions (from the live transition rules)",
-        _render_transition_table(
-            READ_TABLE, "### Table 1 — read requests"
-        ),
+        _render_transition_table(READ_TABLE, "### Table 1 — read requests"),
         "",
-        _render_transition_table(
-            WRITE_TABLE, "### Table 2 — write requests"
-        ),
+        _render_transition_table(WRITE_TABLE, "### Table 2 — write requests"),
         "",
+    ]
+
+
+def _figure_sections(n_processors: int) -> List[str]:
+    return [
+        "## Figure 1 — ACE memory architecture",
+        "```",
+        figure1(ace_config(n_processors)),
+        "```",
+        "",
+        "## Figure 2 — the pmap layer",
+        "```",
+        figure2(),
+        "",
+        wiring_report(),
+        "```",
+        "",
+    ]
+
+
+def generate_report(
+    workloads: Optional[Dict[str, Callable[[], Workload]]] = None,
+    n_processors: int = 7,
+    threshold: int = 4,
+    evaluation: Optional[Evaluation] = None,
+) -> str:
+    """Build the full reproduction report as a markdown string.
+
+    Pass a precomputed *evaluation* to skip re-running the applications
+    (the CLI reuses one evaluation for Tables 3 and 4).
+    """
+    if evaluation is None:
+        evaluation = run_evaluation(
+            workloads, n_processors=n_processors, threshold=threshold
+        )
+    sections = _header_sections(n_processors, threshold)
+    sections += [
         "## Table 3 — the evaluation",
         "```",
         format_table3(evaluation),
@@ -100,19 +148,8 @@ def generate_report(
         format_measured_alpha(evaluation),
         "```",
         "",
-        "## Figure 1 — ACE memory architecture",
-        "```",
-        figure1(ace_config(n_processors)),
-        "```",
-        "",
-        "## Figure 2 — the pmap layer",
-        "```",
-        figure2(),
-        "",
-        wiring_report(),
-        "```",
-        "",
     ]
+    sections += _figure_sections(n_processors)
     return "\n".join(sections)
 
 
@@ -130,3 +167,232 @@ def write_report(
         )
     )
     return path
+
+
+# -- the cache-backed path ---------------------------------------------------
+
+
+@dataclass
+class ReportArtifact:
+    """One generated artifact and the cached specs it was derived from."""
+
+    name: str
+    #: Full contributing fingerprints, sorted and deduplicated.
+    fingerprints: List[str]
+
+    def as_record(self) -> Dict[str, object]:
+        """The ``--json`` manifest record for this artifact."""
+        return {
+            "t": "report_artifact",
+            "name": self.name,
+            "specs": len(self.fingerprints),
+            "fingerprints": self.fingerprints,
+        }
+
+
+@dataclass
+class CacheReportBundle:
+    """Everything one cache-backed report generation produced."""
+
+    document: str
+    artifacts: List[ReportArtifact]
+    join: EvaluationJoin
+    #: Valid entries / skipped files in the scanned cache.
+    cache_entries: int
+    cache_skipped: Dict[str, int]
+    #: Specs simulated by this invocation (0 unless ``--fill`` ran).
+    executed: int = 0
+
+    @property
+    def sha256(self) -> str:
+        """Content hash of the document (the byte-identity witness)."""
+        return hashlib.sha256(self.document.encode("utf-8")).hexdigest()
+
+    def manifest_records(self) -> List[Dict[str, object]]:
+        """The ``--json`` contract: summary first, then per-artifact rows."""
+        records: List[Dict[str, object]] = [
+            {
+                "t": "report_summary",
+                "cache_schema": CACHE_SCHEMA,
+                "spec_schema": SPEC_SCHEMA,
+                "cache_entries": self.cache_entries,
+                "cache_skipped": dict(sorted(self.cache_skipped.items())),
+                "required": self.join.required,
+                "cached": len(self.join.fingerprints),
+                "missing": len(self.join.missing),
+                "cache_ratio": round(self.join.cache_ratio, 4),
+                "executed": self.executed,
+                "sha256": self.sha256,
+            }
+        ]
+        records.extend(artifact.as_record() for artifact in self.artifacts)
+        records.extend(
+            {
+                "t": "report_missing_spec",
+                "fingerprint": spec.fingerprint(),
+                "label": spec.label,
+            }
+            for spec in self.join.missing
+        )
+        return records
+
+
+def generate_cache_report(
+    dataset: CacheDataset,
+    apps: Optional[Sequence[str]] = None,
+    n_processors: int = 7,
+    threshold: int = 4,
+    quick: bool = False,
+    executed: int = 0,
+) -> CacheReportBundle:
+    """Regenerate every table and figure purely from cached outcomes.
+
+    Nothing simulates here: the α/β/γ fits come from
+    :func:`~repro.analysis.cachereport.evaluation_from_dataset`, the
+    sweep studies from the derived-metric table, and each artifact
+    carries a footnote naming its contributing spec fingerprints and
+    the cache schema — identical cache in, byte-identical document out.
+    """
+    join = evaluation_from_dataset(
+        dataset,
+        apps=apps,
+        n_processors=n_processors,
+        threshold=threshold,
+        quick=quick,
+    )
+    evaluation = join.evaluation
+    artifacts: List[ReportArtifact] = []
+    sections = _header_sections(n_processors, threshold)
+
+    def add(name: str, title: str, body: str, fps: Sequence[str]) -> None:
+        fingerprints = sorted(set(str(fp) for fp in fps))
+        artifacts.append(
+            ReportArtifact(name=name, fingerprints=fingerprints)
+        )
+        sections.extend([title, body, ""])
+        if fingerprints:
+            sections.extend([footnote(fingerprints), ""])
+        else:
+            sections.extend(["> derived from 0 cached spec(s)", ""])
+
+    eval_fps = join.fingerprints
+    if evaluation.rows:
+        add(
+            "table3",
+            "## Table 3 — the evaluation (from cache)",
+            "```\n" + format_table3(evaluation) + "\n```",
+            eval_fps,
+        )
+        add(
+            "table4",
+            "## Table 4 — NUMA-management overhead (from cache)",
+            "```\n" + format_table4(evaluation) + "\n```",
+            eval_fps,
+        )
+        add(
+            "alpha",
+            "## Measured vs model-recovered alpha (from cache)",
+            "```\n" + format_measured_alpha(evaluation) + "\n```",
+            eval_fps,
+        )
+    else:
+        add(
+            "table3",
+            "## Table 3 — the evaluation (from cache)",
+            "(no complete Tnuma/Tglobal/Tlocal triple in the cache; "
+            "run `repro-numa batch --grid table3` or pass `--fill`)",
+            [],
+        )
+
+    title, body, fps = threshold_versus_section(
+        dataset, n_processors=n_processors, quick=quick
+    )
+    add("versus-threshold", f"## {title}", body, fps)
+
+    title, body, fps = chaos_fan_section(dataset)
+    add("chaos-fans", f"## {title}", body, fps)
+
+    title, body, fps = summary_section(dataset)
+    add("cache-summary", f"## {title}", body, fps)
+
+    sections += _figure_sections(n_processors)
+
+    skipped = dataset.scan.skipped_by_reason()
+    skip_detail = ", ".join(
+        f"{reason}: {count}" for reason, count in sorted(skipped.items())
+    )
+    sections += [
+        "## Provenance",
+        "```",
+        f"spec schema   {SPEC_SCHEMA}",
+        f"cache schema  {CACHE_SCHEMA}",
+        f"cache entries {len(dataset)} valid, "
+        f"{sum(skipped.values())} skipped"
+        + (f" ({skip_detail})" if skip_detail else ""),
+        f"required      {join.required} specs, "
+        f"{len(join.fingerprints)} served from cache, "
+        f"{len(join.missing)} missing, {executed} executed",
+        "```",
+        "",
+    ]
+    if join.missing:
+        sections += [
+            "### Missing specs",
+            "```",
+            *missing_lines(join.missing),
+            "```",
+            "",
+        ]
+
+    return CacheReportBundle(
+        document="\n".join(sections),
+        artifacts=artifacts,
+        join=join,
+        cache_entries=len(dataset),
+        cache_skipped=skipped,
+        executed=executed,
+    )
+
+
+def emit_tables(
+    evaluation: Evaluation,
+    directory: Union[str, pathlib.Path],
+    formats: Sequence[str] = ("csv", "latex"),
+) -> List[pathlib.Path]:
+    """Write Table 3/4 data files (CSV and/or LaTeX) next to the report.
+
+    Returns the written paths; used by ``repro-numa report --tables``
+    and the committed ``benchmarks/_artifacts`` bundle.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    frames = {
+        "table3": table3_frame(evaluation),
+        "table4": table4_frame(evaluation),
+    }
+    suffixes = {"csv": ".csv", "latex": ".tex", "markdown": ".md"}
+    written: List[pathlib.Path] = []
+    for name, frame in frames.items():
+        for fmt in formats:
+            if fmt not in suffixes:
+                from repro.errors import ConfigurationError
+
+                raise ConfigurationError(
+                    f"unknown table format {fmt!r}; "
+                    f"choose from {', '.join(sorted(suffixes))}"
+                )
+            path = directory / f"{name}{suffixes[fmt]}"
+            if fmt == "csv":
+                path.write_text(frame.to_csv())
+            elif fmt == "latex":
+                path.write_text(
+                    frame.to_latex(
+                        caption=f"Regenerated {name} (from cache)",
+                        label=f"tab:{name}",
+                    )
+                    + "\n"
+                )
+            else:
+                path.write_text(frame.to_markdown() + "\n")
+            written.append(path)
+    return written

@@ -1,0 +1,148 @@
+"""slp-style *versus* plots, rendered as deterministic ASCII.
+
+MBradbury/slp's ``data.graph.versus`` plots one result metric against a
+swept parameter, one line per configuration, with error bars across
+repeats.  The cache-backed report needs the same shape but has to stay
+dependency-free and byte-identical across regenerations, so the plots
+here are plain text: one banded strip per x value showing the
+``min ═ mean ═ max`` spread of the metric at that point (seeds of a
+chaos fan, applications of a grid, or a single deterministic run where
+the band collapses to its mean marker).
+
+:func:`versus_plot` renders prepared series; :func:`versus_from_table`
+lifts them straight out of a :class:`~repro.analysis.frames.DataTable`,
+which is how :mod:`repro.analysis.cachereport` builds the
+metric-vs-threshold and seed-fan figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.frames import DataTable, format_cell, _sort_token
+
+#: Character width of the band strip.
+_STRIP_WIDTH = 40
+
+
+@dataclass(frozen=True)
+class VersusSeries:
+    """One line of a versus plot: x → the metric's samples at that x."""
+
+    name: str
+    #: x value → every observed metric value (1 sample: band collapses).
+    points: Tuple[Tuple[object, Tuple[float, ...]], ...]
+
+    @classmethod
+    def from_mapping(
+        cls, name: str, points: Dict[object, Sequence[float]]
+    ) -> "VersusSeries":
+        ordered = sorted(points.items(), key=lambda kv: _sort_token(kv[0]))
+        return cls(
+            name=name,
+            points=tuple(
+                (x, tuple(float(v) for v in values))
+                for x, values in ordered
+                if values
+            ),
+        )
+
+    def bounds(self) -> Tuple[float, float]:
+        """The series' (lowest, highest) observed metric value."""
+        lows = [min(values) for _, values in self.points]
+        highs = [max(values) for _, values in self.points]
+        return min(lows), max(highs)
+
+
+def _strip(low: float, mean: float, high: float,
+           lo_bound: float, hi_bound: float) -> str:
+    """One band line: ``═`` spans min..max, ``●`` marks the mean."""
+    span = hi_bound - lo_bound
+
+    def slot(value: float) -> int:
+        if span <= 0:
+            return _STRIP_WIDTH // 2
+        frac = (value - lo_bound) / span
+        return min(_STRIP_WIDTH - 1, max(0, round(frac * (_STRIP_WIDTH - 1))))
+
+    cells = [" "] * _STRIP_WIDTH
+    for i in range(slot(low), slot(high) + 1):
+        cells[i] = "="
+    cells[slot(mean)] = "*"
+    return "".join(cells)
+
+
+def versus_plot(
+    series: Sequence[VersusSeries],
+    xlabel: str,
+    ylabel: str,
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render *series* as banded ASCII strips on one shared y scale."""
+    drawn = [s for s in series if s.points]
+    if not drawn:
+        return f"{title or ylabel}: no data points"
+    lo = min(s.bounds()[0] for s in drawn)
+    hi = max(s.bounds()[1] for s in drawn)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{ylabel} vs {xlabel}   "
+        f"[y: {format_cell(lo, float_digits)} .. "
+        f"{format_cell(hi, float_digits)}]"
+    )
+    header = f"  {xlabel:>10s}  {'min':>10s}  {'mean':>10s}  {'max':>10s}"
+    for s in drawn:
+        if len(drawn) > 1 or s.name:
+            lines.append(f"-- {s.name}")
+        lines.append(header)
+        for x, values in s.points:
+            low, high = min(values), max(values)
+            mean = sum(values) / len(values)
+            lines.append(
+                f"  {format_cell(x, float_digits):>10s}  "
+                f"{format_cell(low, float_digits):>10s}  "
+                f"{format_cell(mean, float_digits):>10s}  "
+                f"{format_cell(high, float_digits):>10s}  "
+                f"|{_strip(low, mean, high, lo, hi)}|"
+            )
+    return "\n".join(lines)
+
+
+def versus_from_table(
+    table: DataTable,
+    x: str,
+    y: str,
+    series_by: Optional[str] = None,
+    xlabel: Optional[str] = None,
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Plot column *y* against column *x*, one series per *series_by* value.
+
+    Rows whose *x* or *y* is ``None`` are dropped; multiple rows landing
+    on the same (series, x) point become that point's min/mean/max band
+    — exactly what a seed fan wants.
+    """
+    buckets: Dict[str, Dict[object, List[float]]] = {}
+    for row in table.rows:
+        if row.get(x) is None or row.get(y) is None:
+            continue
+        name = format_cell(row.get(series_by)) if series_by else ""
+        buckets.setdefault(name, {}).setdefault(
+            row[x], []
+        ).append(float(row[y]))  # type: ignore[arg-type]
+    series = [
+        VersusSeries.from_mapping(name, points)
+        for name, points in sorted(buckets.items())
+    ]
+    return versus_plot(
+        series,
+        xlabel=xlabel or x,
+        ylabel=y,
+        title=title,
+        float_digits=float_digits,
+    )

@@ -19,6 +19,12 @@ Usage::
                                  # run a workload under fault injection
     repro-numa lint              # static protocol/hygiene lint over src/
     repro-numa modelcheck        # verify Tables 1-2 against the paper
+    repro-numa report --from-cache
+                                 # regenerate every table/figure from the
+                                 # result cache, zero re-execution
+    repro-numa cache ls          # inspect .repro-cache/ entries
+    repro-numa cache gc --schema-mismatch
+                                 # prune stale-schema entries safely
     repro-numa all               # tables, figures, latencies, alpha
 
 ``--quick`` uses the scaled-down test workloads (seconds instead of
@@ -606,17 +612,211 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
-def cmd_report(args: argparse.Namespace) -> None:
-    """Write the full reproduction report to REPORT.md."""
-    from repro.analysis.repro_report import write_report
+def cmd_report(args: argparse.Namespace) -> int:
+    """Write the full reproduction report (cache-backed, provenance-footnoted).
 
-    path = write_report(
-        "REPORT.md",
-        _workload_set(args.quick),
+    The report renders from the on-disk result cache: by default the
+    required Tables 3–4 grid is first routed through the batch
+    orchestrator (cached specs are served, the rest simulate), then the
+    whole document — tables, α/β/γ fits, versus-plots — regenerates
+    from the cache with every artifact footnoted by its contributing
+    spec fingerprints.  ``--from-cache`` skips execution entirely
+    (``executed == 0``; combine with ``--fill`` to simulate just the
+    missing specs first), ``--missing`` lists uncached required specs
+    instead of writing the report, and ``--require-cache-ratio`` turns
+    the served/required ratio into an exit code for CI.  ``--json``
+    receives the artifact manifest (fingerprints, document sha256).
+    """
+    import pathlib
+
+    from repro.analysis.cachereport import (
+        CacheDataset,
+        missing_lines,
+        placement_triples,
+    )
+    from repro.analysis.repro_report import (
+        emit_tables,
+        generate_cache_report,
+    )
+    from repro.exp.batch import run_batch
+    from repro.exp.cache import DEFAULT_CACHE_DIR
+    from repro.exp.grid import flatten
+
+    if args.cache_dir is None:
+        args.cache_dir = DEFAULT_CACHE_DIR
+    required = flatten(
+        placement_triples(
+            args.apps,
+            n_processors=args.processors,
+            threshold=args.threshold,
+            quick=args.quick,
+        )
+    )
+    progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    executed = 0
+    if args.missing:
+        # Pure inspection: list what the cache cannot serve, run nothing.
+        dataset = CacheDataset.load(args.cache_dir)
+        missing = dataset.missing(required)
+        for line in missing_lines(missing):
+            print(line)
+        unique_required = len({spec.fingerprint() for spec in required})
+        print(
+            f"{len(missing)} of {unique_required} required specs missing "
+            f"from {args.cache_dir}"
+        )
+        args.sink.extend(
+            {
+                "t": "report_missing_spec",
+                "fingerprint": spec.fingerprint(),
+                "label": spec.label,
+            }
+            for spec in missing
+        )
+        return 0
+    if not args.from_cache:
+        batch = run_batch(
+            required,
+            jobs=args.jobs,
+            cache=_cache_from(args),
+            progress=progress,
+        )
+        executed = batch.executed
+    dataset = CacheDataset.load(args.cache_dir)
+    missing = dataset.missing(required)
+    if args.fill and missing:
+        batch = run_batch(
+            missing,
+            jobs=args.jobs,
+            cache=_cache_from(args),
+            progress=progress,
+        )
+        executed += batch.executed
+        dataset = CacheDataset.load(args.cache_dir)
+    bundle = generate_cache_report(
+        dataset,
+        apps=args.apps,
         n_processors=args.processors,
         threshold=args.threshold,
+        quick=args.quick,
+        executed=executed,
     )
-    print(f"wrote {path.resolve()}")
+    out = pathlib.Path(args.out)
+    out.write_text(bundle.document, encoding="utf-8")
+    args.sink.extend(bundle.manifest_records())
+    if args.tables:
+        for path in emit_tables(bundle.join.evaluation, args.tables):
+            args.sink.add({"t": "report_table_file", "path": str(path)})
+            print(f"wrote {path}")
+    print(
+        f"wrote {out} (executed {executed}, "
+        f"cache ratio {bundle.join.cache_ratio:.3f}, "
+        f"sha256 {bundle.sha256[:12]})"
+    )
+    if (
+        args.require_cache_ratio is not None
+        and bundle.join.cache_ratio < args.require_cache_ratio
+    ):
+        print(
+            f"repro-numa report: cache ratio {bundle.join.cache_ratio:.3f} "
+            f"below required {args.require_cache_ratio:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the on-disk result cache (``ls``/``stats``/``gc``).
+
+    ``ls`` lists every valid entry (fingerprint, kind, spec label) plus
+    every skipped file with its reason; ``stats`` aggregates counts and
+    bytes; ``gc`` removes *only* files the scanner already refuses to
+    serve — by category (``--schema-mismatch``, ``--corrupt``,
+    ``--foreign``), or as a dry run over all categories when no flag is
+    given — so pruning can never change what a report would say.
+    """
+    from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    if args.cache_dir is None:
+        args.cache_dir = DEFAULT_CACHE_DIR
+    cache = ResultCache(args.cache_dir)
+    scan = cache.scan()
+    if args.action == "ls":
+        for entry in sorted(scan.entries, key=lambda e: e.fingerprint):
+            print(
+                f"{entry.fingerprint[:12]}  {entry.outcome.kind:5s}  "
+                f"{entry.size_bytes:>8d}B  {entry.spec.label}"
+            )
+            args.sink.add(
+                {
+                    "t": "cache_entry",
+                    "fingerprint": entry.fingerprint,
+                    "kind": entry.outcome.kind,
+                    "bytes": entry.size_bytes,
+                    "label": entry.spec.label,
+                }
+            )
+        for item in scan.skipped:
+            print(f"{'-' * 12}  skip   [{item.reason}] {item.path.name}")
+            args.sink.add(
+                {
+                    "t": "cache_skipped",
+                    "path": str(item.path),
+                    "reason": item.reason,
+                    "detail": item.detail,
+                }
+            )
+        print(
+            f"{len(scan.entries)} entries, {len(scan.skipped)} skipped "
+            f"in {cache.root}"
+        )
+        return 0
+    if args.action == "stats":
+        stats = cache.stats(scan)
+        args.sink.add({"t": "cache_stats", **stats})
+        print(f"cache {stats['root']} [{stats['schema']}]")
+        print(f"  entries   {stats['entries']} ({stats['bytes']} bytes)")
+        labels = {
+            "kinds": "kind",
+            "workloads": "workload",
+            "policies": "policy",
+            "skipped": "skipped",
+        }
+        for group, label in labels.items():
+            for name, count in stats[group].items():
+                print(f"  {label:9s} {name}: {count}")
+        return 0
+    # gc
+    reasons = []
+    if args.schema_mismatch:
+        reasons.append("schema-mismatch")
+    if args.corrupt:
+        reasons.extend(["corrupt", "fingerprint-mismatch", "tmp"])
+    if args.foreign:
+        reasons.append("foreign")
+    dry_run = not reasons
+    if dry_run:
+        reasons = [
+            "schema-mismatch", "corrupt", "fingerprint-mismatch",
+            "tmp", "foreign",
+        ]
+    removed = cache.gc(reasons, scan=scan, dry_run=dry_run)
+    verb = "would remove" if dry_run else "removed"
+    for item in removed:
+        print(f"{verb} [{item.reason}] {item.path}")
+        args.sink.add(
+            {
+                "t": "cache_gc",
+                "path": str(item.path),
+                "reason": item.reason,
+                "removed": not dry_run,
+            }
+        )
+    suffix = " (dry run; pass --schema-mismatch/--corrupt/--foreign)" \
+        if dry_run else ""
+    print(f"{verb} {len(removed)} file(s){suffix}")
+    return 0
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -708,6 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos": cmd_chaos,
         "mix": cmd_mix,
         "batch": cmd_batch,
+        "cache": cmd_cache,
         "lint": cmd_lint,
         "modelcheck": cmd_modelcheck,
         "report": cmd_report,
@@ -717,7 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=func.__doc__)
         sub.set_defaults(func=func)
         _add_global_options(sub, root=False)
-        if name in ("sweep", "advise", "speedup", "mix", "batch"):
+        if name in ("sweep", "advise", "speedup", "mix", "batch", "report"):
             sub.add_argument(
                 "--apps",
                 nargs="*",
@@ -764,6 +965,69 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="RATIO",
                 help="exit 1 unless at least RATIO of the unique specs "
                      "came from the cache (CI resumability assertion)",
+            )
+        if name == "report":
+            sub.add_argument(
+                "--from-cache",
+                action="store_true",
+                help="render purely from the result cache: nothing "
+                     "simulates, missing specs are footnoted",
+            )
+            sub.add_argument(
+                "--fill",
+                action="store_true",
+                help="with --from-cache: simulate just the missing "
+                     "required specs first, then render",
+            )
+            sub.add_argument(
+                "--missing",
+                action="store_true",
+                help="list required specs absent from the cache "
+                     "(fingerprint + label) instead of writing the report",
+            )
+            sub.add_argument(
+                "--out",
+                default="REPORT.md",
+                metavar="PATH",
+                help="report output path (default REPORT.md)",
+            )
+            sub.add_argument(
+                "--tables",
+                default=None,
+                metavar="DIR",
+                help="also emit table3/table4 as CSV and LaTeX into DIR",
+            )
+            sub.add_argument(
+                "--require-cache-ratio",
+                type=float,
+                default=None,
+                metavar="RATIO",
+                help="exit 1 unless at least RATIO of the required specs "
+                     "were served from the cache (CI assertion)",
+            )
+        if name == "cache":
+            sub.add_argument(
+                "action",
+                choices=("ls", "stats", "gc"),
+                help="list entries, aggregate statistics, or prune "
+                     "unusable files",
+            )
+            sub.add_argument(
+                "--schema-mismatch",
+                action="store_true",
+                help="gc: remove entries written under an older cache "
+                     "schema",
+            )
+            sub.add_argument(
+                "--corrupt",
+                action="store_true",
+                help="gc: remove unparseable entries, fingerprint "
+                     "mismatches, and leftover temp files",
+            )
+            sub.add_argument(
+                "--foreign",
+                action="store_true",
+                help="gc: remove files that are not cache entries at all",
             )
         if name == "metrics":
             sub.add_argument(

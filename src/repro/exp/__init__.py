@@ -19,7 +19,15 @@ Quick start::
 """
 
 from repro.exp.batch import BatchResult, SpecOutcome, run_batch
-from repro.exp.cache import CACHE_SCHEMA, DEFAULT_CACHE_DIR, ResultCache
+from repro.exp.cache import (
+    CACHE_SCHEMA,
+    DEFAULT_CACHE_DIR,
+    SKIP_REASONS,
+    CacheEntry,
+    CacheScan,
+    ResultCache,
+    SkippedFile,
+)
 from repro.exp.grid import (
     Matrix,
     PlacementSpecs,
@@ -47,7 +55,11 @@ __all__ = [
     "run_batch",
     "CACHE_SCHEMA",
     "DEFAULT_CACHE_DIR",
+    "SKIP_REASONS",
+    "CacheEntry",
+    "CacheScan",
     "ResultCache",
+    "SkippedFile",
     "Matrix",
     "PlacementSpecs",
     "ThresholdSweep",

@@ -18,15 +18,26 @@ Invalidation is by construction rather than by mtime heuristics:
 
 Entries are written atomically (temp file + :func:`os.replace`) so a
 killed sweep never leaves a truncated entry behind.
+
+Beyond point lookups, the cache is also *iterable*: :meth:`ResultCache.
+scan` classifies every file under the root into valid
+:class:`CacheEntry` objects (spec and outcome rebuilt and re-verified
+against the content address) and :class:`SkippedFile` records with a
+precise reason, which is what lets the reporting layer
+(:mod:`repro.analysis.cachereport`) treat the cache directory as the
+system of record, and ``repro-numa cache ls/stats/gc`` inspect and
+prune it without deleting anything blind.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.errors import ConfigurationError
 from repro.exp.spec import Outcome, RunSpec
 
 #: Entry-format version.  Bump when the serialized Outcome layout (or
@@ -36,6 +47,59 @@ CACHE_SCHEMA = "repro-exp-cache/v1"
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Skip reasons :meth:`ResultCache.scan` can attach to a file, in the
+#: order ``cache gc`` help lists them.
+SKIP_REASONS = (
+    "tmp",                   # leftover atomic-write temp file
+    "foreign",               # not a cache entry at all (wrong name/shape)
+    "corrupt",               # unparseable JSON or missing entry fields
+    "schema-mismatch",       # entry written under a different CACHE_SCHEMA
+    "fingerprint-mismatch",  # spec no longer hashes to the entry's address
+)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One valid cache file, joined back to its spec and outcome."""
+
+    path: Path
+    fingerprint: str
+    spec: RunSpec
+    outcome: Outcome
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class SkippedFile:
+    """One file under the cache root that is not a usable entry."""
+
+    path: Path
+    #: One of :data:`SKIP_REASONS`.
+    reason: str
+    #: Human-readable specifics (the schema tag found, the parse error).
+    detail: str = ""
+
+
+@dataclass
+class CacheScan:
+    """Everything one :meth:`ResultCache.scan` pass found."""
+
+    root: Path
+    schema: str
+    entries: List[CacheEntry] = field(default_factory=list)
+    skipped: List[SkippedFile] = field(default_factory=list)
+
+    def by_fingerprint(self) -> Dict[str, CacheEntry]:
+        """Fingerprint → entry lookup over the valid entries."""
+        return {entry.fingerprint: entry for entry in self.entries}
+
+    def skipped_by_reason(self) -> Dict[str, int]:
+        """Skip counts per reason (only reasons that occurred)."""
+        counts: Dict[str, int] = {}
+        for item in self.skipped:
+            counts[item.reason] = counts.get(item.reason, 0) + 1
+        return counts
 
 
 class ResultCache:
@@ -102,6 +166,133 @@ class ResultCache:
         )
         os.replace(tmp, path)
         return path
+
+    # -- scanning ------------------------------------------------------------
+
+    def iter_files(self) -> Iterator[Path]:
+        """Every file under the cache root, in sorted (stable) order."""
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.rglob("*")):
+            if path.is_file():
+                yield path
+
+    def classify(self, path: Path) -> Union[CacheEntry, SkippedFile]:
+        """Read one file as a cache entry, or say exactly why it is not.
+
+        This is the read side of :meth:`put`, hardened for a directory
+        users (and crashed runs, and older schemas) also write to:
+        every failure mode maps to a :data:`SKIP_REASONS` bucket instead
+        of an exception, so a report scan survives anything it finds.
+        """
+        if path.name.startswith(".tmp-"):
+            return SkippedFile(path, "tmp", "interrupted atomic write")
+        if path.suffix != ".json":
+            return SkippedFile(path, "foreign", "not a .json entry")
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            return SkippedFile(path, "corrupt", str(error))
+        if not isinstance(entry, dict):
+            return SkippedFile(path, "foreign", "not a JSON object")
+        schema = entry.get("schema")
+        if schema != CACHE_SCHEMA:
+            return SkippedFile(
+                path,
+                "schema-mismatch",
+                f"entry schema {schema!r}, expected {CACHE_SCHEMA!r}",
+            )
+        try:
+            spec = RunSpec.from_key(entry["spec"])
+            outcome = Outcome.from_dict(entry["outcome"])
+        except Exception as error:  # noqa: BLE001 - any bad payload skips
+            return SkippedFile(path, "corrupt", str(error))
+        fingerprint = spec.fingerprint()
+        if fingerprint != path.stem:
+            return SkippedFile(
+                path,
+                "fingerprint-mismatch",
+                f"spec hashes to {fingerprint[:12]}…, "
+                f"entry is addressed {path.stem[:12]}…",
+            )
+        return CacheEntry(
+            path=path,
+            fingerprint=fingerprint,
+            spec=spec,
+            outcome=outcome,
+            size_bytes=path.stat().st_size,
+        )
+
+    def scan(self) -> CacheScan:
+        """Classify every file under the root; never raises on content.
+
+        Unlike :meth:`get`, scanning is strictly read-only: corrupt or
+        stale files are *reported*, not unlinked — pruning is
+        :meth:`gc`'s job, behind an explicit flag.
+        """
+        result = CacheScan(root=self.root, schema=CACHE_SCHEMA)
+        for path in self.iter_files():
+            item = self.classify(path)
+            if isinstance(item, CacheEntry):
+                result.entries.append(item)
+            else:
+                result.skipped.append(item)
+        return result
+
+    def stats(self, scan: Optional[CacheScan] = None) -> Dict[str, object]:
+        """Aggregate counts for ``repro-numa cache stats`` (deterministic)."""
+        scan = scan if scan is not None else self.scan()
+        kinds: Dict[str, int] = {}
+        workloads: Dict[str, int] = {}
+        policies: Dict[str, int] = {}
+        total_bytes = 0
+        for entry in scan.entries:
+            kinds[entry.outcome.kind] = kinds.get(entry.outcome.kind, 0) + 1
+            workloads[entry.spec.workload] = (
+                workloads.get(entry.spec.workload, 0) + 1
+            )
+            policies[entry.spec.policy] = (
+                policies.get(entry.spec.policy, 0) + 1
+            )
+            total_bytes += entry.size_bytes
+        return {
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA,
+            "entries": len(scan.entries),
+            "bytes": total_bytes,
+            "kinds": dict(sorted(kinds.items())),
+            "workloads": dict(sorted(workloads.items())),
+            "policies": dict(sorted(policies.items())),
+            "skipped": dict(sorted(scan.skipped_by_reason().items())),
+        }
+
+    def gc(
+        self,
+        reasons: Sequence[str],
+        scan: Optional[CacheScan] = None,
+        dry_run: bool = False,
+    ) -> List[SkippedFile]:
+        """Remove (or with *dry_run* just list) skipped files by reason.
+
+        Valid entries are never touched — garbage collection only ever
+        prunes files :meth:`scan` already refuses to serve, so a ``gc``
+        can only reclaim space, never change what a report would say.
+        """
+        unknown = set(reasons) - set(SKIP_REASONS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown gc reasons {sorted(unknown)}; "
+                f"choose from {', '.join(SKIP_REASONS)}"
+            )
+        scan = scan if scan is not None else self.scan()
+        doomed = [item for item in scan.skipped if item.reason in reasons]
+        if not dry_run:
+            for item in doomed:
+                try:
+                    item.path.unlink()
+                except OSError:
+                    pass
+        return doomed
 
     # -- maintenance ---------------------------------------------------------
 

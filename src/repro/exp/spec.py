@@ -342,6 +342,36 @@ class Outcome:
         """``"run"`` or ``"chaos"``."""
         return "chaos" if self.chaos is not None else "run"
 
+    # Uniform metric accessors: the reporting layer derives tables from
+    # mixed run/chaos caches, so the times every outcome has are exposed
+    # without callers branching on :attr:`kind`.
+
+    @property
+    def user_time_us(self) -> float:
+        """Total user time across processors, µs (either outcome kind)."""
+        if self.result is not None:
+            return self.result.user_time_us
+        return self.chaos.user_time_us
+
+    @property
+    def system_time_us(self) -> float:
+        """Total system time across processors, µs (either outcome kind)."""
+        if self.result is not None:
+            return self.result.system_time_us
+        return self.chaos.system_time_us
+
+    @property
+    def elapsed_us(self) -> float:
+        """User plus system time, µs — the report's elapsed metric."""
+        return self.user_time_us + self.system_time_us
+
+    @property
+    def rounds(self) -> int:
+        """Scheduling rounds the run took (either outcome kind)."""
+        if self.result is not None:
+            return self.result.rounds
+        return self.chaos.rounds
+
     def as_dict(self) -> Dict[str, object]:
         """Deterministic JSON-friendly view (the cached payload)."""
         return {

@@ -72,18 +72,29 @@ def write_csv(
     return len(flat)
 
 
-def _flatten(record: Record, prefix: str = "") -> Record:
+def flatten_record(record: Record, prefix: str = "") -> Record:
+    """Flatten nested dicts/lists into ``parent.child`` columns.
+
+    This is the one flattening rule shared by the CSV exporter and the
+    analysis layer's :meth:`~repro.analysis.frames.DataTable.
+    from_records`, so a record exported to CSV and one loaded back into
+    a DataTable always agree on column names.
+    """
     out: Record = {}
     for key, value in record.items():
         name = f"{prefix}{key}"
         if isinstance(value, dict):
-            out.update(_flatten(value, prefix=f"{name}."))
+            out.update(flatten_record(value, prefix=f"{name}."))
         elif isinstance(value, (list, tuple)):
             for index, item in enumerate(value):
                 out[f"{name}.{index}"] = item
         else:
             out[name] = value
     return out
+
+
+#: Backwards-compatible alias (pre-reporting-layer private name).
+_flatten = flatten_record
 
 
 def human_summary(records: Sequence[Record]) -> str:

@@ -1,0 +1,232 @@
+"""DataTable: relational verbs, canonical cell formatting, emitters."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.frames import DataTable, format_cell
+from repro.analysis.versus import VersusSeries, versus_from_table, versus_plot
+
+
+ROWS = [
+    {"workload": "ParMult", "threshold": 0, "gamma": 1.25, "quick": True},
+    {"workload": "ParMult", "threshold": 4, "gamma": 1.0, "quick": True},
+    {"workload": "FFT", "threshold": 4, "gamma": 1.5, "quick": True},
+    {"workload": "FFT", "threshold": 0, "gamma": None, "quick": False},
+]
+
+
+class TestFormatCell:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (None, "na"),
+            (True, "true"),
+            (False, "false"),
+            (1.0, "1"),
+            (1.25, "1.25"),
+            (0.0, "0"),
+            (-0.00001, "0"),  # rounds away to the canonical zero
+            (1.23456789, "1.2346"),
+            (42, "42"),
+            ("text", "text"),
+        ],
+    )
+    def test_canonical_rendering(self, value, expected):
+        assert format_cell(value) == expected
+
+    def test_digits_parameter(self):
+        assert format_cell(1.23456789, float_digits=2) == "1.23"
+
+
+class TestConstruction:
+    def test_columns_are_first_seen_order(self):
+        table = DataTable([{"b": 1, "a": 2}, {"a": 3, "c": 4}])
+        assert table.columns == ["b", "a", "c"]
+        assert len(table) == 2 and bool(table)
+
+    def test_explicit_columns_win(self):
+        table = DataTable(ROWS, columns=["gamma", "workload"])
+        assert table.columns == ["gamma", "workload"]
+
+    def test_from_records_flattens_like_the_csv_exporter(self):
+        from repro.obs.exporters import flatten_record
+
+        record = {
+            "t": "sample",
+            "delta": {"moves": 3, "syncs": 1},
+            "per_cpu": [10, 20],
+        }
+        table = DataTable.from_records([record])
+        assert table.rows[0] == flatten_record(record)
+        assert table.rows[0]["delta.moves"] == 3
+        assert table.rows[0]["per_cpu.1"] == 20
+
+
+class TestVerbs:
+    def test_where_equals_and_predicate(self):
+        table = DataTable(ROWS)
+        assert len(table.where(workload="ParMult")) == 2
+        assert len(table.where(workload="ParMult", threshold=4)) == 1
+        fast = table.where(lambda row: (row["gamma"] or 9) < 1.3)
+        assert len(fast) == 2
+
+    def test_select_narrows_and_orders(self):
+        narrow = DataTable(ROWS).select("gamma", "workload")
+        assert narrow.columns == ["gamma", "workload"]
+        assert narrow.rows[0] == {"gamma": 1.25, "workload": "ParMult"}
+
+    def test_with_column_derives(self):
+        table = DataTable(ROWS).with_column(
+            "slow", lambda row: (row["gamma"] or 0) > 1.2
+        )
+        assert table.columns[-1] == "slow"
+        assert [row["slow"] for row in table.rows][:3] == [True, False, True]
+
+    def test_sort_by_total_orders_mixed_cells(self):
+        table = DataTable(ROWS).sort_by("gamma")
+        assert table.column("gamma") == [None, 1.0, 1.25, 1.5]
+        assert DataTable(ROWS).sort_by("workload", "threshold").column(
+            "threshold"
+        ) == [0, 4, 0, 4]
+
+    def test_group_by_sorts_keys(self):
+        groups = DataTable(ROWS).group_by("workload")
+        assert [key for key, _ in groups] == [("FFT",), ("ParMult",)]
+        assert [len(group) for _, group in groups] == [2, 2]
+
+    def test_unique_is_sorted(self):
+        assert DataTable(ROWS).unique("threshold") == [0, 4]
+
+
+class TestAggregate:
+    def test_builtin_aggregations(self):
+        out = DataTable(ROWS).aggregate(
+            ("workload",),
+            {
+                "n": ("gamma", "count"),
+                "lo": ("gamma", "min"),
+                "hi": ("gamma", "max"),
+                "mean": ("gamma", "mean"),
+            },
+        )
+        assert out.columns == ["workload", "n", "lo", "hi", "mean"]
+        fft = out.where(workload="FFT").rows[0]
+        # None gamma dropped before folding: one FFT value survives.
+        assert fft["n"] == 1 and fft["mean"] == 1.5
+        par = out.where(workload="ParMult").rows[0]
+        assert (par["lo"], par["hi"]) == (1.0, 1.25)
+
+    def test_all_none_group_yields_none(self):
+        out = DataTable([{"k": "a", "v": None}]).aggregate(
+            ("k",), {"v": ("v", "mean")}
+        )
+        assert out.rows[0]["v"] is None
+
+    def test_callable_aggregation(self):
+        out = DataTable(ROWS).aggregate(
+            ("quick",), {"spread": ("gamma", lambda vs: max(vs) - min(vs))}
+        )
+        assert out.where(quick=True).rows[0]["spread"] == 0.5
+
+    def test_pivot(self):
+        wide = DataTable(ROWS).pivot("workload", "threshold", "gamma")
+        assert wide.columns == ["workload", "0", "4"]
+        rows = {row["workload"]: row for row in wide.rows}
+        assert rows["ParMult"]["0"] == 1.25
+        assert rows["FFT"].get("0") is None  # the None-gamma cell
+
+
+class TestEmitters:
+    def test_markdown_shape(self):
+        text = DataTable(ROWS).select("workload", "gamma").to_markdown()
+        lines = text.splitlines()
+        assert lines[0] == "| workload | gamma |"
+        assert lines[1] == "|---|---|"
+        assert lines[-1] == "| FFT | na |"
+
+    def test_csv_round_trips_through_the_stdlib(self):
+        text = DataTable(ROWS).to_csv()
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["workload", "threshold", "gamma", "quick"]
+        assert parsed[1] == ["ParMult", "0", "1.25", "true"]
+
+    def test_latex_escapes_and_booktabs(self):
+        table = DataTable([{"a_b": "50%", "c&d": 1}])
+        text = table.to_latex(caption="x_y", label="tab:t")
+        assert "\\toprule" in text and "\\bottomrule" in text
+        assert "a\\_b & c\\&d" in text
+        assert "50\\%" in text
+        assert "\\caption{x\\_y}" in text and "\\label{tab:t}" in text
+
+    def test_text_is_fixed_width(self):
+        text = DataTable(ROWS).select("workload", "gamma").to_text(
+            title="t"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert set(lines[2]) == {"-", " "}
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1, "all rows pad to one width"
+
+    def test_emitters_share_cell_formatting(self):
+        table = DataTable([{"v": 1.0}, {"v": None}])
+        for text in (table.to_markdown(), table.to_csv(), table.to_text()):
+            assert "na" in text
+            assert "1.0" not in text  # floats render trimmed everywhere
+
+
+class TestVersus:
+    def test_series_sorts_points_and_bounds(self):
+        series = VersusSeries.from_mapping(
+            "s", {4: [2.0, 1.0], 0: [3.0], 8: []}
+        )
+        assert [x for x, _ in series.points] == [0, 4]
+        assert series.bounds() == (1.0, 3.0)
+
+    def test_plot_bands_and_scale(self):
+        plot = versus_plot(
+            [VersusSeries.from_mapping("ParMult", {0: [1.0, 3.0], 4: [2.0]})],
+            xlabel="threshold",
+            ylabel="gamma",
+            title="demo",
+        )
+        lines = plot.splitlines()
+        assert lines[0] == "demo"
+        assert "[y: 1 .. 3]" in lines[1]
+        banded = next(line for line in lines if line.strip().startswith("0"))
+        assert "=" in banded and "*" in banded
+        point = next(line for line in lines if line.strip().startswith("4"))
+        strip = point[point.index("|"):]
+        # A single deterministic sample collapses to the mean marker.
+        assert strip.count("*") == 1 and "=" not in strip
+
+    def test_plot_without_points(self):
+        assert "no data points" in versus_plot([], "x", "y")
+
+    def test_versus_from_table_drops_none_and_bands_repeats(self):
+        table = DataTable(
+            [
+                {"w": "a", "x": 0, "y": 1.0},
+                {"w": "a", "x": 0, "y": 2.0},
+                {"w": "a", "x": 4, "y": None},
+                {"w": "b", "x": 0, "y": 1.5},
+            ]
+        )
+        plot = versus_from_table(table, x="x", y="y", series_by="w")
+        assert "-- a" in plot and "-- b" in plot
+        a_zero = next(
+            line
+            for line in plot.splitlines()[plot.splitlines().index("-- a"):]
+            if line.strip().startswith("0")
+        )
+        assert "1.5" in a_zero  # mean of the two repeats at x=0
+
+    def test_plot_is_deterministic(self):
+        table = DataTable(ROWS)
+        first = versus_from_table(table, x="threshold", y="gamma",
+                                  series_by="workload")
+        second = versus_from_table(table, x="threshold", y="gamma",
+                                   series_by="workload")
+        assert first == second

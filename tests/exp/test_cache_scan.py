@@ -1,0 +1,210 @@
+"""Cache scanning: classification, read-only robustness, gc by reason.
+
+A report built from ``.repro-cache/`` must survive whatever it finds
+there — crashed-run temp files, hand-edited entries, files written by
+other tools, entries from older schemas — so :meth:`ResultCache.scan`
+maps every failure mode to a precise skip reason instead of raising,
+and :meth:`ResultCache.gc` only ever prunes files the scanner already
+refuses to serve.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp.cache import (
+    CACHE_SCHEMA,
+    SKIP_REASONS,
+    CacheEntry,
+    ResultCache,
+    SkippedFile,
+)
+from repro.exp.spec import RunSpec
+
+
+def _spec(**overrides):
+    params = dict(workload="ParMult", quick=True, n_processors=2)
+    params.update(overrides)
+    return RunSpec(**params)
+
+
+@pytest.fixture
+def warm(tmp_path):
+    """A cache holding one plain run and one chaos run."""
+    cache = ResultCache(tmp_path)
+    run = _spec()
+    chaos = _spec(fault_profile="transient", fault_seed=1)
+    cache.put(run, run.execute())
+    cache.put(chaos, chaos.execute())
+    return cache, run, chaos
+
+
+class TestScanValidEntries:
+    def test_scan_rebuilds_spec_and_outcome(self, warm):
+        cache, run, chaos = warm
+        scan = cache.scan()
+        assert not scan.skipped
+        assert scan.schema == CACHE_SCHEMA
+        by_fp = scan.by_fingerprint()
+        assert set(by_fp) == {run.fingerprint(), chaos.fingerprint()}
+        entry = by_fp[run.fingerprint()]
+        assert isinstance(entry, CacheEntry)
+        assert entry.spec == run
+        assert entry.outcome.kind == "run"
+        assert entry.size_bytes == entry.path.stat().st_size
+        assert by_fp[chaos.fingerprint()].outcome.kind == "chaos"
+
+    def test_scan_order_is_stable(self, warm):
+        cache, _, _ = warm
+        first = [e.fingerprint for e in cache.scan().entries]
+        second = [e.fingerprint for e in cache.scan().entries]
+        assert first == second == sorted(first)
+
+    def test_scan_of_missing_root_is_empty(self, tmp_path):
+        scan = ResultCache(tmp_path / "never-created").scan()
+        assert scan.entries == [] and scan.skipped == []
+
+
+class TestClassification:
+    """Every non-entry maps to one of the SKIP_REASONS buckets."""
+
+    def test_tmp_file(self, warm):
+        cache, run, _ = warm
+        path = cache.path_for(run)
+        stray = path.with_name(f".tmp-{path.name}")
+        stray.write_text("{}")
+        item = cache.classify(stray)
+        assert isinstance(item, SkippedFile)
+        assert item.reason == "tmp"
+
+    def test_foreign_non_json_file(self, warm):
+        cache, _, _ = warm
+        stray = cache.root / "README.txt"
+        stray.write_text("not a cache entry")
+        assert cache.classify(stray).reason == "foreign"
+
+    def test_foreign_json_non_object(self, warm):
+        cache, _, _ = warm
+        stray = cache.root / "aa" / "list.json"
+        stray.parent.mkdir(exist_ok=True)
+        stray.write_text("[1, 2, 3]")
+        assert cache.classify(stray).reason == "foreign"
+
+    def test_corrupt_unparseable(self, warm):
+        cache, run, _ = warm
+        cache.path_for(run).write_text("{truncated")
+        item = cache.classify(cache.path_for(run))
+        assert item.reason == "corrupt"
+        assert item.detail  # carries the parse error
+
+    def test_corrupt_bad_payload(self, warm):
+        cache, run, _ = warm
+        path = cache.path_for(run)
+        entry = json.loads(path.read_text())
+        del entry["outcome"]
+        path.write_text(json.dumps(entry))
+        assert cache.classify(path).reason == "corrupt"
+
+    def test_schema_mismatch(self, warm):
+        cache, run, _ = warm
+        path = cache.path_for(run)
+        entry = json.loads(path.read_text())
+        entry["schema"] = "repro-exp-cache/v0"
+        path.write_text(json.dumps(entry))
+        item = cache.classify(path)
+        assert item.reason == "schema-mismatch"
+        assert "repro-exp-cache/v0" in item.detail
+
+    def test_fingerprint_mismatch(self, warm):
+        cache, run, _ = warm
+        entry_text = cache.path_for(run).read_text()
+        wrong = cache.root / "00" / ("0" * 64 + ".json")
+        wrong.parent.mkdir(exist_ok=True)
+        wrong.write_text(entry_text)
+        assert cache.classify(wrong).reason == "fingerprint-mismatch"
+
+    def test_all_observed_reasons_are_declared(self, warm):
+        cache, run, _ = warm
+        (cache.root / "junk.bin").write_text("x")
+        (cache.root / ".tmp-x.json").write_text("x")
+        cache.path_for(run).write_text("{bad")
+        scan = cache.scan()
+        assert set(scan.skipped_by_reason()) <= set(SKIP_REASONS)
+
+
+class TestScanRobustness:
+    def test_scan_survives_a_hostile_directory(self, warm):
+        """Corrupt, stale, foreign and temp files all skip, never raise."""
+        cache, run, chaos = warm
+        (cache.root / "notes.md").write_text("# notes")
+        (cache.root / ".tmp-leftover.json").write_text("{")
+        bad = cache.root / "zz" / "zz00.json"
+        bad.parent.mkdir()
+        bad.write_text("\x00\x01garbage")
+        stale_path = cache.path_for(run)
+        stale = json.loads(stale_path.read_text())
+        stale["schema"] = "other/v9"
+        stale_path.write_text(json.dumps(stale))
+
+        scan = cache.scan()
+        assert [e.fingerprint for e in scan.entries] == [chaos.fingerprint()]
+        assert scan.skipped_by_reason() == {
+            "foreign": 1,
+            "tmp": 1,
+            "corrupt": 1,
+            "schema-mismatch": 1,
+        }
+
+    def test_scan_is_read_only(self, warm):
+        cache, run, _ = warm
+        cache.path_for(run).write_text("{bad")
+        before = sorted(p.name for p in cache.root.rglob("*") if p.is_file())
+        cache.scan()
+        after = sorted(p.name for p in cache.root.rglob("*") if p.is_file())
+        assert before == after, "scan must report, never unlink"
+
+
+class TestGc:
+    def test_gc_removes_only_the_named_reasons(self, warm):
+        cache, run, chaos = warm
+        stale_path = cache.path_for(run)
+        stale = json.loads(stale_path.read_text())
+        stale["schema"] = "other/v9"
+        stale_path.write_text(json.dumps(stale))
+        foreign = cache.root / "stray.txt"
+        foreign.write_text("x")
+
+        removed = cache.gc(["schema-mismatch"])
+        assert [item.reason for item in removed] == ["schema-mismatch"]
+        assert not stale_path.exists()
+        assert foreign.exists(), "unrequested reasons are untouched"
+        assert cache.get(chaos) is not None, "valid entries are never gc'd"
+
+    def test_gc_dry_run_removes_nothing(self, warm):
+        cache, run, _ = warm
+        cache.path_for(run).write_text("{bad")
+        doomed = cache.gc(["corrupt"], dry_run=True)
+        assert len(doomed) == 1
+        assert cache.path_for(run).exists()
+
+    def test_gc_rejects_unknown_reasons(self, warm):
+        cache, _, _ = warm
+        with pytest.raises(ConfigurationError):
+            cache.gc(["stale"])  # not a SKIP_REASONS member
+
+
+class TestStats:
+    def test_stats_aggregates_the_scan(self, warm):
+        cache, run, chaos = warm
+        (cache.root / "stray.txt").write_text("x")
+        stats = cache.stats()
+        assert stats["schema"] == CACHE_SCHEMA
+        assert stats["entries"] == 2
+        assert stats["kinds"] == {"chaos": 1, "run": 1}
+        assert stats["workloads"] == {"ParMult": 2}
+        assert stats["policies"] == {"move-threshold": 2}
+        assert stats["skipped"] == {"foreign": 1}
+        assert stats["bytes"] == sum(
+            e.size_bytes for e in cache.scan().entries
+        )
