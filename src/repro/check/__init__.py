@@ -20,8 +20,30 @@ Three layers of correctness tooling, all runnable from the CLI and CI:
   (:mod:`repro.check.lockorder`) after every protocol event, raising a
   structured :class:`~repro.errors.ProtocolViolation` carrying the
   offending event trail.
+* :mod:`repro.check.races` — ``repro-numa races``: a two-layer race
+  detector for the coherence protocol.  The static layer infers the
+  guard discipline per shared field (:mod:`repro.check.guards`) and
+  lints for mutations outside the inferred guard, unbalanced lock
+  paths, MMU mutations without a paired shootdown, and bus emission
+  under a spin lock (RN008-RN011).  The dynamic layer is an
+  Eraser-style lockset plus vector-clock happens-before observer that
+  rides the event bus and the spinlock/TLB/MMU observer hooks, flags
+  candidate races with full event trails, and cross-checks each
+  candidate against the model checker's reachability analysis
+  (:func:`~repro.check.modelcheck.stale_tlb_reachable`).  Seeded
+  synthetic races (:mod:`repro.check.fixtures`) prove the wiring end
+  to end on every run.
 """
 
+from repro.check.fixtures import (
+    run_missed_shootdown_fixture,
+    run_unguarded_write_fixture,
+)
+from repro.check.guards import (
+    GuardModel,
+    MutationSite,
+    infer_guards,
+)
 from repro.check.lint import (
     DEFAULT_RULES,
     LintReport,
@@ -30,7 +52,23 @@ from repro.check.lint import (
     lint_source,
 )
 from repro.check.lockorder import LockOrderChecker
-from repro.check.modelcheck import ModelCheckReport, run_model_check
+from repro.check.modelcheck import (
+    ModelCheckReport,
+    legal_transition_pairs,
+    run_model_check,
+    stale_tlb_reachable,
+)
+from repro.check.races import (
+    ALL_RULES,
+    RACE_RULES,
+    RaceCheckReport,
+    RaceDetector,
+    RaceReport,
+    attach_detector,
+    detach_detector,
+    lint_races,
+    run_race_check,
+)
 from repro.check.sanitizer import (
     ProtocolSanitizer,
     attach_sanitizer,
@@ -46,7 +84,23 @@ __all__ = [
     "lint_source",
     "LockOrderChecker",
     "ModelCheckReport",
+    "legal_transition_pairs",
     "run_model_check",
+    "stale_tlb_reachable",
+    "GuardModel",
+    "MutationSite",
+    "infer_guards",
+    "ALL_RULES",
+    "RACE_RULES",
+    "RaceCheckReport",
+    "RaceDetector",
+    "RaceReport",
+    "attach_detector",
+    "detach_detector",
+    "lint_races",
+    "run_race_check",
+    "run_missed_shootdown_fixture",
+    "run_unguarded_write_fixture",
     "ProtocolSanitizer",
     "attach_sanitizer",
     "maybe_attach_sanitizer",

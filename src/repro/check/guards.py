@@ -1,0 +1,450 @@
+"""Static guard inference for the protocol's shared mutable state.
+
+The NUMA protocol keeps its racy state in three places — directory
+entries (``core/directory.py``), the per-CPU MMU translation tables
+(``machine/mmu.py``) and the software TLBs (``machine/tlb.py``) — and
+relies on *discipline*, not mutual exclusion hardware, to keep them
+coherent: directory fields are rewritten only by the directory's own
+monitor methods or under the ``NUMAManager._transition`` funnel, and
+MMU/TLB tables only by their owning class or through the CPU's
+shootdown funnel.
+
+This module recovers that discipline from the source instead of
+trusting it.  :func:`infer_guards` walks the package's ASTs, collects
+every mutation site of a known shared field, classifies each site by
+the guard that covers it (funnel module, declaring-module monitor
+method, lexically inside a spin-lock critical region, or nothing), and
+infers the majority discipline per field.  Sites that deviate from the
+inferred guard — in practice, any *unguarded* site — are what lint rule
+``RN008`` (``shared-guard`` in :mod:`repro.check.races`) reports.
+
+The pass is deliberately syntactic: it never imports or executes the
+analyzed modules, so it is safe to run over fixtures that deliberately
+race (:mod:`repro.check.fixtures` carries ``allow[]`` suppressions for
+exactly that reason).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+# -- the guard vocabulary ----------------------------------------------------
+
+#: Mutation happens in a module whose every mutation is serialized by the
+#: ``NUMAManager._transition`` funnel (the action executor runs inside it).
+GUARD_FUNNEL = "funnel"
+#: Mutation happens in the module that declares the field — a monitor
+#: method of the owning class.
+GUARD_MONITOR = "monitor"
+#: Mutation is lexically inside a ``SpinLock`` acquire/release region.
+GUARD_SPINLOCK = "spinlock"
+#: No guard covers the site.
+GUARD_NONE = "unguarded"
+
+#: Precedence used to break ties when inferring the majority discipline.
+_GUARD_RANK = {
+    GUARD_FUNNEL: 0,
+    GUARD_MONITOR: 1,
+    GUARD_SPINLOCK: 2,
+    GUARD_NONE: 3,
+}
+
+#: Shared protocol fields, mapped to the module(s) that declare them and
+#: whose methods count as the field's monitor.
+SHARED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    # DirectoryEntry / PageDirectory (core/directory.py)
+    "local_copies": ("core/directory.py",),
+    "mappings": ("core/directory.py",),
+    "move_count": ("core/directory.py",),
+    "last_owner": ("core/directory.py",),
+    "global_frame": ("core/directory.py",),
+    "state": ("core/directory.py",),
+    "owner": ("core/directory.py",),
+    # SoftwareTLB cache (machine/tlb.py); PageDirectory reuses the name.
+    "_entries": ("machine/tlb.py", "core/directory.py"),
+    # MMU translation tables (machine/mmu.py)
+    "_by_vpage": ("machine/mmu.py",),
+    "_by_frame": ("machine/mmu.py",),
+}
+
+#: ``state``/``owner``/``mappings`` are common attribute names (thread
+#: state, lock owner, an exception's mappings detail, ...).  Outside the
+#: protocol modules they only count as shared fields when the receiver
+#: looks like a directory entry.
+ENTRY_GATED_FIELDS = frozenset({"state", "owner", "mappings"})
+
+#: Modules whose mutations are serialized by the transition funnel: the
+#: manager itself, the Tables 1-2 transcription it consults, and the
+#: action executor it drives.
+FUNNEL_MODULES: Tuple[str, ...] = (
+    "core/numa_manager.py",
+    "core/transitions.py",
+    "core/actions.py",
+)
+
+#: Files the default package-wide inference skips: the race fixtures
+#: plant deliberate violations (suppressed line by line for lint), and
+#: counting them as deviants would make the clean tree's inference
+#: summary read as dirty.
+GUARD_SCAN_EXCLUDE: Tuple[str, ...] = ("check/fixtures.py",)
+
+#: Container methods that mutate their receiver.
+MUTATING_METHODS = frozenset(
+    {
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+    }
+)
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One place in the source that mutates a shared protocol field."""
+
+    field: str
+    path: str
+    line: int
+    col: int
+    function: str
+    guard: str
+    #: What the mutation syntactically is: ``assign``, ``augassign``,
+    #: ``item-assign``, ``delete`` or the mutating method name.
+    kind: str
+
+    def format(self) -> str:
+        """``path:line`` rendering used in reports and rule messages."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.field} "
+            f"{self.kind} in {self.function} [{self.guard}]"
+        )
+
+    def as_record(self) -> Dict[str, object]:
+        """Flat record for ``--json`` sinks."""
+        return {
+            "t": "guard_site",
+            "field": self.field,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+            "guard": self.guard,
+            "kind": self.kind,
+        }
+
+
+@dataclass
+class GuardModel:
+    """The inferred guard discipline over a set of analyzed files."""
+
+    sites: List[MutationSite] = field(default_factory=list)
+    files_checked: int = 0
+
+    def discipline(self) -> Dict[str, str]:
+        """Majority guard per field (ties break toward stronger guards)."""
+        by_field: Dict[str, Dict[str, int]] = {}
+        for site in self.sites:
+            if site.guard is GUARD_NONE or site.guard == GUARD_NONE:
+                continue  # deviants don't vote on the discipline
+            by_field.setdefault(site.field, {})
+            counts = by_field[site.field]
+            counts[site.guard] = counts.get(site.guard, 0) + 1
+        inferred: Dict[str, str] = {}
+        for fname in sorted(by_field):
+            counts = by_field[fname]
+            best = sorted(
+                counts.items(), key=lambda kv: (-kv[1], _GUARD_RANK[kv[0]])
+            )[0][0]
+            inferred[fname] = best
+        return inferred
+
+    def deviants(self) -> List[MutationSite]:
+        """Sites not covered by any guard — RN008's raw material."""
+        return [s for s in self.sites if s.guard == GUARD_NONE]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every mutation site is covered by some guard."""
+        return not self.deviants()
+
+    def format(self) -> str:
+        """Human-readable inference summary."""
+        lines = [
+            f"guard inference: {len(self.sites)} mutation site(s) across "
+            f"{self.files_checked} file(s)"
+        ]
+        discipline = self.discipline()
+        for fname in sorted(
+            set(discipline) | {s.field for s in self.sites}
+        ):
+            covered = [
+                s for s in self.sites
+                if s.field == fname and s.guard != GUARD_NONE
+            ]
+            guard = discipline.get(fname, GUARD_NONE)
+            lines.append(
+                f"  {fname}: guard={guard} sites={len(covered)}"
+            )
+        deviants = self.deviants()
+        if deviants:
+            lines.append(f"  {len(deviants)} unguarded site(s):")
+            lines.extend(f"    {s.format()}" for s in deviants)
+        else:
+            lines.append("  no unguarded sites")
+        return "\n".join(lines)
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """Flat records: one per site plus a summary."""
+        records: List[Dict[str, object]] = [
+            s.as_record() for s in self.sites
+        ]
+        records.append(
+            {
+                "t": "guard_summary",
+                "sites": len(self.sites),
+                "unguarded": len(self.deviants()),
+                "files_checked": self.files_checked,
+                "discipline": self.discipline(),
+            }
+        )
+        return records
+
+
+# -- AST mechanics -----------------------------------------------------------
+
+
+def _attr_name(node: ast.expr) -> Optional[str]:
+    """The attribute name if *node* is ``<base>.<attr>``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _base_is_entryish(node: ast.expr) -> bool:
+    """Whether an attribute receiver plausibly names a directory entry."""
+    base: Optional[ast.expr] = None
+    if isinstance(node, ast.Attribute):
+        base = node.value
+    if base is None:
+        return False
+    if isinstance(base, ast.Name):
+        return "entry" in base.id.lower()
+    if isinstance(base, ast.Attribute):
+        return "entry" in base.attr.lower()
+    return False
+
+
+def _field_of(node: ast.expr, relpath: str) -> Optional[str]:
+    """The shared field mutated when *node* is a mutation receiver."""
+    name = _attr_name(node)
+    if name is None or name not in SHARED_FIELDS:
+        return None
+    if name in ENTRY_GATED_FIELDS:
+        protocol = SHARED_FIELDS[name] + FUNNEL_MODULES
+        if relpath not in protocol and not _base_is_entryish(node):
+            return None
+    return name
+
+
+class _FunctionIndex:
+    """Maps line numbers to enclosing (qualified) function names."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._spans: List[Tuple[int, int, str]] = []
+        self._walk(tree, [])
+
+    def _walk(self, node: ast.AST, stack: List[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = stack + [child.name]
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    end = getattr(child, "end_lineno", child.lineno)
+                    self._spans.append(
+                        (child.lineno, end or child.lineno, ".".join(name))
+                    )
+                self._walk(child, name)
+            else:
+                self._walk(child, stack)
+
+    def function_at(self, line: int) -> str:
+        """Innermost function containing *line* (``<module>`` if none)."""
+        best = "<module>"
+        best_span = -1
+        for start, end, name in self._spans:
+            if start <= line <= end:
+                span = end - start
+                if best_span < 0 or span <= best_span:
+                    best, best_span = name, span
+        return best
+
+
+def _lock_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Lexical ``acquire``..``release`` line spans, per lock expression.
+
+    Conservative: a span opens at each ``<lock>.acquire(...)`` call and
+    closes at the next ``<lock>.release(...)`` on the same receiver
+    expression (compared by source text).  Anything inside such a span
+    counts as spin-lock guarded.
+    """
+    events: List[Tuple[int, str, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in ("acquire", "release"):
+            continue
+        try:
+            key = ast.unparse(func.value)
+        except Exception:  # pragma: no cover - unparse is total on 3.10+
+            key = "<?>"
+        events.append((node.lineno, func.attr, key))
+    events.sort()
+    spans: List[Tuple[int, int]] = []
+    open_at: Dict[str, int] = {}
+    for line, kind, key in events:
+        if kind == "acquire":
+            open_at.setdefault(key, line)
+        else:
+            start = open_at.pop(key, None)
+            if start is not None:
+                spans.append((start, line))
+    return spans
+
+
+def iter_mutations(
+    tree: ast.AST, relpath: str
+) -> Iterator[Tuple[str, int, int, str]]:
+    """Yield ``(field, line, col, kind)`` for every shared-field mutation."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets: Sequence[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            kind = (
+                "augassign" if isinstance(node, ast.AugAssign) else "assign"
+            )
+            for target in targets:
+                direct = _field_of(target, relpath)
+                if direct is not None:
+                    yield direct, target.lineno, target.col_offset, kind
+                    continue
+                if isinstance(target, ast.Subscript):
+                    via = _field_of(target.value, relpath)
+                    if via is not None:
+                        yield (
+                            via,
+                            target.lineno,
+                            target.col_offset,
+                            "item-assign",
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                direct = _field_of(target, relpath)
+                container = (
+                    _field_of(target.value, relpath)
+                    if isinstance(target, ast.Subscript)
+                    else None
+                )
+                hit = direct or container
+                if hit is not None:
+                    yield hit, target.lineno, target.col_offset, "delete"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+            ):
+                via = _field_of(func.value, relpath)
+                if via is not None:
+                    yield via, node.lineno, node.col_offset, func.attr
+
+
+def classify_guard(
+    relpath: str,
+    fname: str,
+    line: int,
+    lock_spans: Sequence[Tuple[int, int]],
+) -> str:
+    """Which guard covers a mutation of *fname* at *relpath*:*line*."""
+    if relpath in FUNNEL_MODULES:
+        return GUARD_FUNNEL
+    if relpath in SHARED_FIELDS.get(fname, ()):
+        return GUARD_MONITOR
+    for start, end in lock_spans:
+        if start <= line <= end:
+            return GUARD_SPINLOCK
+    return GUARD_NONE
+
+
+def collect_sites(tree: ast.AST, relpath: str) -> List[MutationSite]:
+    """All classified shared-field mutation sites in one module."""
+    functions = _FunctionIndex(tree)
+    spans = _lock_spans(tree)
+    sites = [
+        MutationSite(
+            field=fname,
+            path=relpath,
+            line=line,
+            col=col,
+            function=functions.function_at(line),
+            guard=classify_guard(relpath, fname, line, spans),
+            kind=kind,
+        )
+        for fname, line, col, kind in iter_mutations(tree, relpath)
+    ]
+    sites.sort(key=lambda s: (s.path, s.line, s.col, s.field))
+    return sites
+
+
+def infer_guards(
+    paths: Optional[Iterable[Path]] = None,
+    root: Optional[Path] = None,
+) -> GuardModel:
+    """Infer the guard discipline over *paths* (default: the package)."""
+    from repro.check.lint import iter_python_files, package_root
+
+    base = root if root is not None else package_root()
+    targets: List[Path]
+    if paths is None:
+        targets = [
+            p
+            for p in iter_python_files(base)
+            if p.resolve().relative_to(base.resolve()).as_posix()
+            not in GUARD_SCAN_EXCLUDE
+        ]
+    else:
+        targets = []
+        for p in paths:
+            path = Path(p)
+            if path.is_dir():
+                targets.extend(iter_python_files(path))
+            else:
+                targets.append(path)
+    model = GuardModel()
+    for path in targets:
+        try:
+            relpath = path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=relpath)
+        model.sites.extend(collect_sites(tree, relpath))
+        model.files_checked += 1
+    model.sites.sort(key=lambda s: (s.path, s.line, s.col, s.field))
+    return model

@@ -17,21 +17,51 @@ sanitizer.
 
 from __future__ import annotations
 
+import os
+import sys
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ProtocolViolation
+
+#: Frames below the workload: the notification plumbing itself.  The
+#: acquisition-site walk skips these so a report names the ``yield from
+#: lock.acquire(...)`` line in the application, not the observer hook.
+_PLUMBING_FILES = frozenset(
+    {"spinlock.py", "lockorder.py", "sanitizer.py", "races.py"}
+)
+
+
+def _acquisition_site() -> str:
+    """``file:line`` of the nearest non-plumbing caller frame.
+
+    Spin-lock bodies are generators driven through ``yield from``
+    chains, so the first frame outside the plumbing is the workload
+    line performing the acquire — exactly what a cycle report should
+    point at.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        name = os.path.basename(frame.f_code.co_filename)
+        if name not in _PLUMBING_FILES:
+            return f"{name}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
 
 
 class LockOrderChecker:
     """Cycle detection over the spin-lock acquisition graph."""
 
     def __init__(self) -> None:
-        #: Locks currently held, per holder, in acquisition order.
-        self._held: Dict[object, List[int]] = {}
+        #: Locks currently held, per holder, in acquisition order,
+        #: with the ``file:line`` that acquired each.
+        self._held: Dict[object, List[Tuple[int, str]]] = {}
         #: The acquisition graph: outer lock -> inner locks.
         self._edges: Dict[int, Set[int]] = {}
         #: First holder that created each edge (violation reporting).
         self._witness: Dict[Tuple[int, int], object] = {}
+        #: Acquisition sites of the first witness per edge: where the
+        #: outer lock was taken and where the inner followed.
+        self._edge_sites: Dict[Tuple[int, int], Tuple[str, str]] = {}
         self._acquisitions = 0
 
     # -- notification hooks (spinlock observer protocol) -------------------
@@ -39,15 +69,17 @@ class LockOrderChecker:
     def on_lock_acquire(self, holder: object, vpage: int) -> None:
         """Record that *holder* acquired the lock at *vpage*."""
         self._acquisitions += 1
+        site = _acquisition_site()
         held = self._held.setdefault(holder, [])
-        for outer in held:
+        for outer, outer_site in held:
             if outer == vpage:
                 continue
             inner = self._edges.setdefault(outer, set())
             if vpage not in inner:
                 inner.add(vpage)
                 self._witness[(outer, vpage)] = holder
-        held.append(vpage)
+                self._edge_sites[(outer, vpage)] = (outer_site, site)
+        held.append((vpage, site))
 
     def on_lock_release(self, holder: object, vpage: int) -> None:
         """Record that *holder* released the lock at *vpage*.
@@ -59,7 +91,7 @@ class LockOrderChecker:
         if not held:
             return
         for index in range(len(held) - 1, -1, -1):
-            if held[index] == vpage:
+            if held[index][0] == vpage:
                 del held[index]
                 break
 
@@ -72,7 +104,7 @@ class LockOrderChecker:
 
     def held_by(self, holder: object) -> List[int]:
         """Locks *holder* currently holds, outermost first."""
-        return list(self._held.get(holder, []))
+        return [vpage for vpage, _ in self._held.get(holder, [])]
 
     def edges(self) -> Dict[int, Set[int]]:
         """A copy of the acquisition graph."""
@@ -81,6 +113,10 @@ class LockOrderChecker:
     def witness(self, outer: int, inner: int) -> Optional[object]:
         """The holder that first acquired *inner* while holding *outer*."""
         return self._witness.get((outer, inner))
+
+    def edge_sites(self, outer: int, inner: int) -> Optional[Tuple[str, str]]:
+        """``(outer_site, inner_site)`` for the edge's first witness."""
+        return self._edge_sites.get((outer, inner))
 
     # -- cycle detection ----------------------------------------------------
 
@@ -136,14 +172,34 @@ class LockOrderChecker:
         if cycle is None:
             return
         pairs = list(zip(cycle, cycle[1:]))
-        witnesses = {
-            f"{outer}->{inner}": repr(self._witness.get((outer, inner)))
-            for outer, inner in pairs
-        }
+        witnesses = {}
+        sites = {}
+        edge_events: List[Dict[str, object]] = []
+        for outer, inner in pairs:
+            key = f"{outer}->{inner}"
+            witnesses[key] = repr(self._witness.get((outer, inner)))
+            outer_site, inner_site = self._edge_sites.get(
+                (outer, inner), ("<unknown>", "<unknown>")
+            )
+            sites[key] = f"{outer_site} then {inner_site}"
+            edge_events.append(
+                {
+                    "type": "lock_edge",
+                    "outer": outer,
+                    "inner": inner,
+                    "outer_site": outer_site,
+                    "inner_site": inner_site,
+                    "holder": witnesses[key],
+                }
+            )
         path = " -> ".join(str(lock) for lock in cycle)
         raise ProtocolViolation(
             f"spin-lock ordering cycle: {path}",
             check="lock-order",
-            events=events,
-            details={"cycle": cycle, "witnesses": witnesses},
+            events=tuple(events) + tuple(edge_events),
+            details={
+                "cycle": cycle,
+                "witnesses": witnesses,
+                "sites": sites,
+            },
         )

@@ -576,3 +576,115 @@ def run_model_check(n_cpus: int = 3) -> ModelCheckReport:
     _explore(report, n_cpus)
     _explore_tlb(report, n_cpus)
     return report
+
+
+# -- race realizability (the detector's interleaving cross-check) ------------
+
+#: Process-wide memo for :func:`legal_transition_pairs` /
+#: :func:`stale_tlb_reachable` — the state space is fixed per process,
+#: so each exploration runs at most once.
+_LEGAL_PAIRS: Dict[int, FrozenSet[Tuple[PageState, PageState]]] = {}
+_STALE_REACHABLE: Dict[int, bool] = {}
+
+
+def legal_transition_pairs(
+    n_cpus: int = 3,
+) -> FrozenSet[Tuple[PageState, PageState]]:
+    """Every announced ``(old_state, new_state)`` pair the protocol allows.
+
+    Walks the layer-3 reachable space and records the state pair of
+    every legal step.  The race detector uses this to qualify an
+    ``unguarded-state-write`` report: a shadow-state mismatch whose
+    implied silent step is not even in this set cannot be an announced
+    transition the detector somehow missed — it is an out-of-protocol
+    write.
+    """
+    cached = _LEGAL_PAIRS.get(n_cpus)
+    if cached is not None:
+        return cached
+    start: Config = (PageState.UNTOUCHED, None, frozenset())
+    seen: Set[Config] = {start}
+    frontier: List[Config] = [start]
+    pairs: Set[Tuple[PageState, PageState]] = set()
+    while frontier:
+        config = frontier.pop()
+        for cpu, kind, decision in product(
+            range(n_cpus),
+            AccessKind,
+            (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        ):
+            try:
+                nxt, _ = _apply_abstract(config, cpu, kind, decision)
+            except (ProtocolError, KeyError):
+                continue
+            if _config_invariant(nxt) is not None:
+                continue
+            pairs.add((config[0], nxt[0]))
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    result = frozenset(pairs)
+    _LEGAL_PAIRS[n_cpus] = result
+    return result
+
+
+def stale_tlb_reachable(n_cpus: int = 2) -> bool:
+    """Whether dropping one shootdown edge can reach a stale-TLB config.
+
+    Re-walks the layer-4 space along *legal* edges, and at every step
+    additionally asks: if this step's invalidation edge were suppressed
+    (the MMU mutated but no shootdown followed — the exact fault the
+    fixtures plant), would the successor violate the TLB cache
+    invariant?  ``True`` means a single missed shootdown is enough to
+    corrupt coherence, i.e. a ``missed-shootdown`` report is realizable
+    in the protocol's own state space, not an artifact of the detector.
+    """
+    cached_result = _STALE_REACHABLE.get(n_cpus)
+    if cached_result is not None:
+        return cached_result
+    start: TLBConfig = (
+        PageState.UNTOUCHED, None, frozenset(), frozenset()
+    )
+    seen: Set[TLBConfig] = {start}
+    frontier: List[TLBConfig] = [start]
+    reachable = False
+    while frontier:
+        config = frontier.pop()
+        state, owner, copies, cached = config
+        for cpu, kind, decision in product(
+            range(n_cpus),
+            AccessKind,
+            (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        ):
+            try:
+                (new_state, new_owner, new_copies), _ = _apply_abstract(
+                    (state, owner, copies), cpu, kind, decision
+                )
+                if state is PageState.UNTOUCHED:
+                    cleanup = Cleanup.NONE
+                else:
+                    key = classify_state(state, owner, cpu)
+                    cleanup = lookup(kind, decision, key).cleanup
+            except (ProtocolError, KeyError):
+                continue
+            survivors = _tlb_after_cleanup(cleanup, cpu, owner, cached)
+            if survivors != cached:
+                # The suppressed-edge successor: the cleanup's MMU work
+                # happened (protocol state advanced) but no TLB entry
+                # was shot down.
+                stale: TLBConfig = (
+                    new_state, new_owner, new_copies, cached
+                )
+                if _tlb_invariant(stale) is not None:
+                    reachable = True
+            for filled in (survivors | {cpu}, survivors - {cpu}):
+                nxt: TLBConfig = (
+                    new_state, new_owner, new_copies, filled
+                )
+                if _tlb_invariant(nxt) is not None:
+                    continue
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+    _STALE_REACHABLE[n_cpus] = reachable
+    return reachable

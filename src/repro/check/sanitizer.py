@@ -87,6 +87,10 @@ class ProtocolSanitizer:
         #: with pre-TLB runs.
         self.tlb_checks = 0
         self.locks = LockOrderChecker()
+        #: The :class:`~repro.check.races.RaceDetector` attached
+        #: alongside this sanitizer (set by :func:`attach_sanitizer`);
+        #: ``None`` when the sanitizer runs alone.
+        self.races = None
 
     # -- event trail ---------------------------------------------------------
 
@@ -386,15 +390,37 @@ class ProtocolSanitizer:
         self.locks.check(events=self.trail())
 
 
-def attach_sanitizer(numa, bus, **kwargs) -> ProtocolSanitizer:
-    """Wire a sanitizer into a run: subscribe it and observe the locks."""
+def attach_sanitizer(
+    numa, bus, races: bool = True, **kwargs
+) -> ProtocolSanitizer:
+    """Wire a sanitizer into a run: subscribe it and observe the locks.
+
+    ``races=True`` (the default) also attaches a raising
+    :class:`~repro.check.races.RaceDetector`, so every sanitized run
+    gets lockset/happens-before race checking alongside the directory
+    and TLB sweeps.  Observers a previous run left behind are replaced,
+    not accumulated, matching the original single-slot semantics.
+    """
     # Imported lazily: repro.threads pulls in the sim package, which in
     # turn imports the harness that calls back into this module.
-    from repro.threads.spinlock import set_lock_observer
+    from repro.threads.spinlock import (
+        add_lock_observer,
+        lock_observers,
+        remove_lock_observer,
+    )
 
     sanitizer = ProtocolSanitizer(numa, **kwargs)
     bus.subscribe(sanitizer)
-    set_lock_observer(sanitizer)
+    for existing in lock_observers():
+        if isinstance(existing, ProtocolSanitizer):
+            remove_lock_observer(existing)
+    add_lock_observer(sanitizer)
+    if races:
+        from repro.check.races import attach_detector
+
+        sanitizer.races = attach_detector(
+            numa, bus, raise_on_race=True
+        )
     return sanitizer
 
 

@@ -19,6 +19,9 @@ Usage::
                                  # run a workload under fault injection
     repro-numa lint              # static protocol/hygiene lint over src/
     repro-numa modelcheck        # verify Tables 1-2 against the paper
+    repro-numa races             # race detector: static guard lint +
+                                 # dynamic lockset/happens-before pass
+    repro-numa races --static    # static layer only (fast CI mode)
     repro-numa report --from-cache
                                  # regenerate every table/figure from the
                                  # result cache, zero re-execution
@@ -592,14 +595,44 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the repro-specific static lint over the package sources."""
-    from repro.check import lint_paths
+def _print_check_report(args: argparse.Namespace, report) -> int:
+    """Shared output path for the check commands (lint/modelcheck/races).
 
-    report = lint_paths(args.paths or None)
-    args.sink.extend(report.as_records())
-    print(report.format())
+    The report's flat records land in the ``--json`` sink regardless of
+    format; ``--format`` then picks how stdout renders them: the
+    report's own ``format()`` text (default), one canonical JSON object
+    per record, or a markdown table via
+    :class:`repro.analysis.frames.DataTable` — the same frame the
+    analysis layer uses, so columns match the CSV/JSONL exporters.
+    """
+    import json as _json
+
+    records = report.as_records()
+    args.sink.extend(records)
+    fmt = getattr(args, "format", "text")
+    if fmt == "json":
+        for record in records:
+            print(_json.dumps(record, sort_keys=True, default=str))
+    elif fmt == "table":
+        from repro.analysis.frames import DataTable
+
+        print(DataTable.from_records(records).to_markdown())
+    else:
+        print(report.format())
     return report.exit_code
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro-specific static lint over the package sources.
+
+    Runs the full rule set: the hygiene/protocol rules (RN001-RN007)
+    plus the race-discipline rules (RN008-RN011) from
+    :mod:`repro.check.races`.
+    """
+    from repro.check import ALL_RULES, lint_paths
+
+    report = lint_paths(args.paths or None, rules=ALL_RULES)
+    return _print_check_report(args, report)
 
 
 def cmd_modelcheck(args: argparse.Namespace) -> int:
@@ -607,9 +640,34 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
     from repro.check import run_model_check
 
     report = run_model_check(n_cpus=args.cpus)
-    args.sink.extend(report.as_records())
-    print(report.format())
-    return report.exit_code
+    return _print_check_report(args, report)
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    """Race-check the protocol: static guard lint + dynamic detection.
+
+    The static layer lints RN008-RN011 (shared-state mutation outside
+    the inferred guard, unbalanced lock paths, MMU mutation without a
+    paired shootdown, bus emission under a spin lock) and prints the
+    inferred guard model.  The dynamic layer runs a workload under each
+    ``--profiles`` entry with the lockset/happens-before detector
+    attached (a clean tree reports zero races), then replays the seeded
+    synthetic-race fixtures and asserts both are caught — proving the
+    wiring, not just the absence of reports.  ``--static`` skips the
+    dynamic layer for fast CI.  Exit 0 clean, 1 findings (2 reserved
+    for usage errors).
+    """
+    from repro.check import run_race_check
+
+    report = run_race_check(
+        static=True,
+        dynamic=not args.static,
+        fixtures=not args.static and not args.skip_fixtures,
+        profiles=tuple(args.profiles or ("none", "transient")),
+        seed=args.seed,
+        n_processors=args.processors,
+    )
+    return _print_check_report(args, report)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -911,6 +969,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cache": cmd_cache,
         "lint": cmd_lint,
         "modelcheck": cmd_modelcheck,
+        "races": cmd_races,
         "report": cmd_report,
         "all": cmd_all,
     }
@@ -1077,6 +1136,41 @@ def build_parser() -> argparse.ArgumentParser:
                 default=3,
                 help="abstract processors for reachability (default 3, "
                      "the smallest count with all owner relations)",
+            )
+        if name in ("lint", "modelcheck", "races"):
+            sub.add_argument(
+                "--format",
+                choices=("text", "json", "table"),
+                default="text",
+                help="stdout rendering: classic text (default), one JSON "
+                     "object per record, or a markdown table",
+            )
+        if name == "races":
+            sub.add_argument(
+                "--static",
+                action="store_true",
+                help="static layer only: RN008-RN011 lint + guard "
+                     "inference, no simulation (fast CI mode)",
+            )
+            sub.add_argument(
+                "--profiles",
+                nargs="*",
+                default=None,
+                help="fault profiles for the dynamic layer "
+                     "(default: none transient)",
+            )
+            sub.add_argument(
+                "--seed",
+                type=int,
+                default=0,
+                help="fault-plan RNG seed for the dynamic layer "
+                     "(default 0; same seed gives identical output)",
+            )
+            sub.add_argument(
+                "--skip-fixtures",
+                action="store_true",
+                help="skip the seeded synthetic-race fixtures "
+                     "(they otherwise run with the dynamic layer)",
             )
     return parser
 

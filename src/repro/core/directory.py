@@ -15,12 +15,28 @@ tests drive random request sequences against it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.machine.memory import Frame, FrameKind
 from repro.machine.protection import Protection
 from repro.core.state import PageState
+
+#: Fields of this module's classes that the race detector's static
+#: layer treats as shared protocol state: mutations outside the
+#: transition funnel or this module's own methods are RN008 findings.
+#: Keep in sync with ``repro.check.guards.SHARED_FIELDS`` when adding
+#: protocol bookkeeping (a test cross-checks the two).
+GUARDED_FIELDS: Tuple[str, ...] = (
+    "state",
+    "owner",
+    "local_copies",
+    "mappings",
+    "move_count",
+    "last_owner",
+    "global_frame",
+    "_entries",
+)
 
 
 @dataclass

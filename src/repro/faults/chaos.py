@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.check.races import RaceDetector, attach_detector
 from repro.check.sanitizer import attach_sanitizer, sanitizer_enabled
 from repro.core.policies import MoveThresholdPolicy
 from repro.core.policy import NUMAPolicy
@@ -46,6 +47,10 @@ class ChaosReport:
     #: (:meth:`~repro.machine.machine.Machine.tlb_counters`); frame-loss
     #: recovery shows up here as cross-CPU shootdowns.
     tlb: Dict[str, int] = field(default_factory=dict)
+    #: Race-detector counters (``races_*``), when a detector observed
+    #: the run — either the sanitizer's raising detector or an explicit
+    #: collecting one passed to :func:`run_chaos`.  Empty otherwise.
+    races: Dict[str, int] = field(default_factory=dict)
     #: Pages left pinned global by degradation at run end.
     degraded_pages: int = 0
     #: Local frames offline at run end.
@@ -67,6 +72,7 @@ class ChaosReport:
             "faults": dict(self.faults),
             "numa": dict(self.numa),
             "tlb": dict(self.tlb),
+            "races": dict(self.races),
             "degraded_pages": self.degraded_pages,
             "offline_frames": self.offline_frames,
             "user_time_us": round(self.user_time_us, 3),
@@ -92,6 +98,8 @@ class ChaosReport:
             faults=dict(data["faults"]),
             numa=dict(data["numa"]),
             tlb=dict(data["tlb"]),
+            # .get(): cached reports predating the race detector lack it.
+            races=dict(data.get("races", {})),
             degraded_pages=int(data["degraded_pages"]),
             offline_frames=int(data["offline_frames"]),
             user_time_us=float(data["user_time_us"]),
@@ -109,6 +117,7 @@ def run_chaos(
     retry: Optional[RetryPolicy] = None,
     injector: Optional[FaultInjector] = None,
     telemetry: Optional[Telemetry] = None,
+    detector: Optional["RaceDetector"] = None,
 ) -> ChaosReport:
     """Run *workload* under a named fault profile and summarize recovery.
 
@@ -119,7 +128,11 @@ def run_chaos(
     provokes propagates to the caller — a chaos run is a *test*.
     ``telemetry`` attaches the standard facade, so chaos runs get the
     same profiled ``engine_run`` span and finalized gauges as
-    :func:`~repro.sim.harness.run_once`.
+    :func:`~repro.sim.harness.run_once`.  ``detector`` attaches a
+    caller-owned (typically collecting) :class:`RaceDetector`; without
+    one, sanitized runs still race-check through the sanitizer's own
+    raising detector, and either way the ``races_*`` counters land in
+    the report.
     """
     if injector is None:
         injector = make_injector(profile_name, seed, retry)
@@ -132,10 +145,17 @@ def run_chaos(
         telemetry=telemetry,
         injector=injector,
     )
-    sanitizer = None
-    if sanitize and not sanitizer_enabled():
+    sanitizer = sim.sanitizer  # the REPRO_SANITIZE-attached instance
+    if sanitize and sanitizer is None:
         sanitizer = attach_sanitizer(sim.numa, sim.engine.bus)
+    race_detector = detector
+    if race_detector is not None:
+        attach_detector(sim.numa, sim.engine.bus, detector=race_detector)
+    elif sanitizer is not None:
+        race_detector = sanitizer.races
     rounds = run_engine(sim.engine, sim.threads, telemetry)
+    if race_detector is not None and telemetry is not None:
+        race_detector.publish_metrics(telemetry.registry)
     machine = sim.machine
     offline = sum(
         machine.memory.local_offline(cpu) for cpu in machine.config.cpus
@@ -152,6 +172,9 @@ def run_chaos(
         faults=injector.stats.as_dict(),
         numa=sim.numa.stats.as_dict(),
         tlb=machine.tlb_counters(),
+        races=(
+            race_detector.counters() if race_detector is not None else {}
+        ),
         degraded_pages=len(sim.numa.degraded_pages),
         offline_frames=offline,
         user_time_us=machine.total_user_time_us(),

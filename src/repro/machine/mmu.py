@@ -51,6 +51,13 @@ class MMU:
         self._cpu = cpu
         self._by_vpage: Dict[int, MMUEntry] = {}
         self._by_frame: Dict[Frame, int] = {}
+        #: Optional mutation observer (the race detector's missed-
+        #: shootdown tracking).  Duck-typed: it receives
+        #: ``on_mmu_mutation(cpu, op, vpage)`` after every enter/remove/
+        #: protect, whether or not the mutation went through the CPU's
+        #: TLB-invalidation funnel — pairing the two streams is exactly
+        #: how a bypassed funnel is caught.
+        self.observer: Optional[object] = None
 
     @property
     def cpu(self) -> int:
@@ -83,12 +90,16 @@ class MMU:
             del self._by_frame[old.frame]
         self._by_vpage[vpage] = MMUEntry(vpage, frame, protection)
         self._by_frame[frame] = vpage
+        if self.observer is not None:
+            self.observer.on_mmu_mutation(self._cpu, "enter", vpage)
 
     def remove(self, vpage: int) -> Optional[MMUEntry]:
         """Drop the translation for *vpage*, returning it if present."""
         entry = self._by_vpage.pop(vpage, None)
         if entry is not None:
             del self._by_frame[entry.frame]
+            if self.observer is not None:
+                self.observer.on_mmu_mutation(self._cpu, "remove", vpage)
         return entry
 
     def remove_frame(self, frame: Frame) -> Optional[MMUEntry]:
@@ -114,6 +125,8 @@ class MMU:
                 f"cpu {self._cpu} has no mapping at vpage {vpage} to protect"
             )
         entry.protection = protection
+        if self.observer is not None:
+            self.observer.on_mmu_mutation(self._cpu, "protect", vpage)
 
     def lookup(self, vpage: int) -> Optional[MMUEntry]:
         """Return the translation for *vpage*, or ``None``."""

@@ -113,6 +113,13 @@ class SoftwareTLB:
         self._cpu = cpu_id
         self._capacity = capacity
         self._entries: Dict[int, TLBEntry] = {}
+        #: Optional coherence observer (the race detector).  Duck-typed:
+        #: it receives ``on_tlb_fill(cpu, vpage)``,
+        #: ``on_tlb_invalidate(cpu, vpage, acting_cpu, dropped)`` and
+        #: ``on_tlb_flush(cpu, dropped_vpages)``.  A plain attribute so
+        #: the hot ``lookup`` path stays untouched; fills and
+        #: invalidations are orders of magnitude rarer than lookups.
+        self.observer: Optional[object] = None
         self.hits = 0
         self.misses = 0
         self.fills = 0
@@ -170,14 +177,21 @@ class SoftwareTLB:
         """
         entries = self._entries
         if vpage not in entries and len(entries) >= self._capacity:
-            del entries[next(iter(entries))]
+            evicted = next(iter(entries))
+            del entries[evicted]
             self.evictions += 1
+            if self.observer is not None:
+                self.observer.on_tlb_invalidate(
+                    self._cpu, evicted, self._cpu, True
+                )
         entry = TLBEntry(
             vpage, frame, protection, location, fetch_us, store_us,
             writable_data,
         )
         entries[vpage] = entry
         self.fills += 1
+        if self.observer is not None:
+            self.observer.on_tlb_fill(self._cpu, vpage)
         return entry
 
     # -- invalidation (the shootdown funnel's machine half) ------------------
@@ -194,18 +208,24 @@ class SoftwareTLB:
         """
         if acting_cpu is not None and acting_cpu != self._cpu:
             self.shootdowns += 1
-        if self._entries.pop(vpage, None) is None:
-            return False
-        self.invalidations += 1
-        return True
+        dropped = self._entries.pop(vpage, None) is not None
+        if dropped:
+            self.invalidations += 1
+        if self.observer is not None:
+            self.observer.on_tlb_invalidate(
+                self._cpu, vpage, acting_cpu, dropped
+            )
+        return dropped
 
     def flush(self) -> int:
         """Drop every cached translation; returns how many were live."""
-        dropped = len(self._entries)
+        dropped_vpages = list(self._entries)
         self._entries.clear()
-        self.invalidations += dropped
+        self.invalidations += len(dropped_vpages)
         self.flushes += 1
-        return dropped
+        if self.observer is not None:
+            self.observer.on_tlb_flush(self._cpu, dropped_vpages)
+        return len(dropped_vpages)
 
     # -- introspection -------------------------------------------------------
 

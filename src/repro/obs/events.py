@@ -62,6 +62,17 @@ The protocol-level hooks are what the opt-in sanitizer
 (:mod:`repro.check.sanitizer`) subscribes to, and the lint rule
 ``transition-event`` statically checks that every state-assigning site
 in the NUMA manager reaches the ``emit_transition`` call.
+
+The race detector (:mod:`repro.check.races`) subscribes to the same
+bus — ``on_transition`` drives its shadow-state check, ``on_reference``
+its missed-shootdown check — and additionally installs itself in three
+observer slots the bus does not carry: the spin-lock observer list
+(:func:`repro.threads.spinlock.add_lock_observer`, for lockset and
+happens-before tracking) and the per-CPU ``SoftwareTLB.observer`` /
+``MMU.observer`` attributes (for the TLB mirror that pairs MMU
+mutations against their shootdowns).  Its ``races_*`` counters publish
+into the standard :class:`~repro.obs.metrics.MetricsRegistry` alongside
+the engine's own metrics.
 """
 
 from __future__ import annotations

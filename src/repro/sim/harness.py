@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
 
-from repro.check.sanitizer import maybe_attach_sanitizer
+from repro.check.sanitizer import attach_sanitizer, maybe_attach_sanitizer
 from repro.core.numa_manager import NUMAManager
 from repro.core.policy import NUMAPolicy
 from repro.machine.config import MachineConfig, ace_config
@@ -60,6 +60,10 @@ class Simulation:
     engine: Engine
     threads: list
     context: BuildContext
+    #: The ``REPRO_SANITIZE``-attached :class:`ProtocolSanitizer`, when
+    #: the environment opted this process in (``None`` otherwise).
+    #: Chaos runs reuse it instead of attaching a second instance.
+    sanitizer: object = None
 
 
 def build_simulation(
@@ -75,6 +79,7 @@ def build_simulation(
     telemetry: Optional[Telemetry] = None,
     injector: Optional["FaultInjector"] = None,
     fast_path: bool = True,
+    sanitize: Optional[bool] = None,
 ) -> Simulation:
     """Assemble machine, VM, NUMA layer, and threads for one run.
 
@@ -84,7 +89,11 @@ def build_simulation(
     manager's hot paths and the engine's policy tick (chaos runs).
     ``fast_path=False`` disables the engine's software-TLB fast path
     (simulated results are identical either way; bench_hotpath measures
-    the difference in simulator throughput).
+    the difference in simulator throughput).  ``sanitize`` overrides the
+    ``REPRO_SANITIZE`` environment: ``None`` lets the environment
+    decide, ``False`` never attaches (the race-fixture runs, which
+    deliberately corrupt protocol state, use this), ``True`` always
+    attaches.
     """
     if machine_config is None:
         machine_config = ace_config(n_processors)
@@ -127,7 +136,12 @@ def build_simulation(
         engine.injector = injector
     if telemetry is not None:
         telemetry.attach(machine, numa, pool, engine)
-    maybe_attach_sanitizer(numa, engine.bus)
+    if sanitize is None:
+        sanitizer = maybe_attach_sanitizer(numa, engine.bus)
+    elif sanitize:
+        sanitizer = attach_sanitizer(numa, engine.bus)
+    else:
+        sanitizer = None
     return Simulation(
         machine=machine,
         numa=numa,
@@ -137,6 +151,7 @@ def build_simulation(
         engine=engine,
         threads=threads,
         context=ctx,
+        sanitizer=sanitizer,
     )
 
 

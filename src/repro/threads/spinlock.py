@@ -13,44 +13,80 @@ workload that uses a work queue.
 acquire/release pair (one test-and-set read-modify-write, one store to
 release) plus a small instruction cost.
 
-Lock *ordering* is observable: an optional module-level observer
-(installed with :func:`set_lock_observer`) is told about every
+Lock *ordering* is observable: any number of module-level observers
+(installed with :func:`add_lock_observer`) are told about every
 acquire/release as the generator bodies execute, which is exactly when
 the simulated thread performs them.  The protocol sanitizer's
 :class:`~repro.check.lockorder.LockOrderChecker` uses this to build the
-lock-acquisition graph and flag A→B/B→A ordering cycles.
+lock-acquisition graph and flag A→B/B→A ordering cycles, and the race
+detector (:mod:`repro.check.races`) uses the same notifications for its
+lockset/happens-before tracking — the list (mirroring the event bus's
+multi-observer fan-out) lets both run in the same simulation.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 from repro.sim.ops import Compute, MemBlock, Op
 
 #: Instruction overhead of an uncontended acquire or release, µs.
 _LOCK_PATH_US = 3.0
 
-#: The installed lock observer, or ``None`` (the common, untracked case).
-#: Duck-typed: it receives ``on_lock_acquire(holder, vpage)`` and
+#: The installed lock observers, in installation order (the common,
+#: untracked case is an empty list).  Duck-typed: each receives
+#: ``on_lock_acquire(holder, vpage)`` and
 #: ``on_lock_release(holder, vpage)``.
-_lock_observer: Optional[object] = None
+_lock_observers: List[object] = []
+
+
+def add_lock_observer(observer: object) -> object:
+    """Install *observer* for all locks (idempotent); returns it.
+
+    Observers are notified in installation order.  Remove with
+    :func:`remove_lock_observer` when done (the harness does this per
+    run).
+    """
+    if observer is None:
+        raise ValueError("cannot install None as a lock observer")
+    if observer not in _lock_observers:
+        _lock_observers.append(observer)
+    return observer
+
+
+def remove_lock_observer(observer: object) -> None:
+    """Uninstall *observer*; unknown observers are ignored."""
+    try:
+        _lock_observers.remove(observer)
+    except ValueError:
+        pass
+
+
+def lock_observers() -> List[object]:
+    """The currently installed lock observers, installation order."""
+    return list(_lock_observers)
 
 
 def set_lock_observer(observer: Optional[object]) -> Optional[object]:
-    """Install *observer* for all locks; returns the previous observer.
+    """Legacy single-slot shim: replace *all* observers with *observer*.
 
-    Pass ``None`` to stop observing.  Callers should restore the
-    previous observer when done (the harness does this per run).
+    Returns the previously installed observer (the first, when several
+    were installed), matching the original single-slot contract so
+    ``previous = set_lock_observer(obs); ...; set_lock_observer(previous)``
+    still restores a sane state.  Pass ``None`` to stop observing.  New
+    code should pair :func:`add_lock_observer` with
+    :func:`remove_lock_observer` instead, which composes.
     """
-    global _lock_observer
-    previous = _lock_observer
-    _lock_observer = observer
+    previous = _lock_observers[0] if _lock_observers else None
+    _lock_observers.clear()
+    if observer is not None:
+        _lock_observers.append(observer)
     return previous
 
 
 def lock_observer() -> Optional[object]:
-    """The currently installed lock observer, if any."""
-    return _lock_observer
+    """The first installed lock observer, if any (legacy accessor)."""
+    return _lock_observers[0] if _lock_observers else None
 
 
 class SpinLock:
@@ -78,8 +114,7 @@ class SpinLock:
         tracking; the default anonymous holder still yields correct
         memory traffic, it just cannot contribute ordering edges.
         """
-        observer = _lock_observer
-        if observer is not None:
+        for observer in _lock_observers:
             observer.on_lock_acquire(holder, self._vpage)
         yield Compute(_LOCK_PATH_US)
         yield MemBlock(self._vpage, reads=1, writes=1)
@@ -87,8 +122,7 @@ class SpinLock:
     def release(self, holder: object = None) -> Iterator[Op]:
         """Ops for a release (a single store)."""
         self._acquisitions += 1
-        observer = _lock_observer
-        if observer is not None:
+        for observer in _lock_observers:
             observer.on_lock_release(holder, self._vpage)
         yield Compute(_LOCK_PATH_US)
         yield MemBlock(self._vpage, reads=0, writes=1)

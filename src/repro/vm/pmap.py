@@ -12,6 +12,17 @@ paper's three NUMA extensions (Section 2.3.3):
   pages that are merely read stay replicated read-only;
 * a target-processor argument to ``pmap_enter`` — mappings are created
   only on the processor that faulted.
+
+This layer is also where the shootdown discipline lives: every MMU
+mutation issued from here goes through ``CPU.enter_translation`` /
+``protect_translation`` / ``remove_translation``, which pair the
+change with the owning TLB's invalidation.  Lint rule RN007 confines
+raw ``mmu.*`` mutators to
+``machine/`` and this file, RN010 flags any function that mutates an
+MMU without a paired invalidate/flush, and the dynamic race detector
+(:mod:`repro.check.races`) pairs the two event streams at runtime —
+three layers asserting the same invariant: no translation changes
+without its shootdown.
 """
 
 from __future__ import annotations

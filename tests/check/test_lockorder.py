@@ -89,11 +89,23 @@ class TestCycleDetection:
             c.check(events=trail)
         violation = exc.value
         assert violation.check == "lock-order"
-        assert violation.events == trail
+        # The caller's trail survives, followed by one lock_edge event
+        # per edge of the cycle carrying the acquisition sites.
+        assert violation.events[: len(trail)] == trail
+        edge_events = violation.events[len(trail):]
+        assert edge_events
+        for event in edge_events:
+            assert event["type"] == "lock_edge"
+            assert event["outer_site"].startswith("test_lockorder.py:")
+            assert event["inner_site"].startswith("test_lockorder.py:")
         cycle = violation.details["cycle"]
         assert cycle[0] == cycle[-1]
-        # Each edge of the cycle names the thread that created it.
+        # Each edge of the cycle names the thread that created it and
+        # the file:line pair that formed the edge.
         assert violation.details["witnesses"]
+        for key, value in violation.details["sites"].items():
+            assert "->" in key
+            assert "test_lockorder.py:" in value
 
     def test_three_lock_cycle_detected(self):
         c = LockOrderChecker()

@@ -222,6 +222,59 @@ class TestCheckCommands:
         assert records[-1]["t"] == "modelcheck_summary"
         assert records[-1]["ok"] is True
 
+    def test_races_static_exits_clean_on_this_repo(self, capsys):
+        assert main(["races", "--static"]) == 0
+        out = capsys.readouterr().out
+        assert "guard inference" in out
+        assert "no unguarded sites" in out
+        assert "races: OK" in out
+
+    def test_races_full_pass_catches_both_fixtures(self, capsys):
+        assert (
+            main(
+                [
+                    "races",
+                    "--quick",
+                    "--processors",
+                    "4",
+                    "--profiles",
+                    "none",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dynamic: ParMult/none seed=0: 0 race(s)" in out
+        assert "fixture unguarded-directory-write: caught" in out
+        assert "fixture missed-shootdown: caught" in out
+
+    def test_races_json_records(self, tmp_path, capsys):
+        path = tmp_path / "races.jsonl"
+        assert main(["races", "--static", "--json", str(path)]) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[-1] == {"t": "race_check_summary", "ok": True}
+        assert any(r["t"] == "guard_summary" for r in records)
+
+    def test_lint_format_json_prints_records(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[-1]["t"] == "lint_summary"
+
+    def test_lint_format_table_prints_markdown(self, capsys):
+        assert main(["lint", "--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| ")
+        assert "lint_summary" in out
+
+    def test_modelcheck_format_table(self, capsys):
+        assert main(["modelcheck", "--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "|---|" in out
+        assert "modelcheck_summary" in out
+
     def test_unknown_workload_is_a_tidy_exit(self, capsys):
         # Exercise several commands' workload lookups, not just metrics.
         for argv in (
