@@ -511,10 +511,26 @@ def cmd_batch(args: argparse.Namespace) -> int:
     is missing.  The last stdout line is the batch summary as one JSON
     object; ``--require-cache-ratio`` turns the summary into an exit
     code (1 when too little came from cache) for CI assertions.
+
+    Execution is supervised: failing specs are retried with
+    deterministic backoff (``--max-attempts``), hung workers are bounded
+    by ``--timeout``, and a spec that exhausts its attempts is
+    quarantined (exit 1) instead of sinking the grid — ``--strict``
+    restores the legacy first-failure-raises contract.  Every cached
+    batch also appends a crash-safe journal beside the cache directory;
+    after a hard kill, ``--resume`` rebuilds the batch from the journal
+    and re-runs it, serving everything that completed from the cache.
+    ``--results PATH`` writes the canonical results document (host-time
+    free), which is byte-identical between an uninterrupted run and a
+    crash-resumed one.  ``--harness-chaos PROFILE`` runs the batch under
+    seeded orchestrator faults (worker kills, hangs, cache corruption)
+    for resilience testing.
     """
     import json as _json
+    import pathlib
 
-    from repro.exp.batch import run_batch
+    from repro.errors import SimulationError
+    from repro.exp.batch import require_cache_ratio, resume_batch, run_batch
     from repro.exp.grid import (
         flatten,
         seed_fan,
@@ -522,57 +538,101 @@ def cmd_batch(args: argparse.Namespace) -> int:
         threshold_grid,
     )
     from repro.exp.cache import DEFAULT_CACHE_DIR
+    from repro.exp.journal import BatchJournal, journal_path_for
+    from repro.exp.supervise import SupervisorPolicy
     from repro.obs.metrics import MetricsRegistry
 
     if args.cache_dir is None:
         args.cache_dir = DEFAULT_CACHE_DIR
+    cache = _cache_from(args)
 
-    if args.grid == "table3":
-        specs = flatten(
-            table3_grid(
-                apps=args.apps,
-                n_processors=args.processors,
-                threshold=args.threshold,
-                quick=args.quick,
-            )
-        )
-    elif args.grid == "sweep":
-        specs = flatten(
-            threshold_grid(
-                args.apps or ["Primes3", "IMatMult"],
-                args.thresholds or [0, 1, 2, 4, 8, 16],
-                n_processors=args.processors,
-                quick=args.quick,
-            )
-        )
-    else:  # chaos seed fan
-        specs = flatten(
-            seed_fan(
-                name,
-                args.profile,
-                args.seeds or [0, 1, 2],
-                n_processors=args.processors,
-                threshold=args.threshold,
-                quick=args.quick,
-            )
-            for name in (args.apps or ["ParMult"])
+    chaos = None
+    if args.harness_chaos is not None:
+        from repro.faults.harness import make_harness_plan
+
+        chaos = make_harness_plan(args.harness_chaos, seed=args.harness_seed)
+    if args.strict:
+        policy = SupervisorPolicy.strict()
+    else:
+        policy = SupervisorPolicy(
+            max_attempts=args.max_attempts,
+            timeout_s=args.timeout,
+            seed=args.harness_seed,
+            chaos=chaos,
         )
 
     registry = MetricsRegistry()
-    batch = run_batch(
-        specs,
-        jobs=args.jobs,
-        cache=_cache_from(args),
-        registry=registry,
-        progress=lambda message: print(message, file=sys.stderr),
-    )
+    progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+
+    if args.resume:
+        if cache is None:
+            raise ConfigurationError(
+                "batch --resume needs the result cache "
+                "(it cannot be combined with --no-cache)"
+            )
+        journal_path = journal_path_for(cache.root)
+        batch = resume_batch(
+            journal_path,
+            jobs=args.jobs,
+            cache=cache,
+            registry=registry,
+            progress=progress,
+            policy=policy,
+        )
+    else:
+        if args.grid == "table3":
+            specs = flatten(
+                table3_grid(
+                    apps=args.apps,
+                    n_processors=args.processors,
+                    threshold=args.threshold,
+                    quick=args.quick,
+                )
+            )
+        elif args.grid == "sweep":
+            specs = flatten(
+                threshold_grid(
+                    args.apps or ["Primes3", "IMatMult"],
+                    args.thresholds or [0, 1, 2, 4, 8, 16],
+                    n_processors=args.processors,
+                    quick=args.quick,
+                )
+            )
+        else:  # chaos seed fan
+            specs = flatten(
+                seed_fan(
+                    name,
+                    args.profile,
+                    args.seeds or [0, 1, 2],
+                    n_processors=args.processors,
+                    threshold=args.threshold,
+                    quick=args.quick,
+                )
+                for name in (args.apps or ["ParMult"])
+            )
+        journal = None
+        if cache is not None and not args.no_journal:
+            journal = BatchJournal(journal_path_for(cache.root))
+        batch = run_batch(
+            specs,
+            jobs=args.jobs,
+            cache=cache,
+            registry=registry,
+            progress=progress,
+            policy=policy,
+            journal=journal,
+        )
+
     for row in batch.rows:
         args.sink.add(
             {
                 "t": "batch_spec",
                 "fingerprint": row.spec.fingerprint(),
                 "label": row.spec.label,
-                "kind": row.outcome.kind,
+                "kind": (
+                    row.outcome.kind if row.outcome is not None
+                    else "quarantined"
+                ),
                 "cached": row.cached,
             }
         )
@@ -581,17 +641,37 @@ def cmd_batch(args: argparse.Namespace) -> int:
     args.sink.extend(
         {**record, "t": "batch_metric"} for record in registry.as_records()
     )
+    if args.results is not None:
+        path = pathlib.Path(args.results)
+        if path.parent != pathlib.Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(batch.results_json(), encoding="utf-8")
+        print(f"wrote results document to {path}", file=sys.stderr)
     print(_json.dumps(summary, sort_keys=True))
-    if (
-        args.require_cache_ratio is not None
-        and batch.cache_ratio < args.require_cache_ratio
-    ):
+    if batch.lost:
         print(
-            f"repro-numa batch: cache ratio {batch.cache_ratio:.3f} below "
-            f"required {args.require_cache_ratio:.3f}",
+            f"repro-numa batch: {len(batch.lost)} spec(s) lost "
+            f"(supervision bug): {', '.join(fp[:12] for fp in batch.lost)}",
             file=sys.stderr,
         )
         return 1
+    if batch.quarantined:
+        detail = "; ".join(
+            f"{fp[:12]}: {reason}"
+            for fp, reason in sorted(batch.quarantined.items())[:5]
+        )
+        print(
+            f"repro-numa batch: {len(batch.quarantined)} spec(s) "
+            f"quarantined after {policy.max_attempts} attempts ({detail})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.require_cache_ratio is not None:
+        try:
+            require_cache_ratio(batch, args.require_cache_ratio)
+        except SimulationError as error:
+            print(f"repro-numa batch: {error}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -791,8 +871,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
     every skipped file with its reason; ``stats`` aggregates counts and
     bytes; ``gc`` removes *only* files the scanner already refuses to
     serve — by category (``--schema-mismatch``, ``--corrupt``,
-    ``--foreign``), or as a dry run over all categories when no flag is
-    given — so pruning can never change what a report would say.
+    ``--foreign``, ``--tmp``), or as a dry run over all categories when
+    no flag is given — so pruning can never change what a report would
+    say.  ``--tmp`` prunes stale atomic-write leftovers from crashed
+    runs, keeping any younger than ``--tmp-min-age`` (a live batch may
+    still be writing them).
     """
     from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache
 
@@ -853,13 +936,20 @@ def cmd_cache(args: argparse.Namespace) -> int:
         reasons.extend(["corrupt", "fingerprint-mismatch", "tmp"])
     if args.foreign:
         reasons.append("foreign")
+    if args.tmp and "tmp" not in reasons:
+        reasons.append("tmp")
     dry_run = not reasons
     if dry_run:
         reasons = [
             "schema-mismatch", "corrupt", "fingerprint-mismatch",
             "tmp", "foreign",
         ]
-    removed = cache.gc(reasons, scan=scan, dry_run=dry_run)
+    # --tmp applies the stale-age guard; the legacy --corrupt bundle
+    # (and the dry run) keeps pruning temp files unconditionally.
+    tmp_min_age = args.tmp_min_age if args.tmp else 0.0
+    removed = cache.gc(
+        reasons, scan=scan, dry_run=dry_run, tmp_min_age_s=tmp_min_age
+    )
     verb = "would remove" if dry_run else "removed"
     for item in removed:
         print(f"{verb} [{item.reason}] {item.path}")
@@ -871,7 +961,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
                 "removed": not dry_run,
             }
         )
-    suffix = " (dry run; pass --schema-mismatch/--corrupt/--foreign)" \
+    suffix = " (dry run; pass --schema-mismatch/--corrupt/--foreign/--tmp)" \
         if dry_run else ""
     print(f"{verb} {len(removed)} file(s){suffix}")
     return 0
@@ -1025,6 +1115,64 @@ def build_parser() -> argparse.ArgumentParser:
                 help="exit 1 unless at least RATIO of the unique specs "
                      "came from the cache (CI resumability assertion)",
             )
+            sub.add_argument(
+                "--resume",
+                action="store_true",
+                help="rebuild and re-run the last batch from the crash "
+                     "journal beside the cache directory (finished work "
+                     "is served from the cache)",
+            )
+            sub.add_argument(
+                "--results",
+                default=None,
+                metavar="PATH",
+                help="write the canonical results document (host-time "
+                     "free; byte-identical across crash/resume) to PATH",
+            )
+            sub.add_argument(
+                "--max-attempts",
+                type=int,
+                default=3,
+                metavar="N",
+                help="supervised attempts per spec before quarantine "
+                     "(default 3; 1 disables retry)",
+            )
+            sub.add_argument(
+                "--timeout",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="per-spec wall-clock timeout; an overdue worker is "
+                     "recycled and the spec retried (default: none)",
+            )
+            sub.add_argument(
+                "--strict",
+                action="store_true",
+                help="legacy contract: one attempt per spec, first "
+                     "failure aborts the batch (exit 2)",
+            )
+            sub.add_argument(
+                "--no-journal",
+                action="store_true",
+                help="skip the crash journal (the batch cannot be "
+                     "--resume'd after a hard kill)",
+            )
+            sub.add_argument(
+                "--harness-chaos",
+                default=None,
+                metavar="PROFILE",
+                help="run under seeded orchestrator faults: none, "
+                     "worker-kill, worker-hang, cache-corrupt, mayhem "
+                     "(resilience testing)",
+            )
+            sub.add_argument(
+                "--harness-seed",
+                type=int,
+                default=0,
+                metavar="N",
+                help="seed for harness chaos and retry-backoff jitter "
+                     "(default 0)",
+            )
         if name == "report":
             sub.add_argument(
                 "--from-cache",
@@ -1087,6 +1235,20 @@ def build_parser() -> argparse.ArgumentParser:
                 "--foreign",
                 action="store_true",
                 help="gc: remove files that are not cache entries at all",
+            )
+            sub.add_argument(
+                "--tmp",
+                action="store_true",
+                help="gc: remove stale .tmp-* files left by crashed "
+                     "atomic writes",
+            )
+            sub.add_argument(
+                "--tmp-min-age",
+                type=float,
+                default=60.0,
+                metavar="SECONDS",
+                help="gc --tmp: keep temp files younger than this (a "
+                     "live batch may still be writing them; default 60)",
             )
         if name == "metrics":
             sub.add_argument(

@@ -18,7 +18,15 @@ Quick start::
         print(row.spec.label, row.cached, row.outcome.result.summary())
 """
 
-from repro.exp.batch import BatchResult, SpecOutcome, run_batch
+from repro.exp.batch import (
+    BatchResult,
+    SpecOutcome,
+    batch_fingerprint,
+    missing_fingerprints,
+    require_cache_ratio,
+    resume_batch,
+    run_batch,
+)
 from repro.exp.cache import (
     CACHE_SCHEMA,
     DEFAULT_CACHE_DIR,
@@ -39,7 +47,19 @@ from repro.exp.grid import (
     table3_grid,
     threshold_grid,
 )
+from repro.exp.journal import (
+    JOURNAL_SCHEMA,
+    BatchJournal,
+    JournalReplay,
+    ReplayedBatch,
+    journal_path_for,
+)
 from repro.exp.runner import ParallelRunner, default_jobs
+from repro.exp.supervise import (
+    SupervisedRunner,
+    SupervisorPolicy,
+    SuperviseStats,
+)
 from repro.exp.spec import (
     POLICY_REGISTRY,
     SPEC_SCHEMA,
@@ -53,6 +73,18 @@ __all__ = [
     "BatchResult",
     "SpecOutcome",
     "run_batch",
+    "resume_batch",
+    "batch_fingerprint",
+    "missing_fingerprints",
+    "require_cache_ratio",
+    "JOURNAL_SCHEMA",
+    "BatchJournal",
+    "JournalReplay",
+    "ReplayedBatch",
+    "journal_path_for",
+    "SupervisedRunner",
+    "SupervisorPolicy",
+    "SuperviseStats",
     "CACHE_SCHEMA",
     "DEFAULT_CACHE_DIR",
     "SKIP_REASONS",

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
@@ -271,12 +272,17 @@ class ResultCache:
         reasons: Sequence[str],
         scan: Optional[CacheScan] = None,
         dry_run: bool = False,
+        tmp_min_age_s: float = 0.0,
     ) -> List[SkippedFile]:
         """Remove (or with *dry_run* just list) skipped files by reason.
 
         Valid entries are never touched — garbage collection only ever
         prunes files :meth:`scan` already refuses to serve, so a ``gc``
         can only reclaim space, never change what a report would say.
+
+        ``tmp`` files get one extra guard: a temp file younger than
+        *tmp_min_age_s* is an atomic write possibly still in flight from
+        a live batch, not a crash leftover, and is kept.
         """
         unknown = set(reasons) - set(SKIP_REASONS)
         if unknown:
@@ -285,7 +291,19 @@ class ResultCache:
                 f"choose from {', '.join(SKIP_REASONS)}"
             )
         scan = scan if scan is not None else self.scan()
-        doomed = [item for item in scan.skipped if item.reason in reasons]
+        now = time.time()
+        doomed: List[SkippedFile] = []
+        for item in scan.skipped:
+            if item.reason not in reasons:
+                continue
+            if item.reason == "tmp" and tmp_min_age_s > 0.0:
+                try:
+                    age = now - item.path.stat().st_mtime
+                except OSError:
+                    age = tmp_min_age_s  # already gone: pruning is a no-op
+                if age < tmp_min_age_s:
+                    continue
+            doomed.append(item)
         if not dry_run:
             for item in doomed:
                 try:

@@ -28,11 +28,13 @@ Scheduling details that matter for wall-clock:
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.exp.spec import Outcome, RunSpec
+
+if TYPE_CHECKING:
+    from repro.exp.supervise import SupervisorPolicy, SuperviseStats
 
 #: Rough relative wall-clock weight per workload (measured once on the
 #: full-scale Table 3 matrix); only the *ordering* matters, for
@@ -89,13 +91,37 @@ def default_jobs() -> int:
 
 
 class ParallelRunner:
-    """Run specs with bounded process-pool fan-out (or serially)."""
+    """Run specs with bounded process-pool fan-out (or serially).
 
-    def __init__(self, jobs: int = 1, max_inflight_factor: int = 2) -> None:
+    Since the supervision layer landed, this class is a thin facade
+    over :class:`~repro.exp.supervise.SupervisedRunner` with the
+    **strict** policy: one attempt per spec, first failure raises — the
+    original contract every existing caller and test relies on.  Pass a
+    resilient :class:`~repro.exp.supervise.SupervisorPolicy` (or use
+    :func:`~repro.exp.batch.run_batch`, which defaults to one) to get
+    retries, timeouts, quarantine, and pool recycling.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        max_inflight_factor: int = 2,
+        policy: Optional["SupervisorPolicy"] = None,
+    ) -> None:
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        from repro.exp.supervise import SupervisorPolicy
+
         self.jobs = jobs
-        self._window = max(1, max_inflight_factor) * jobs
+        self.policy = (
+            policy if policy is not None else SupervisorPolicy.strict()
+        )
+        self._max_inflight_factor = max_inflight_factor
+        #: Supervision stats from the most recent :meth:`run`.
+        self.stats: Optional["SuperviseStats"] = None
+        #: Fingerprint → reason for specs the last run quarantined
+        #: (always empty under the strict default, which raises instead).
+        self.quarantined: Dict[str, str] = {}
 
     def run(
         self,
@@ -107,7 +133,14 @@ class ParallelRunner:
         Duplicate specs (same fingerprint) execute once.  ``on_result``
         fires once per *unique* spec as its outcome lands (in completion
         order) — the batch layer uses it for cache writes and progress.
+
+        Under a non-strict policy a quarantined spec has no outcome, so
+        an aligned list cannot be built; this facade raises in that case
+        (orchestration that tolerates holes uses
+        :class:`~repro.exp.supervise.SupervisedRunner` directly).
         """
+        from repro.exp.supervise import SupervisedRunner
+
         order: List[str] = []
         unique: Dict[str, RunSpec] = {}
         for spec in specs:
@@ -115,50 +148,23 @@ class ParallelRunner:
             order.append(fp)
             if fp not in unique:
                 unique[fp] = spec
-        # Longest-first keeps the pool busy through the tail; ties break
-        # on fingerprint so submission order is deterministic.
-        todo = sorted(
-            unique.items(), key=lambda item: (-spec_weight(item[1]), item[0])
+        runner = SupervisedRunner(
+            jobs=self.jobs,
+            policy=self.policy,
+            max_inflight_factor=self._max_inflight_factor,
         )
-        outcomes: Dict[str, Outcome] = {}
-        if self.jobs == 1:
-            for fp, spec in todo:
-                outcome = spec.execute()
-                outcomes[fp] = outcome
-                if on_result is not None:
-                    on_result(spec, outcome)
-        else:
-            self._run_pool(todo, outcomes, on_result)
+        outcomes, quarantined, stats = runner.run(
+            list(unique.items()), on_result
+        )
+        self.stats = stats
+        self.quarantined = dict(quarantined)
+        if quarantined:
+            worst = sorted(quarantined.items())
+            detail = "; ".join(
+                f"{fp[:12]}: {reason}" for fp, reason in worst[:3]
+            )
+            raise SimulationError(
+                f"{len(quarantined)} spec(s) quarantined after "
+                f"{self.policy.max_attempts} attempts ({detail})"
+            )
         return [outcomes[fp] for fp in order]
-
-    def _run_pool(
-        self,
-        todo: List,
-        outcomes: Dict[str, Outcome],
-        on_result: Optional[Callable[[RunSpec, Outcome], None]],
-    ) -> None:
-        """Bounded-in-flight fan-out over a process pool."""
-        pending = list(reversed(todo))  # pop() from the heavy end
-        with ProcessPoolExecutor(
-            max_workers=self.jobs, initializer=warm_worker
-        ) as pool:
-            inflight = {}
-            while pending or inflight:
-                while pending and len(inflight) < self._window:
-                    fp, spec = pending.pop()
-                    future = pool.submit(execute_payload, spec.key())
-                    inflight[future] = (fp, spec)
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    fp, spec = inflight.pop(future)
-                    try:
-                        payload = future.result()
-                    except Exception as error:
-                        raise SimulationError(
-                            f"worker failed on spec {spec.label} "
-                            f"({fp[:12]}): {error}"
-                        ) from error
-                    outcome = Outcome.from_dict(payload)
-                    outcomes[fp] = outcome
-                    if on_result is not None:
-                        on_result(spec, outcome)

@@ -12,7 +12,10 @@ The subsystem splits cleanly in three:
   :class:`~repro.faults.injector.FaultStats` ledger;
 * :mod:`repro.faults.chaos` — running a whole workload under a profile
   with the sanitizer attached and reporting a deterministic
-  :class:`~repro.faults.chaos.ChaosReport`.
+  :class:`~repro.faults.chaos.ChaosReport`;
+* :mod:`repro.faults.harness` — chaos for the *experiment harness*
+  itself (worker kills, hangs, cache corruption), which the supervision
+  layer in :mod:`repro.exp.supervise` must survive.
 
 Recovery itself lives where the state lives — in
 :class:`~repro.core.numa_manager.NUMAManager` — not here; this package
@@ -20,6 +23,14 @@ only decides, fires, and counts.
 """
 
 from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.harness import (
+    HARNESS_PROFILES,
+    HarnessChaosError,
+    HarnessChaosPlan,
+    HarnessChaosProfile,
+    get_harness_profile,
+    make_harness_plan,
+)
 from repro.faults.injector import (
     FaultInjector,
     FaultStats,
@@ -35,8 +46,14 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "HARNESS_PROFILES",
     "PROFILES",
     "ChaosReport",
+    "HarnessChaosError",
+    "HarnessChaosPlan",
+    "HarnessChaosProfile",
+    "get_harness_profile",
+    "make_harness_plan",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",

@@ -57,6 +57,14 @@ location, writable_data)``
     ``executed`` were simulated and ``cache_hits`` came from the cache,
     in ``wall_s`` host seconds (the only host-time quantity on the bus;
     batch orchestration is not part of the simulation).
+``on_spec_retry(fingerprint, label, attempt, backoff_s, reason)``
+    The supervision layer (:mod:`repro.exp.supervise`) is retrying a
+    spec after a failed attempt: ``attempt`` is the 1-based attempt
+    that failed, ``backoff_s`` the host-seconds backoff before the
+    retry, ``reason`` is ``"timeout"`` or ``"error"``.
+``on_spec_quarantined(fingerprint, label, attempts, reason)``
+    The supervision layer gave up on a spec after exhausting its
+    attempt budget; the batch proceeds without it and reports it.
 
 The protocol-level hooks are what the opt-in sanitizer
 (:mod:`repro.check.sanitizer`) subscribes to, and the lint rule
@@ -92,6 +100,8 @@ HOOKS: Tuple[str, ...] = (
     "on_recovery",
     "on_batch_spec_finished",
     "on_batch_end",
+    "on_spec_retry",
+    "on_spec_quarantined",
 )
 
 
@@ -249,3 +259,18 @@ class EventBus:
         """Fan out the completion of a whole batch."""
         for hook in self._hooks["on_batch_end"]:
             hook(unique, executed, cache_hits, wall_s)
+
+    def emit_spec_retry(
+        self, fingerprint: str, label: str, attempt: int,
+        backoff_s: float, reason: str,
+    ) -> None:
+        """Fan out one supervised retry of a failed spec attempt."""
+        for hook in self._hooks["on_spec_retry"]:
+            hook(fingerprint, label, attempt, backoff_s, reason)
+
+    def emit_spec_quarantined(
+        self, fingerprint: str, label: str, attempts: int, reason: str
+    ) -> None:
+        """Fan out the quarantine of a spec that exhausted its attempts."""
+        for hook in self._hooks["on_spec_quarantined"]:
+            hook(fingerprint, label, attempts, reason)

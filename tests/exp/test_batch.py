@@ -3,11 +3,19 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.exp.batch import run_batch
+from repro.exp.batch import (
+    missing_fingerprints,
+    require_cache_ratio,
+    resume_batch,
+    run_batch,
+)
 from repro.exp.cache import ResultCache
 from repro.exp.grid import flatten, table3_grid, threshold_grid
+from repro.exp.journal import BatchJournal, journal_path_for
 from repro.exp.runner import ParallelRunner, spec_weight
 from repro.exp.spec import RunSpec
+from repro.exp.supervise import SupervisorPolicy
+from repro.faults.harness import make_harness_plan
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 
@@ -143,3 +151,211 @@ class TestBatch:
         parallel = run_batch(specs, jobs=2)
         for a, b in zip(serial.rows, parallel.rows):
             assert a.outcome.to_json() == b.outcome.to_json()
+
+
+class TestSupervisedBatch:
+    """The fault-tolerance surface: quarantine, journal, chaos, resume."""
+
+    def test_legacy_default_still_raises_on_failure(self):
+        bad = RunSpec(workload="nope", quick=True)
+        with pytest.raises(Exception) as excinfo:
+            run_batch([bad])
+        assert "nope" in str(excinfo.value)
+
+    def test_resilient_policy_quarantines_instead_of_raising(self):
+        good = RunSpec(workload="ParMult", quick=True, n_processors=2)
+        bad = RunSpec(workload="nope", quick=True)
+        policy = SupervisorPolicy(max_attempts=2, backoff_base_s=0.0)
+        batch = run_batch([bad, good], policy=policy)
+        assert batch.quarantined.keys() == {bad.fingerprint()}
+        assert batch.lost == []
+        rows = {row.spec.fingerprint(): row for row in batch.rows}
+        assert rows[bad.fingerprint()].quarantined
+        assert rows[bad.fingerprint()].error is not None
+        assert not rows[good.fingerprint()].quarantined
+        assert batch.executed == 1
+
+    def test_quarantine_counters_publish(self):
+        bad = RunSpec(workload="nope", quick=True)
+        registry = MetricsRegistry()
+        policy = SupervisorPolicy(max_attempts=3, backoff_base_s=0.0)
+        run_batch([bad], policy=policy, registry=registry)
+        metrics = registry.as_dict()
+        assert metrics["batch_retries"] == 2
+        assert metrics["batch_quarantined"] == 1
+        assert metrics["batch_pool_recycles"] == 0
+
+    def test_results_document_excludes_host_time(self, tmp_path):
+        """wall_s and cache provenance legitimately differ between an
+        uninterrupted run and a resumed one — the identity contract
+        lives in the results document, which must omit them."""
+        specs = small_grid()
+        cache = ResultCache(tmp_path)
+        cold = run_batch(specs, cache=cache)
+        warm = run_batch(specs, cache=cache)
+        assert cold.wall_s != warm.wall_s or cold.cache_hits != \
+            warm.cache_hits
+        assert cold.results_json() == warm.results_json()
+        assert cold.results_sha256 == warm.results_sha256
+        assert "wall_s" not in cold.results_json()
+
+    def test_journal_records_the_whole_batch(self, tmp_path):
+        specs = small_grid()
+        cache = ResultCache(tmp_path / "cache")
+        journal = BatchJournal(journal_path_for(cache.root))
+        batch = run_batch(
+            specs, cache=cache, journal=journal, policy=SupervisorPolicy()
+        )
+        segment = BatchJournal.replay(journal.path).last
+        assert segment.ended
+        assert segment.results_sha256 == batch.results_sha256
+        assert set(segment.finished) == {s.fingerprint() for s in specs}
+        assert segment.spec_keys[specs[0].fingerprint()] == specs[0].key()
+
+    def test_keyboard_interrupt_aborts_cleanly(self, tmp_path, monkeypatch):
+        """^C mid-batch: the journal ends with an aborted record, the
+        cache holds no truncated entry, and a resume completes."""
+        specs = small_grid()
+        cache = ResultCache(tmp_path / "cache")
+        journal_path = journal_path_for(cache.root)
+
+        calls = {"n": 0}
+        original = RunSpec.execute
+
+        def interrupting(self):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt()
+            return original(self)
+
+        monkeypatch.setattr(RunSpec, "execute", interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            run_batch(
+                specs, cache=cache, policy=SupervisorPolicy(),
+                journal=BatchJournal(journal_path),
+            )
+        monkeypatch.setattr(RunSpec, "execute", original)
+
+        segment = BatchJournal.replay(journal_path).last
+        assert segment.aborted and not segment.ended
+        # No truncated entries: every file in the cache scans clean.
+        scan = cache.scan()
+        assert scan.skipped == []
+        assert len(scan.entries) == 1  # the spec that finished first
+
+        resumed = resume_batch(journal_path, cache=cache)
+        assert resumed.lost == []
+        assert not resumed.quarantined
+        assert resumed.cache_hits >= 1
+        reference = run_batch(specs, cache=ResultCache(tmp_path / "ref"))
+        assert resumed.results_json() == reference.results_json()
+
+    def test_resume_after_hard_kill_is_byte_identical(self, tmp_path):
+        """Simulated kill -9: the journal just stops (no marker), and a
+        resume serves finished work from the cache and re-runs the rest,
+        producing a byte-identical results document."""
+        specs = small_grid()
+        cache = ResultCache(tmp_path / "cache")
+        journal_path = journal_path_for(cache.root)
+        # Run the first half "before the crash" under the same journal
+        # identity as the full batch by journaling the full spec list.
+        journal = BatchJournal(journal_path)
+        order = [s.fingerprint() for s in specs]
+        journal.begin(
+            "crashed", order, {s.fingerprint(): s.key() for s in specs},
+            jobs=1,
+        )
+        prefix = run_batch(specs[:2], cache=cache)
+        for spec in specs[:2]:
+            journal.spec_event("finished", spec.fingerprint(), cached=False)
+        # ... crash here: no aborted record, no batch_end.
+
+        resumed = resume_batch(journal_path, cache=cache)
+        assert resumed.cache_hits == 2
+        assert resumed.executed == len(specs) - 2
+        assert resumed.resumed
+        reference = run_batch(specs, cache=ResultCache(tmp_path / "ref"))
+        assert resumed.results_json() == reference.results_json()
+        assert prefix.rows[0].outcome.to_json() == \
+            reference.rows[0].outcome.to_json()
+
+    def test_broken_pool_leaves_cache_clean_and_resume_completes(
+        self, tmp_path
+    ):
+        """A SIGKILLed worker (BrokenProcessPool) mid-batch: the cache
+        scans clean (workers never write it), the journal records the
+        recycle, and a follow-up resume completes the batch."""
+        specs = small_grid()
+        plan = None
+        for seed in range(50):
+            candidate = make_harness_plan("worker-kill", seed)
+            if any(
+                candidate.would_disturb(s.fingerprint(), 1) for s in specs
+            ):
+                plan = make_harness_plan("worker-kill", seed)
+                break
+        assert plan is not None
+        cache = ResultCache(tmp_path / "cache")
+        journal_path = journal_path_for(cache.root)
+        policy = SupervisorPolicy(
+            max_attempts=4, auto_serial=False, chaos=plan,
+            backoff_base_s=0.01, backoff_cap_s=0.05,
+        )
+        batch = run_batch(
+            specs, jobs=2, cache=cache, policy=policy,
+            journal=BatchJournal(journal_path),
+        )
+        assert batch.lost == [] and not batch.quarantined
+        assert batch.supervision.pool_recycles >= 1
+        scan = cache.scan()
+        assert scan.skipped == [], "no truncated or temp entries"
+        assert len(scan.entries) == len(specs)
+
+        resumed = resume_batch(journal_path, cache=cache)
+        assert resumed.cache_hits == len(specs)
+        assert resumed.executed == 0
+        assert resumed.results_json() == batch.results_json()
+
+    def test_cache_corruption_chaos_reads_as_miss_on_resume(self, tmp_path):
+        specs = small_grid()
+        plan = None
+        for seed in range(50):
+            candidate = make_harness_plan("cache-corrupt", seed)
+            if any(candidate.corrupts_entry(s.fingerprint()) for s in specs):
+                plan = make_harness_plan("cache-corrupt", seed)
+                break
+        assert plan is not None
+        cache = ResultCache(tmp_path / "cache")
+        policy = SupervisorPolicy(chaos=plan, backoff_base_s=0.0)
+        first = run_batch(specs, cache=cache, policy=policy)
+        assert first.lost == [] and not first.quarantined
+        assert first.chaos_fired["corrupt"] >= 1
+        # The corrupted entries are misses, so a re-run re-simulates
+        # exactly those — and lands the same results document.
+        second = run_batch(specs, cache=cache)
+        assert second.executed == first.chaos_fired["corrupt"]
+        assert second.results_json() == first.results_json()
+
+    def test_require_cache_ratio_reports_missing_fingerprints(
+        self, tmp_path
+    ):
+        specs = small_grid()
+        cache = ResultCache(tmp_path)
+        run_batch(specs[:1], cache=cache)
+        batch = run_batch(specs, cache=cache)
+        require_cache_ratio(batch, 0.1)  # satisfied: no raise
+        with pytest.raises(SimulationError) as excinfo:
+            require_cache_ratio(batch, 1.0)
+        message = str(excinfo.value)
+        missing = missing_fingerprints(batch)
+        assert missing == sorted(
+            s.fingerprint() for s in specs[1:]
+        )
+        assert f"{batch.cache_ratio:.4f}" in message
+        for fp in missing:
+            assert fp[:12] in message
+
+    def test_lost_specs_is_empty_by_contract(self):
+        batch = run_batch(small_grid(), policy=SupervisorPolicy())
+        assert batch.lost == []
+        assert batch.as_dict()["lost_specs"] == 0

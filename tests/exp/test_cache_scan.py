@@ -193,6 +193,40 @@ class TestGc:
         with pytest.raises(ConfigurationError):
             cache.gc(["stale"])  # not a SKIP_REASONS member
 
+    def test_gc_collects_stale_tmp_files(self, warm):
+        cache, run, _ = warm
+        leftover = cache.root / f".tmp-{run.fingerprint()}.json"
+        leftover.write_text("{half-written")
+        removed = cache.gc(["tmp"])
+        assert [item.path for item in removed] == [leftover]
+        assert not leftover.exists()
+
+    def test_gc_tmp_min_age_spares_fresh_writes(self, warm):
+        """A temp file younger than the guard may be a live batch's
+        atomic write still in flight — gc must keep it."""
+        cache, run, _ = warm
+        fresh = cache.root / ".tmp-fresh.json"
+        fresh.write_text("{")
+        assert cache.gc(["tmp"], tmp_min_age_s=3600.0) == []
+        assert fresh.exists()
+
+        import os
+        import time
+
+        old = cache.root / ".tmp-old.json"
+        old.write_text("{")
+        past = time.time() - 7200
+        os.utime(old, (past, past))
+        removed = cache.gc(["tmp"], tmp_min_age_s=3600.0)
+        assert [item.path for item in removed] == [old]
+        assert fresh.exists() and not old.exists()
+
+    def test_gc_tmp_age_guard_only_applies_to_tmp(self, warm):
+        cache, run, _ = warm
+        cache.path_for(run).write_text("{bad")
+        removed = cache.gc(["corrupt"], tmp_min_age_s=3600.0)
+        assert [item.reason for item in removed] == ["corrupt"]
+
 
 class TestStats:
     def test_stats_aggregates_the_scan(self, warm):

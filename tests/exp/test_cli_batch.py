@@ -113,6 +113,117 @@ class TestBatchCommand:
         assert metrics["batch_executed"]["value"] == 3
 
 
+class TestResilienceFlags:
+    def test_supervision_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.max_attempts == 3
+        assert args.timeout is None
+        assert not args.strict
+        assert not args.resume
+        assert not args.no_journal
+        assert args.harness_chaos is None
+        assert args.harness_seed == 0
+        assert args.results is None
+
+    def test_require_cache_ratio_failure_lists_missing(self, tmp_path,
+                                                       capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = [
+            "--quick", "batch", "--apps", "ParMult",
+            "--require-cache-ratio", "0.9",
+        ]
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "cache ratio 0.0000" in err
+        assert "missing from cache" in err
+
+    def test_journal_written_beside_cache(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--quick", "batch", "--apps", "ParMult"]) == 0
+        journal = tmp_path / ".repro-cache.journal.jsonl"
+        assert journal.is_file()
+        records = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        assert records[0]["t"] == "batch_begin"
+        assert records[-1]["t"] == "batch_end"
+
+    def test_no_journal_skips_the_wal(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["--quick", "batch", "--apps", "ParMult", "--no-journal"]
+        ) == 0
+        assert not (tmp_path / ".repro-cache.journal.jsonl").exists()
+
+    def test_resume_replays_the_last_batch(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--quick", "batch", "--apps", "ParMult"]) == 0
+        first = _summary(capsys)
+        assert main(["--quick", "batch", "--resume"]) == 0
+        resumed = _summary(capsys)
+        assert resumed["resumed"] is True
+        assert resumed["executed"] == 0
+        assert resumed["cache_hits"] == first["unique"]
+        assert resumed["results_sha256"] == first["results_sha256"]
+
+    def test_resume_without_cache_is_a_usage_error(self, tmp_path, capsys,
+                                                   monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--quick", "batch", "--resume", "--no-cache"]) == 2
+
+    def test_resume_with_empty_journal_is_a_usage_error(self, tmp_path,
+                                                        capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--quick", "batch", "--resume"]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_results_document_is_stable_across_reruns(self, tmp_path,
+                                                      capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = ["--quick", "batch", "--apps", "ParMult"]
+        assert main(argv + ["--results", "one.json"]) == 0
+        assert main(argv + ["--results", "two.json"]) == 0
+        one = (tmp_path / "one.json").read_bytes()
+        assert one == (tmp_path / "two.json").read_bytes()
+        document = json.loads(one)
+        assert document["schema"] == "repro-exp-results/v1"
+        assert len(document["results"]) == 3
+
+    def test_harness_chaos_profile_finishes_with_zero_lost(self, tmp_path,
+                                                           capsys,
+                                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            [
+                "--quick", "batch", "--apps", "ParMult",
+                "--harness-chaos", "cache-corrupt", "--harness-seed", "1",
+            ]
+        ) == 0
+        summary = _summary(capsys)
+        assert summary["lost_specs"] == 0
+        assert summary["quarantined"] == 0
+        assert "chaos_fired" in summary
+
+    def test_unknown_harness_profile_is_a_usage_error(self, tmp_path,
+                                                      capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["--quick", "batch", "--harness-chaos", "tornado"]
+        ) == 2
+
+    def test_strict_mode_aborts_on_first_failure(self, tmp_path, capsys,
+                                                 monkeypatch):
+        # An unknown app fails spec construction inside the worker; in
+        # strict mode that must surface as exit 2, like the legacy path.
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["--quick", "batch", "--grid", "chaos", "--apps", "nope",
+             "--strict"]
+        ) == 2
+
+
 class TestOrchestratedTables:
     def test_table3_uses_cache_dir(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -218,3 +218,30 @@ class TestCacheCommand:
         assert "removed 0 file(s)" in capsys.readouterr().out
         assert main(["cache", "stats"]) == 0
         assert "entries   3" in capsys.readouterr().out
+
+    def test_gc_tmp_prunes_stale_leftovers_only(self, tmp_path, capsys,
+                                                monkeypatch):
+        """--tmp collects crashed-run leftovers but keeps fresh temp
+        files a live batch may still be writing."""
+        import os
+        import time
+
+        root = _warm(monkeypatch, tmp_path)
+        fresh = root / ".tmp-live.json"
+        fresh.write_text("{")
+        stale = root / ".tmp-crashed.json"
+        stale.write_text("{")
+        past = time.time() - 7200
+        os.utime(stale, (past, past))
+
+        assert main(["cache", "gc", "--tmp"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 file(s)" in out
+        assert ".tmp-crashed.json" in out
+        assert fresh.exists() and not stale.exists()
+
+        assert main(
+            ["cache", "gc", "--tmp", "--tmp-min-age", "0"]
+        ) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+        assert not fresh.exists()
