@@ -38,13 +38,29 @@ protocol state space:
    mapping can (``UNTOUCHED`` none, ``READ_ONLY`` only copy holders,
    ``LOCAL_WRITABLE`` only the owner).  A missing invalidation edge
    surfaces here as a stale-entry configuration.
+5. **Multi-level reachability** — on machines with a socket tier
+   (:mod:`repro.machine.topology`), the NUMA manager adds one move to
+   the protocol: a LOCAL decision for a ``LOCAL_WRITABLE`` page whose
+   owner shares the requester's socket becomes a *same-socket remote
+   mapping* (Section 4.4's mechanism at socket distance) instead of a
+   migration.  This layer re-walks the abstract space over
+   ``(state, owner, copy-holders, remote-mappers)`` configurations with
+   a reduced two-sockets-of-two abstract socket map, checking that
+   remote mappers exist only under ``LOCAL_WRITABLE``, always share the
+   owner's socket, never include the owner, and are torn down by every
+   cleanup that frees the owner's frame (the live ``ActionExecutor.flush``
+   drops other mappers of freed frames — a dangling remote mapping
+   would be a use-after-free).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.machine.topology import SocketTopology
 
 from repro.core.state import AccessKind, PageState, PlacementDecision
 from repro.core.transitions import (
@@ -120,9 +136,13 @@ class ModelCheckReport:
     invariant_failures: List[str] = field(default_factory=list)
     unreached_cells: List[str] = field(default_factory=list)
     tlb_failures: List[str] = field(default_factory=list)
+    ml_failures: List[str] = field(default_factory=list)
     cells_checked: int = 0
     n_configs: int = 0
     n_tlb_configs: int = 0
+    #: Reachable multi-level configurations (0 when layer 5 did not run,
+    #: i.e. the check targeted a flat machine).
+    n_ml_configs: int = 0
     n_cpus: int = 0
 
     @property
@@ -135,6 +155,7 @@ class ModelCheckReport:
             or self.invariant_failures
             or self.unreached_cells
             or self.tlb_failures
+            or self.ml_failures
         )
 
     @property
@@ -153,6 +174,11 @@ class ModelCheckReport:
             f"  reachable TLB configurations ({self.n_cpus} cpus): "
             f"{self.n_tlb_configs}",
         ]
+        if self.n_ml_configs or self.ml_failures:
+            lines.append(
+                f"  reachable multi-level configurations "
+                f"(2 sockets x 2 cpus): {self.n_ml_configs}"
+            )
         sections = (
             ("table mismatches", self.mismatches),
             ("totality failures", self.totality_failures),
@@ -160,6 +186,7 @@ class ModelCheckReport:
             ("invariant failures", self.invariant_failures),
             ("unreached table cells", self.unreached_cells),
             ("TLB coherence failures", self.tlb_failures),
+            ("multi-level failures", self.ml_failures),
         )
         for title, entries in sections:
             if entries:
@@ -180,6 +207,7 @@ class ModelCheckReport:
             ("invariant", self.invariant_failures),
             ("unreached", self.unreached_cells),
             ("tlb", self.tlb_failures),
+            ("multilevel", self.ml_failures),
         ):
             for entry in entries:
                 records.append(
@@ -193,6 +221,7 @@ class ModelCheckReport:
                 "cells_checked": self.cells_checked,
                 "n_configs": self.n_configs,
                 "n_tlb_configs": self.n_tlb_configs,
+                "n_ml_configs": self.n_ml_configs,
                 "n_cpus": self.n_cpus,
             }
         )
@@ -562,12 +591,152 @@ def _tlb_config_name(config: TLBConfig) -> str:
     )
 
 
-def run_model_check(n_cpus: int = 3) -> ModelCheckReport:
+# -- layer 5: multi-level (socket-tier) reachability --------------------------
+
+#: Abstract configuration extended with the set of same-socket *remote
+#: mappers* — processors mapped directly onto the owner's local frame
+#: by the distance-aware override in :class:`NUMAManager.request`.
+MLConfig = Tuple[PageState, Optional[int], FrozenSet[int], FrozenSet[int]]
+
+#: The reduced abstract socket map layer 5 explores: two sockets of two
+#: CPUs.  It is the smallest map exhibiting every relation the override
+#: distinguishes (owner, same-socket non-owner, cross-socket CPU) while
+#: still having a spare same-socket third party; like ``n_cpus=3`` for
+#: layers 3-4, the space is symmetric in identity beyond that.
+_ML_N_CPUS = 4
+
+
+def _ml_same_socket(a: int, b: int) -> bool:
+    return a // 2 == b // 2
+
+
+def _ml_invariant(config: MLConfig) -> Optional[str]:
+    """What a remote mapping may look like, restated abstractly.
+
+    Remote mappers point into the owner's local frame, so they can only
+    exist while a ``LOCAL_WRITABLE`` owner holds that frame; the live
+    ``ActionExecutor.flush`` drops other mappers of freed frames
+    precisely so none of these can dangle.
+    """
+    state, owner, copies, remote = config
+    base = _config_invariant((state, owner, copies))
+    if base is not None:
+        return base
+    if not remote:
+        return None
+    if state is not PageState.LOCAL_WRITABLE:
+        return (
+            f"{state.value} with remote mappers {sorted(remote)} "
+            "(only LOCAL_WRITABLE pages have a frame to map)"
+        )
+    if owner in remote:
+        return f"owner {owner} remote-maps its own frame"
+    if remote & copies:
+        return (
+            f"remote mappers {sorted(remote & copies)} also hold copies"
+        )
+    strangers = {c for c in remote if not _ml_same_socket(c, owner)}
+    if strangers:
+        return (
+            f"cross-socket remote mappers {sorted(strangers)} of owner "
+            f"{owner} (the override is same-socket only)"
+        )
+    return None
+
+
+def _explore_multilevel(report: ModelCheckReport) -> None:
+    """Layer 5: reachability with the same-socket remote-mapping move.
+
+    On a multi-level machine the NUMA manager turns a LOCAL decision for
+    a ``LOCAL_WRITABLE`` page whose owner shares the requester's socket
+    into a remote mapping of the owner's frame — no announced
+    transition, no state change, just an extra mapper.  Every other step
+    is the plain Tables 1-2 walk, with remote mappers surviving only
+    while the owner's frame does (any cleanup that flushes the owner
+    tears them down, mirroring ``ActionExecutor.flush``).
+    """
+    start: MLConfig = (PageState.UNTOUCHED, None, frozenset(), frozenset())
+    seen: Set[MLConfig] = {start}
+    frontier: List[MLConfig] = [start]
+    fail = report.ml_failures.append
+    while frontier:
+        config = frontier.pop()
+        state, owner, copies, remote = config
+        for cpu, kind, decision in product(
+            range(_ML_N_CPUS),
+            AccessKind,
+            (PlacementDecision.LOCAL, PlacementDecision.GLOBAL),
+        ):
+            if (
+                state is PageState.LOCAL_WRITABLE
+                and decision is PlacementDecision.LOCAL
+                and owner is not None
+                and owner != cpu
+                and _ml_same_socket(owner, cpu)
+            ):
+                # The distance-aware override: map, do not migrate.
+                nxt: MLConfig = (state, owner, copies, remote | {cpu})
+                label = f"cpu{cpu} {kind.value}/remote-map"
+            else:
+                try:
+                    (new_state, new_owner, new_copies), _ = _apply_abstract(
+                        (state, owner, copies), cpu, kind, decision
+                    )
+                except (ProtocolError, KeyError) as error:
+                    fail(
+                        f"step from {_ml_config_name(config)} with "
+                        f"cpu={cpu} {kind.value}/{decision.value} raised "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    continue
+                keeps_owner_frame = (
+                    state is PageState.LOCAL_WRITABLE
+                    and new_state is PageState.LOCAL_WRITABLE
+                    and new_owner == owner
+                )
+                nxt = (
+                    new_state,
+                    new_owner,
+                    new_copies,
+                    remote if keeps_owner_frame else frozenset(),
+                )
+                label = f"cpu{cpu} {kind.value}/{decision.value}"
+            problem = _ml_invariant(nxt)
+            if problem is not None:
+                fail(
+                    f"{_ml_config_name(config)} --{label}--> "
+                    f"{_ml_config_name(nxt)}: {problem}"
+                )
+                continue
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    report.n_ml_configs = len(seen)
+
+
+def _ml_config_name(config: MLConfig) -> str:
+    state, owner, copies, remote = config
+    return (
+        f"({state.value}, owner={owner}, copies={sorted(copies)}, "
+        f"remote={sorted(remote)})"
+    )
+
+
+def run_model_check(
+    n_cpus: int = 3, topology: Optional["SocketTopology"] = None
+) -> ModelCheckReport:
     """Run every layer and return the combined report.
 
     ``n_cpus=3`` is the smallest machine exhibiting all owner relations
     (requester, owner, third party); the abstract space is symmetric in
     processor identity beyond that.
+
+    ``topology`` (a :class:`~repro.machine.topology.SocketTopology`)
+    enables layer 5 when multi-level: the walk gains the same-socket
+    remote-mapping move, always explored over the reduced
+    two-sockets-of-two abstract map regardless of the real machine's
+    size.  Flat topologies (or ``None``) skip the layer, so the classic
+    report is unchanged.
     """
     report = ModelCheckReport(n_cpus=n_cpus)
     _check_transcription(report)
@@ -575,6 +744,8 @@ def run_model_check(n_cpus: int = 3) -> ModelCheckReport:
     _check_cell_semantics(report)
     _explore(report, n_cpus)
     _explore_tlb(report, n_cpus)
+    if topology is not None and topology.multilevel:
+        _explore_multilevel(report)
     return report
 
 

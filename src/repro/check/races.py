@@ -56,6 +56,7 @@ import ast
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Deque,
     Dict,
     Iterator,
@@ -65,6 +66,9 @@ from typing import (
     Set,
     Tuple,
 )
+
+if TYPE_CHECKING:
+    from repro.machine.config import MachineConfig
 
 from repro.core.state import PageState
 from repro.errors import ProtocolViolation
@@ -922,6 +926,7 @@ def run_race_check(
     profiles: Sequence[str] = ("none", "transient"),
     seed: int = 0,
     n_processors: int = 4,
+    machine: Optional[str] = None,
 ) -> RaceCheckReport:
     """The full ``repro-numa races`` pass.
 
@@ -931,8 +936,21 @@ def run_race_check(
     *fixtures* runs the seeded synthetic races and asserts the detector
     catches both — a detector that cannot see a planted race proves
     nothing about a clean run.
+
+    *machine* names a registry machine
+    (:data:`~repro.machine.topology.MACHINE_REGISTRY`) for the dynamic
+    runs, so the detector also observes the same-socket remote-mapping
+    and page-table-update paths of multi-level machines; ``None`` (and
+    ``"ace"``) keeps the classic flat machine, with ``n_processors``
+    honored as before.
     """
     report = RaceCheckReport()
+    machine_config: Optional[MachineConfig] = None
+    if machine is not None and machine.lower() != "ace":
+        from repro.machine.topology import resolve_machine
+
+        machine_config = resolve_machine(machine)
+        n_processors = machine_config.n_processors
     if static:
         report.static = lint_races()
         report.guard_model = infer_guards()
@@ -950,6 +968,7 @@ def run_race_check(
                 n_processors=n_processors,
                 sanitize=False,
                 detector=detector,
+                machine_config=machine_config,
             )
             report.runs.append(
                 {

@@ -361,11 +361,16 @@ class ProtocolSanitizer:
                         check="tlb-coherence",
                         details={"cpu": cpu_id, "vpage": vpage},
                     )
-                location = cached.frame.location_for(cpu_id)
+                # ref_costs is the same oracle the engine's _fill_tlb
+                # uses: on multi-level machines a same-socket remote
+                # frame is priced at socket speed (flat: identical).
+                location, fetch_us, store_us = timing.ref_costs(
+                    cpu_id, cached.frame
+                )
                 if (
                     cached.location is not location
-                    or cached.fetch_us != timing.fetch_us(location)
-                    or cached.store_us != timing.store_us(location)
+                    or cached.fetch_us != fetch_us
+                    or cached.store_us != store_us
                 ):
                     self._fail(
                         f"cpu {cpu_id} TLB entry for vpage {vpage} carries "

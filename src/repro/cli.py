@@ -476,6 +476,49 @@ def cmd_mix(args: argparse.Namespace) -> None:
         )
 
 
+def _resolve_cli_machine(args: argparse.Namespace):
+    """The ``--machine`` selection as a MachineConfig, or None for ace.
+
+    Unknown names raise :class:`~repro.errors.ConfigurationError`, which
+    :func:`main` maps to the usage exit code 2.
+    """
+    name = getattr(args, "machine", "ace") or "ace"
+    if name.lower() == "ace":
+        return None
+    from repro.machine.topology import resolve_machine
+
+    return resolve_machine(name)
+
+
+def cmd_topologies(args: argparse.Namespace) -> int:
+    """List the named machines in the topology registry.
+
+    One row per machine: CPU count, socket structure, the socket tier's
+    latencies, and the page-table placement its registry entry selects.
+    Rows also land in the ``--json`` sink as ``topology`` records.
+    """
+    from repro.machine.topology import registry_rows
+
+    rows = registry_rows()
+    print(
+        f"{'name':12s} {'cpus':>4s} {'sockets':>7s} {'level':>6s} "
+        f"{'sk_fetch':>8s} {'sk_store':>8s} {'pagetables':12s} description"
+    )
+    for row in rows:
+        level = "multi" if row["multilevel"] else "flat"
+        fetch = row["socket_fetch_us"]
+        store = row["socket_store_us"]
+        print(
+            f"{row['name']:12s} {row['cpus']:4d} {row['sockets']:7d} "
+            f"{level:>6s} "
+            f"{'-' if fetch is None else format(fetch, '.2f'):>8s} "
+            f"{'-' if store is None else format(store, '.2f'):>8s} "
+            f"{row['page_tables']:12s} {row['description']}"
+        )
+        args.sink.add({"t": "topology", **row})
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run one workload under a seeded fault-injection profile.
 
@@ -489,12 +532,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import run_chaos
 
     factory = _find_workload(_workload_set(args.quick), args.workload)
+    machine_config = _resolve_cli_machine(args)
     report = run_chaos(
         factory(),
         profile_name=args.profile,
         seed=args.seed,
         n_processors=args.processors,
         sanitize=not args.no_sanitize,
+        machine_config=machine_config,
     )
     args.sink.add({"t": "chaos_report", **report.as_dict()})
     print(report.to_json())
@@ -719,7 +764,9 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
     """Cross-check the live transition tables against the paper."""
     from repro.check import run_model_check
 
-    report = run_model_check(n_cpus=args.cpus)
+    machine_config = _resolve_cli_machine(args)
+    topology = machine_config.topology if machine_config is not None else None
+    report = run_model_check(n_cpus=args.cpus, topology=topology)
     return _print_check_report(args, report)
 
 
@@ -746,6 +793,7 @@ def cmd_races(args: argparse.Namespace) -> int:
         profiles=tuple(args.profiles or ("none", "transient")),
         seed=args.seed,
         n_processors=args.processors,
+        machine=getattr(args, "machine", None),
     )
     return _print_check_report(args, report)
 
@@ -1015,6 +1063,14 @@ def _add_global_options(parser: argparse.ArgumentParser, root: bool) -> None:
         help="also dump the command's data as JSON lines to PATH",
     )
     parser.add_argument(
+        "--machine",
+        metavar="NAME",
+        default="ace" if root else argparse.SUPPRESS,
+        help="named machine from the topology registry (see the "
+             "`topologies` command; default ace, the paper's machine; "
+             "consumed by chaos, modelcheck, and races)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1 if root else argparse.SUPPRESS,
@@ -1054,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
         "speedup": cmd_speedup,
         "metrics": cmd_metrics,
         "chaos": cmd_chaos,
+        "topologies": cmd_topologies,
         "mix": cmd_mix,
         "batch": cmd_batch,
         "cache": cmd_cache,

@@ -68,8 +68,11 @@ class ActionExecutor:
                 f"page {entry.page_id}: sync requested for cpu {copy_cpu} "
                 "which holds no copy"
             )
-        source = local.location_for(acting_cpu)
-        cost = self._machine.timing.page_copy_us(source, MemoryLocation.GLOBAL)
+        # Frame-aware: a sync of a same-socket neighbour's copy reads at
+        # socket speed on multi-level machines (flat: identical floats).
+        cost = self._machine.timing.page_copy_us_for(
+            acting_cpu, local, MemoryLocation.GLOBAL
+        )
         self._charge(acting_cpu, cost * cost_factor)
         self._machine.memory.copy(local, entry.global_frame)
         self._stats.syncs += 1
@@ -123,8 +126,8 @@ class ActionExecutor:
         if cpu in entry.local_copies:
             return entry.local_copies[cpu]
         frame = self._machine.memory.allocate_local(cpu)
-        cost = self._machine.timing.page_copy_us(
-            MemoryLocation.GLOBAL, frame.location_for(acting_cpu)
+        cost = self._machine.timing.page_copy_us_for(
+            acting_cpu, MemoryLocation.GLOBAL, frame
         )
         self._charge(acting_cpu, cost)
         self._machine.memory.copy(entry.global_frame, frame)

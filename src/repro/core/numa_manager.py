@@ -102,6 +102,9 @@ class NUMAManager:
         self._resident_by_cpu: Dict[int, Dict[int, None]] = {
             cpu: {} for cpu in machine.config.cpus
         }
+        #: Socket tree on multi-level machines; None on the flat ACE,
+        #: where the distance-aware override below never fires.
+        self._topology = machine.topology
 
     @property
     def machine(self) -> Machine:
@@ -261,6 +264,21 @@ class NUMAManager:
             # keep failing stays in global memory until freed, even
             # under policies that ignore note_degraded.
             decision = PlacementDecision.GLOBAL
+        if (
+            decision is PlacementDecision.LOCAL
+            and self._topology is not None
+            and entry.state is PageState.LOCAL_WRITABLE
+            and entry.owner is not None
+            and entry.owner != cpu
+            and self._topology.same_socket(entry.owner, cpu)
+        ):
+            # Distance-aware replicate/migrate: when the dirty page's
+            # owner shares the requester's socket, a remote mapping over
+            # the socket interconnect (Section 4.4's mechanism at socket
+            # distance) beats syncing through far global memory.  The
+            # REMOTE machinery below handles it; _try_remote falls back
+            # to LOCAL if the envelope refuses.
+            decision = PlacementDecision.REMOTE
         if decision is PlacementDecision.REMOTE:
             frame = self._try_remote(entry, cpu, vpage, kind, max_prot)
             if frame is not None:
@@ -364,6 +382,11 @@ class NUMAManager:
         target.charge_system(self._machine.timing.mapping_op_us)
         entry.record_mapping(cpu, vpage, wanted, frame)
         self._stats.remote_mappings += 1
+        pagetables = self._machine.pagetables
+        if pagetables is not None and self._topology.same_socket(
+            entry.owner, cpu
+        ):
+            pagetables.socket_remote_mappings += 1
         return frame
 
     def _ensure_local_frame(

@@ -142,6 +142,14 @@ class RunSpec:
     #: :meth:`MachineConfig.scaled` overrides applied to the default
     #: ACE configuration (e.g. ``{"global_pages": 8192}``).
     machine: Pairs = ()
+    #: Named machine from the topology registry
+    #: (:data:`repro.machine.topology.MACHINE_REGISTRY`).  ``"ace"`` is
+    #: the paper's flat machine; topology-bearing names pin their own
+    #: processor count.  ``machine`` pair overrides apply on top.
+    machine_name: str = "ace"
+    #: Page-table placement on multi-level machines (``"centralized"``
+    #: or ``"replicated"``); inert on the flat ACE.
+    page_tables: str = "centralized"
     #: Named fault profile for chaos runs (None: no fault injection).
     fault_profile: Optional[str] = None
     #: Fault-plan RNG seed (meaningful only with a fault profile).
@@ -161,8 +169,14 @@ class RunSpec:
     # -- identity ------------------------------------------------------------
 
     def key(self) -> Dict[str, object]:
-        """Canonical, JSON-friendly view of every field."""
-        return {
+        """Canonical, JSON-friendly view of every field.
+
+        ``machine_name`` and ``page_tables`` enter the key only when
+        they differ from their flat-ACE defaults, so every fingerprint
+        minted before the topology registry existed is still the same
+        spec — cached results stay valid without a schema bump.
+        """
+        key: Dict[str, object] = {
             "workload": self.workload,
             "workload_params": {k: v for k, v in self.workload_params},
             "quick": self.quick,
@@ -176,6 +190,11 @@ class RunSpec:
             "check_invariants": self.check_invariants,
             "fast_path": self.fast_path,
         }
+        if self.machine_name != "ace":
+            key["machine_name"] = self.machine_name
+        if self.page_tables != "centralized":
+            key["page_tables"] = self.page_tables
+        return key
 
     @classmethod
     def from_key(cls, data: Mapping[str, object]) -> "RunSpec":
@@ -209,6 +228,11 @@ class RunSpec:
         if policy == "move-threshold":
             policy = f"move-threshold({self.threshold})"
         parts = [self.workload, policy, f"{self.n_processors}p"]
+        if self.machine_name != "ace":
+            machine = self.machine_name
+            if self.page_tables != "centralized":
+                machine = f"{machine}:{self.page_tables}"
+            parts.append(machine)
         if self.quick:
             parts.append("quick")
         if self.fault_profile is not None:
@@ -226,16 +250,31 @@ class RunSpec:
         return resolve_policy(self.policy, self.threshold)
 
     def resolve_machine_config(self) -> Optional[MachineConfig]:
-        """The spec's machine, or None for the harness default ACE."""
-        if not self.machine:
+        """The spec's machine, or None for the harness default ACE.
+
+        A non-``ace`` :attr:`machine_name` resolves through the topology
+        registry (which pins its own processor count); ``machine`` pair
+        overrides and a non-default :attr:`page_tables` apply on top via
+        :meth:`MachineConfig.scaled` either way.
+        """
+        overrides = dict(self.machine)
+        if self.page_tables != "centralized":
+            overrides["page_tables"] = self.page_tables
+        if self.machine_name.lower() != "ace":
+            from repro.machine.topology import resolve_machine
+
+            config = resolve_machine(self.machine_name)
+            return config.scaled(**overrides) if overrides else config
+        if not overrides:
             return None
-        return ace_config(self.n_processors, **dict(self.machine))
+        return ace_config(self.n_processors, **overrides)
 
     def is_declarative(self) -> bool:
         """Whether the spec resolves from registries alone (cacheable)."""
         try:
             self.resolve_workload()
             self.resolve_policy()
+            self.resolve_machine_config()
         except ConfigurationError:
             return False
         return True
@@ -325,6 +364,7 @@ class RunSpec:
                 seed=self.fault_seed,
                 n_processors=self.n_processors,
                 policy=self.resolve_policy(),
+                machine_config=self.resolve_machine_config(),
             )
             return Outcome(chaos=report)
         return Outcome(result=self.run())

@@ -21,6 +21,7 @@ from repro.check.sanitizer import attach_sanitizer, sanitizer_enabled
 from repro.core.policies import MoveThresholdPolicy
 from repro.core.policy import NUMAPolicy
 from repro.faults.injector import FaultInjector, RetryPolicy, make_injector
+from repro.machine.config import MachineConfig
 from repro.obs.telemetry import Telemetry
 from repro.sim.harness import build_simulation, run_engine
 from repro.workloads.base import Workload
@@ -118,6 +119,7 @@ def run_chaos(
     injector: Optional[FaultInjector] = None,
     telemetry: Optional[Telemetry] = None,
     detector: Optional["RaceDetector"] = None,
+    machine_config: Optional["MachineConfig"] = None,
 ) -> ChaosReport:
     """Run *workload* under a named fault profile and summarize recovery.
 
@@ -142,6 +144,7 @@ def run_chaos(
         workload,
         policy,
         n_processors=n_processors,
+        machine_config=machine_config,
         telemetry=telemetry,
         injector=injector,
     )

@@ -11,8 +11,10 @@ every other layer of the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.machine.topology import SocketTopology
 
 #: 4 KB pages of 32-bit words, the Mach page size on the RT/PC family.
 DEFAULT_PAGE_SIZE_WORDS = 1024
@@ -65,6 +67,13 @@ class TimingParameters:
             raise ConfigurationError("global fetch cannot be faster than local")
         if self.global_store_us < self.local_store_us:
             raise ConfigurationError("global store cannot be faster than local")
+        # The remote tier (a direct reference into another processor's
+        # local memory) crosses the bus *and* a foreign memory module:
+        # it cannot be faster than plain global memory.
+        if self.remote_fetch_us < self.global_fetch_us:
+            raise ConfigurationError("remote fetch cannot be faster than global")
+        if self.remote_store_us < self.global_store_us:
+            raise ConfigurationError("remote store cannot be faster than global")
         if self.fault_overhead_us < 0 or self.mapping_op_us < 0:
             raise ConfigurationError("kernel-path costs cannot be negative")
         if not 0.0 < self.bulk_transfer_factor <= 1.0:
@@ -121,6 +130,14 @@ class MachineConfig:
     global_pages: int = 4096
     timing: TimingParameters = field(default_factory=TimingParameters)
     enforce_backplane: bool = True
+    #: Socket tree for multi-level machines (see
+    #: :mod:`repro.machine.topology`).  ``None`` is the paper's flat
+    #: two-level ACE — no socket tier, no page-table modeling.
+    topology: Optional[SocketTopology] = None
+    #: Page-table placement on multi-level machines: ``"centralized"``
+    #: (one table in global memory) or ``"replicated"`` (a Mitosis-style
+    #: replica per socket).  Inert on flat machines.
+    page_tables: str = "centralized"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -136,6 +153,34 @@ class MachineConfig:
         if self.global_pages < 1:
             raise ConfigurationError("global memory must hold at least a page")
         self.timing.validate()
+        if self.page_tables not in ("centralized", "replicated"):
+            raise ConfigurationError(
+                f"page_tables must be 'centralized' or 'replicated', "
+                f"got {self.page_tables!r}"
+            )
+        if self.topology is not None:
+            self.topology.validate(self.timing)
+            if self.topology.n_cpus != self.n_processors:
+                raise ConfigurationError(
+                    f"topology {self.topology.name!r} wires "
+                    f"{self.topology.n_cpus} CPUs but the machine has "
+                    f"{self.n_processors} processors"
+                )
+        multilevel = self.topology is not None and self.topology.multilevel
+        if self.page_tables == "replicated":
+            if not multilevel:
+                raise ConfigurationError(
+                    "replicated page tables need a multi-level topology "
+                    "(a socket tier to host the replicas)"
+                )
+            from repro.machine.pagetable import PT_PAGES_PER_REPLICA
+
+            if self.topology.socket_pages < PT_PAGES_PER_REPLICA:
+                raise ConfigurationError(
+                    f"replicated page tables need at least "
+                    f"{PT_PAGES_PER_REPLICA} socket_pages per socket "
+                    f"(topology has {self.topology.socket_pages})"
+                )
         if self.enforce_backplane and self.n_processors > 8:
             raise ConfigurationError(
                 "an ACE backplane has nine slots and one must hold global "

@@ -78,6 +78,11 @@ class CPU:
         #: because the engine's fast path touches it on every reference
         #: block.
         self.tlb = SoftwareTLB(cpu_id)
+        #: Page-table placement layer on multi-level machines
+        #: (:class:`~repro.machine.pagetable.PageTableLayer`); ``None``
+        #: on the flat ACE, where page tables are unmodeled.  Every MMU
+        #: mutation through the funnel below reports to it.
+        self.pagetables = None
         self._user_us = 0.0
         self._system_us = 0.0
         #: References made in user mode to writable data, for measuring α.
@@ -113,6 +118,8 @@ class CPU:
         """Install a translation, invalidating any cached entry for it."""
         self._mmu.enter(vpage, frame, protection)
         self.tlb.invalidate(vpage, acting_cpu)
+        if self.pagetables is not None:
+            self.pagetables.on_mutation(self._id, acting_cpu)
 
     def remove_translation(
         self, vpage: int, acting_cpu: Optional[int] = None
@@ -120,6 +127,8 @@ class CPU:
         """Remove a translation and shoot down its cached entry."""
         entry = self._mmu.remove(vpage)
         self.tlb.invalidate(vpage, acting_cpu)
+        if self.pagetables is not None:
+            self.pagetables.on_mutation(self._id, acting_cpu)
         return entry
 
     def protect_translation(
@@ -131,6 +140,8 @@ class CPU:
         """Change a translation's protection, dropping the cached entry."""
         self._mmu.protect(vpage, protection)
         self.tlb.invalidate(vpage, acting_cpu)
+        if self.pagetables is not None:
+            self.pagetables.on_mutation(self._id, acting_cpu)
 
     @property
     def user_time_us(self) -> float:

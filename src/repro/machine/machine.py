@@ -9,12 +9,14 @@ that manages it.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.machine.config import MachineConfig
 from repro.machine.cpu import CPU
 from repro.machine.memory import PhysicalMemory
+from repro.machine.pagetable import PageTableLayer
 from repro.machine.timing import TimingModel
+from repro.machine.topology import SocketTopology
 
 
 class Machine:
@@ -23,9 +25,24 @@ class Machine:
     def __init__(self, config: MachineConfig) -> None:
         config.validate()
         self._config = config
-        self._timing = TimingModel(config.timing, config.page_size_words)
+        # Only a genuinely multi-level topology is threaded through; a
+        # flat (all-singleton) one is indistinguishable from None and is
+        # dropped here so every downstream hook stays on its fast path.
+        topology = config.topology
+        multilevel = topology is not None and topology.multilevel
+        self._topology: Optional[SocketTopology] = (
+            topology if multilevel else None
+        )
+        self._timing = TimingModel(
+            config.timing, config.page_size_words, self._topology
+        )
         self._memory = PhysicalMemory(config)
         self._cpus: List[CPU] = [CPU(cpu_id) for cpu_id in config.cpus]
+        self._pagetables: Optional[PageTableLayer] = None
+        if multilevel:
+            self._pagetables = PageTableLayer(self)
+            for cpu in self._cpus:
+                cpu.pagetables = self._pagetables
 
     @property
     def config(self) -> MachineConfig:
@@ -63,6 +80,26 @@ class Machine:
     def total_system_time_us(self) -> float:
         """Total system time across all processors (Table 4's S metric)."""
         return sum(cpu.system_time_us for cpu in self._cpus)
+
+    @property
+    def topology(self) -> Optional[SocketTopology]:
+        """The socket tree, or ``None`` on the flat ACE."""
+        return self._topology
+
+    @property
+    def pagetables(self) -> Optional[PageTableLayer]:
+        """The page-table placement layer (multi-level machines only)."""
+        return self._pagetables
+
+    def topology_counters(self) -> Dict[str, object]:
+        """Per-level page-table counters; empty on the flat ACE.
+
+        Kept separate from :meth:`tlb_counters` so flat-machine
+        serializations (chaos reports, telemetry) stay byte-identical.
+        """
+        if self._pagetables is None:
+            return {}
+        return self._pagetables.counters()
 
     def tlb_counters(self) -> Dict[str, int]:
         """Software-TLB counters summed across all processors."""

@@ -19,10 +19,19 @@ from repro.machine.timing import MemoryLocation
 
 
 class FrameKind(enum.Enum):
-    """Whether a frame is in a processor's local memory or in global memory."""
+    """Which memory bank a frame belongs to.
+
+    ``LOCAL`` frames live in a processor's own memory and ``GLOBAL``
+    frames in the bus-shared modules — the paper's two levels.  On
+    multi-level machines a third bank exists: ``SOCKET`` frames live in
+    a socket's shared tier (they host replicated page tables; ``node``
+    names the socket rather than a processor).  Flat machines never
+    create SOCKET frames.
+    """
 
     LOCAL = "local"
     GLOBAL = "global"
+    SOCKET = "socket"
 
     __hash__ = object.__hash__  # identity hash; members are singletons
 
@@ -43,6 +52,8 @@ class Frame:
     def __post_init__(self) -> None:
         if self.kind is FrameKind.LOCAL and self.node is None:
             raise ValueError("local frames must name their processor")
+        if self.kind is FrameKind.SOCKET and self.node is None:
+            raise ValueError("socket frames must name their socket")
         if self.kind is FrameKind.GLOBAL and self.node is not None:
             raise ValueError("global frames have no owning processor")
         # Frames key the MMU's reverse map and directory structures, so
@@ -55,8 +66,13 @@ class Frame:
         return self._hash  # type: ignore[attr-defined]
 
     def location_for(self, cpu: int) -> MemoryLocation:
-        """Where this frame appears to be from *cpu*'s point of view."""
-        if self.kind is FrameKind.GLOBAL:
+        """Where this frame appears to be from *cpu*'s point of view.
+
+        Socket-shared frames classify as GLOBAL — they are shared, not
+        any one CPU's own memory; their cheaper same-socket price is
+        applied by :meth:`TimingModel.ref_costs`, not by this label.
+        """
+        if self.kind is FrameKind.GLOBAL or self.kind is FrameKind.SOCKET:
             return MemoryLocation.GLOBAL
         if self.node == cpu:
             return MemoryLocation.LOCAL
@@ -65,6 +81,8 @@ class Frame:
     def __str__(self) -> str:
         if self.kind is FrameKind.GLOBAL:
             return f"global[{self.index}]"
+        if self.kind is FrameKind.SOCKET:
+            return f"socket[{self.node}][{self.index}]"
         return f"local[cpu{self.node}][{self.index}]"
 
 
@@ -100,6 +118,8 @@ class _FramePool:
     def _where(self) -> str:
         if self._kind is FrameKind.GLOBAL:
             return "global memory"
+        if self._kind is FrameKind.SOCKET:
+            return f"shared memory of socket {self._node}"
         return f"local memory of cpu {self._node}"
 
     def allocate(self) -> Frame:
@@ -146,6 +166,15 @@ class PhysicalMemory:
             cpu: _FramePool(FrameKind.LOCAL, cpu, config.local_pages_per_cpu)
             for cpu in config.cpus
         }
+        # Socket-shared pools exist only on multi-level machines with a
+        # sized socket tier; the flat ACE builds none.
+        self._socket: Dict[int, _FramePool] = {}
+        topology = config.topology
+        if topology is not None and topology.socket_pages > 0:
+            self._socket = {
+                sid: _FramePool(FrameKind.SOCKET, sid, topology.socket_pages)
+                for sid in range(topology.n_sockets)
+            }
         self._tokens: Dict[Frame, int] = {}
 
     # -- allocation ------------------------------------------------------
@@ -162,10 +191,23 @@ class PhysicalMemory:
         self._tokens[frame] = 0
         return frame
 
+    def allocate_socket(self, socket: int) -> Frame:
+        """Allocate a frame in *socket*'s shared tier (multi-level only)."""
+        if socket not in self._socket:
+            raise OutOfMemoryError(
+                f"machine has no shared memory on socket {socket}"
+            )
+        frame = self._socket[socket].allocate()
+        self._tokens[frame] = 0
+        return frame
+
     def free(self, frame: Frame) -> None:
         """Return *frame* to its pool; its contents are discarded."""
         if frame.kind is FrameKind.GLOBAL:
             self._global.free(frame)
+        elif frame.kind is FrameKind.SOCKET:
+            assert frame.node is not None
+            self._socket[frame.node].free(frame)
         else:
             assert frame.node is not None
             self._local[frame.node].free(frame)
@@ -202,6 +244,9 @@ class PhysicalMemory:
         """
         if frame.kind is FrameKind.GLOBAL:
             self._global.retire(frame)
+        elif frame.kind is FrameKind.SOCKET:
+            assert frame.node is not None
+            self._socket[frame.node].retire(frame)
         else:
             assert frame.node is not None
             self._local[frame.node].retire(frame)
@@ -243,6 +288,14 @@ class PhysicalMemory:
     def local_available(self, cpu: int) -> int:
         """Free local frames remaining on *cpu*."""
         return self._local[cpu].available
+
+    def socket_available(self, socket: int) -> int:
+        """Free socket-shared frames remaining on *socket*."""
+        return self._socket[socket].available
+
+    def socket_in_use(self, socket: int) -> int:
+        """Socket-shared frames currently allocated on *socket*."""
+        return self._socket[socket].in_use
 
     def global_in_use(self) -> int:
         """Global frames currently allocated."""

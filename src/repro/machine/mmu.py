@@ -9,6 +9,12 @@ one of the fault sources the paper lists in Section 2.3.1.
 A reference that misses, or that wants more rights than its mapping grants,
 raises :class:`MMUFault`.  Faults are ordinary control flow — the VM layer
 catches them and drives the NUMA protocol.
+
+The MMU itself never walks page tables: translation storage is abstract.
+On multi-level machines the *cost* of the walks a real MMU would perform
+is modeled separately by :class:`~repro.machine.pagetable.PageTableLayer`,
+charged per fault (the simulator's live translations double as its walk
+cache) and per mapping update through the CPU invalidation funnel.
 """
 
 from __future__ import annotations

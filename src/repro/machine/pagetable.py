@@ -1,0 +1,143 @@
+"""Page tables as first-class NUMA-managed objects.
+
+On the flat ACE, page tables are invisible: the paper charges a fixed
+``fault_overhead_us`` per fault and ``mapping_op_us``/``shootdown_us``
+per mapping change, and where the table memory itself lives never
+matters.  On a multi-level machine it does — a hardware walk is a chain
+of memory references, and whether those land in the local socket's
+shared tier or in far global memory is exactly the Mitosis/numaPTE
+question (PAPERS.md).
+
+:class:`PageTableLayer` models that choice per machine:
+
+``centralized``
+    One page table in global memory.  Every walk pays
+    ``pt_walk_refs`` global fetches; every mapping update pays one
+    global store.
+
+``replicated``
+    One replica per socket, resident in that socket's shared tier
+    (frames allocated from the socket pools of
+    :class:`~repro.machine.memory.PhysicalMemory`).  A walk is served
+    by the walker's own socket replica — ``pt_walk_refs`` *socket*
+    fetches — but every mapping update must reach all replicas: one
+    socket store for the updater's replica plus a cross-socket update
+    (a remote store and a replica-shootdown message) per other socket.
+
+Walks are charged where the hardware walks: on the fault path (a TLB
+hit proves no walk is needed; a miss that re-fills from a live MMU
+entry is the simulator's own cache, not a modeled walk — keeping the
+fast and slow engine paths bit-identical).  Updates are charged from
+the :class:`~repro.machine.cpu.CPU` invalidation funnel, the single
+place every MMU mutation already passes through, so the PT-update cost
+rides the same discipline lint rule RN007 enforces for shootdowns.
+
+The layer only exists on multi-level machines; flat machines carry
+``None`` and every hook below is skipped, leaving ACE results
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+CENTRALIZED = "centralized"
+REPLICATED = "replicated"
+
+#: Socket-shared frames one replica occupies.  Small on purpose: the
+#: simulated page tables are an abstraction, but allocating real frames
+#: keeps socket-pool accounting honest and makes an undersized socket
+#: tier a configuration error instead of a silent fiction.
+PT_PAGES_PER_REPLICA = 4
+
+
+class PageTableLayer:
+    """Placement, walk costs, and update costs of the page tables."""
+
+    def __init__(self, machine) -> None:
+        config = machine.config
+        topology = config.topology
+        assert topology is not None and topology.multilevel
+        self._machine = machine
+        self._topology = topology
+        self._timing = config.timing
+        self.placement = config.page_tables
+        #: Frames hosting replicas, per socket (empty for centralized).
+        self.replica_frames: Dict[int, List[object]] = {}
+        if self.placement == REPLICATED:
+            for socket in range(topology.n_sockets):
+                self.replica_frames[socket] = [
+                    machine.memory.allocate_socket(socket)
+                    for _ in range(PT_PAGES_PER_REPLICA)
+                ]
+        # Per-word walk cost by placement: the replica tier for
+        # replicated tables, the global tier for the centralized one.
+        if self.placement == REPLICATED:
+            self._walk_word_us = topology.socket_fetch_us
+        else:
+            self._walk_word_us = self._timing.global_fetch_us
+        self._walk_us_per_walk = topology.pt_walk_refs * self._walk_word_us
+
+        # -- counters (the obs per-level view) --------------------------
+        #: Walks served by the walker's socket replica.
+        self.walks_socket = 0
+        #: Walks that had to reach the centralized global table.
+        self.walks_global = 0
+        self.walk_us = 0.0
+        self.updates = 0
+        self.update_us = 0.0
+        #: Cross-socket replica updates (the Mitosis write-amplification
+        #: cost): one per *other* socket per mapping change.
+        self.pt_replica_shootdowns = 0
+        #: Same-socket remote mappings the distance-aware protocol chose
+        #: over a migration (counted here so the flat ACE's NUMAStats
+        #: serialization stays untouched).
+        self.socket_remote_mappings = 0
+
+    # -- hooks ---------------------------------------------------------------
+
+    def charge_walk(self, cpu: int) -> None:
+        """One hardware table walk by *cpu* (called from the fault path)."""
+        cost = self._walk_us_per_walk
+        if self.placement == REPLICATED:
+            self.walks_socket += 1
+        else:
+            self.walks_global += 1
+        self.walk_us += cost
+        self._machine.cpu(cpu).charge_system(cost)
+
+    def on_mutation(self, target_cpu: int, acting_cpu: Optional[int]) -> None:
+        """One MMU mutation passed the invalidation funnel.
+
+        ``target_cpu`` owns the mutated MMU; ``acting_cpu`` drives the
+        change (and pays for the table update), defaulting to the
+        target for self-service mutations.
+        """
+        payer = target_cpu if acting_cpu is None else acting_cpu
+        if self.placement == REPLICATED:
+            topology = self._topology
+            others = topology.n_sockets - 1
+            cost = topology.socket_store_us + others * (
+                self._timing.remote_store_us
+            )
+            self.pt_replica_shootdowns += others
+        else:
+            cost = self._timing.global_store_us
+        self.updates += 1
+        self.update_us += cost
+        self._machine.cpu(payer).charge_system(cost)
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> Dict[str, object]:
+        """Flat counter snapshot (``Machine.topology_counters``)."""
+        return {
+            "placement": self.placement,
+            "pt_walks_socket": self.walks_socket,
+            "pt_walks_global": self.walks_global,
+            "pt_walk_us": round(self.walk_us, 3),
+            "pt_updates": self.updates,
+            "pt_update_us": round(self.update_us, 3),
+            "pt_replica_shootdowns": self.pt_replica_shootdowns,
+            "socket_remote_mappings": self.socket_remote_mappings,
+        }

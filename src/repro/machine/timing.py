@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.machine.config import TimingParameters
+from repro.machine.topology import SocketTopology
 
 
 class MemoryLocation(enum.Enum):
@@ -39,6 +41,11 @@ class TimingModel:
 
     params: TimingParameters
     page_size_words: int
+    #: Socket tree on multi-level machines; ``None`` on the flat ACE
+    #: (:class:`~repro.machine.machine.Machine` only passes a topology
+    #: when it is actually multi-level, so a non-``None`` value here
+    #: always means a socket tier exists).
+    topology: Optional[SocketTopology] = None
 
     def fetch_us(self, location: MemoryLocation) -> float:
         """Cost of one 32-bit fetch from *location*."""
@@ -84,6 +91,66 @@ class TimingModel:
         return (
             self.page_size_words
             * self.store_us(destination)
+            * self.params.bulk_transfer_factor
+        )
+
+    # -- topology-aware costs ------------------------------------------------
+    #
+    # On the flat ACE every method below reduces to the classic two-level
+    # expressions with *identical* float arithmetic, so existing results
+    # stay byte-identical.  On a multi-level machine, a reference to
+    # another CPU's local memory on the *same* socket travels the socket
+    # interconnect rather than the cross-socket path; the location label
+    # stays REMOTE (counters and the directory still see a remote frame),
+    # only the per-word price changes.
+
+    def ref_costs(
+        self, cpu: int, frame
+    ) -> Tuple[MemoryLocation, float, float]:
+        """``(location, fetch_us, store_us)`` for *cpu* referencing *frame*."""
+        location = frame.location_for(cpu)
+        topology = self.topology
+        if (
+            topology is not None
+            and location is MemoryLocation.REMOTE
+            and frame.node is not None
+            and topology.same_socket(frame.node, cpu)
+        ):
+            return (
+                location,
+                topology.socket_fetch_us,
+                topology.socket_store_us,
+            )
+        return location, self.fetch_us(location), self.store_us(location)
+
+    def block_us_for(
+        self, cpu: int, frame, reads: int, writes: int
+    ) -> Tuple[MemoryLocation, float]:
+        """``(location, cost)`` of a reference block by *cpu* on *frame*."""
+        if reads < 0 or writes < 0:
+            raise ValueError("reference counts cannot be negative")
+        location, fetch, store = self.ref_costs(cpu, frame)
+        return location, reads * fetch + writes * store
+
+    def _edge_costs(
+        self, cpu: int, place
+    ) -> Tuple[MemoryLocation, float, float]:
+        """Per-word costs for a :class:`Frame` or a bare location."""
+        if isinstance(place, MemoryLocation):
+            return place, self.fetch_us(place), self.store_us(place)
+        return self.ref_costs(cpu, place)
+
+    def page_copy_us_for(self, cpu: int, source, destination) -> float:
+        """Distance-aware :meth:`page_copy_us` executed by *cpu*.
+
+        *source* and *destination* may each be a frame (socket distance
+        applies) or a plain :class:`MemoryLocation` (flat pricing).
+        """
+        _, src_fetch, _ = self._edge_costs(cpu, source)
+        _, _, dst_store = self._edge_costs(cpu, destination)
+        return (
+            self.page_size_words
+            * (src_fetch + dst_store)
             * self.params.bulk_transfer_factor
         )
 

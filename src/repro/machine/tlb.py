@@ -9,6 +9,9 @@ protection, and the *latency class* (the
 :class:`~repro.machine.timing.MemoryLocation` plus the per-word fetch
 and store costs for that location from the referencing processor) — so
 the engine can charge a whole reference block off one cached entry.
+The cached costs come from :meth:`~repro.machine.timing.TimingModel.ref_costs`,
+so on multi-level machines a same-socket remote frame is cached at
+socket speed while keeping its ``REMOTE`` label for the counters.
 
 Like a hardware TLB, the cache is only as good as its invalidation.
 Every MMU mutation funnels through the owning

@@ -350,14 +350,14 @@ class Engine:
             # charged as system time and kept out of the user α counters.
             if reads:
                 frame = self._resolve(master, vpage, AccessKind.READ, task)
-                cost = self._machine.timing.block_us(
-                    frame.location_for(master), reads, 0
+                _, cost = self._machine.timing.block_us_for(
+                    master, frame, reads, 0
                 )
                 self._machine.cpu(master).charge_system(cost)
             if writes:
                 frame = self._resolve(master, vpage, AccessKind.WRITE, task)
-                cost = self._machine.timing.block_us(
-                    frame.location_for(master), 0, writes
+                _, cost = self._machine.timing.block_us_for(
+                    master, frame, 0, writes
                 )
                 self._machine.cpu(master).charge_system(cost)
 
@@ -429,9 +429,13 @@ class Engine:
         writable_data: bool,
         task: int = 0,
     ) -> None:
-        location = frame.location_for(cpu_id)
+        # Distance-aware: on multi-level machines a same-socket remote
+        # frame is charged at socket rates; on the flat ACE this is the
+        # classic block_us expression, float for float.
+        location, cost = self._machine.timing.block_us_for(
+            cpu_id, frame, reads, writes
+        )
         cpu = self._cpus[cpu_id]
-        cost = self._machine.timing.block_us(location, reads, writes)
         cpu.charge_user(cost)
         self._charge_task(task, cost)
         cpu.all_refs.record(location, reads, writes)
@@ -479,15 +483,20 @@ class Engine:
         if mmu_entry is None:
             return
         frame = mmu_entry.frame
-        location = frame.location_for(cpu_id)
-        timing = self._machine.timing
+        # ref_costs hands back the per-word prices for this CPU/frame
+        # edge — on multi-level machines a same-socket remote frame gets
+        # socket rates, and the cached entry then charges them on every
+        # fast-path block, bit-identical to the slow path.
+        location, fetch_us, store_us = self._machine.timing.ref_costs(
+            cpu_id, frame
+        )
         self._cpus[cpu_id].tlb.fill(
             vpage,
             frame,
             mmu_entry.protection,
             location,
-            timing.fetch_us(location),
-            timing.store_us(location),
+            fetch_us,
+            store_us,
             writable_data,
         )
 

@@ -82,6 +82,14 @@ class FaultHandler:
         self._machine.cpu(cpu).charge_system(
             self._machine.timing.fault_overhead_us
         )
+        # On multi-level machines the hardware walks the page table on
+        # the way into the fault; where that table lives (centralized
+        # global vs. per-socket replica) prices the walk.  TLB misses
+        # that re-fill from a live MMU entry are the simulator's own
+        # cache and charge no walk, keeping fast/slow paths identical.
+        pagetables = self._machine.pagetables
+        if pagetables is not None:
+            pagetables.charge_walk(cpu)
         region, offset = self._space.resolve(vpage)
         if kind is AccessKind.WRITE and not region.max_prot.writable:
             raise ProtectionViolation(vpage)

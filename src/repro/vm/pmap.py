@@ -194,9 +194,10 @@ class ACEPmap(PmapInterface):
         # manager owns the state change (and announces it on the bus).
         self._numa.materialize_global(destination.page_id, cpu)
         machine.cpu(cpu).charge_system(
-            machine.timing.page_copy_us(
-                src_entry.authoritative_frame().location_for(cpu),
-                dst_entry.global_frame.location_for(cpu),
+            machine.timing.page_copy_us_for(
+                cpu,
+                src_entry.authoritative_frame(),
+                dst_entry.global_frame,
             )
             * cost_factor
         )

@@ -150,3 +150,67 @@ class TestTotalitySweep:
         assert isinstance(spec, ActionSpec)
         lines = spec.describe()
         assert len(lines) == 3
+
+
+class TestMultilevelLayer:
+    """Layer 5: the same-socket remote-mapping move on socket machines."""
+
+    def _topology(self):
+        from repro.machine.topology import resolve_machine
+
+        return resolve_machine("2socket8").topology
+
+    def test_skipped_without_a_topology(self):
+        report = run_model_check()
+        assert report.n_ml_configs == 0
+        assert report.ml_failures == []
+        assert "reachable multi-level" not in report.format()
+
+    def test_flat_topology_skips_the_layer(self):
+        from repro.machine.topology import flat_topology
+
+        report = run_model_check(topology=flat_topology(7))
+        assert report.n_ml_configs == 0
+
+    def test_multilevel_walk_is_explored_and_clean(self):
+        report = run_model_check(topology=self._topology())
+        assert report.ok, report.format()
+        # Remote-mapper sets strictly enlarge the plain abstract space.
+        assert report.n_ml_configs > run_model_check(n_cpus=4).n_configs
+        assert "reachable multi-level" in report.format()
+
+    def test_summary_record_carries_the_ml_count(self):
+        report = run_model_check(topology=self._topology())
+        summary = report.as_records()[-1]
+        assert summary["n_ml_configs"] == report.n_ml_configs
+
+    def test_invariant_rejects_malformed_remote_sets(self):
+        from repro.check.modelcheck import _ml_invariant
+
+        lw = PageState.LOCAL_WRITABLE
+        # cpu 1 shares cpu 0's socket: a legal remote mapping.
+        assert _ml_invariant((lw, 0, frozenset({0}), frozenset({1}))) is None
+        # cpu 2 sits on the other socket: the override never builds this.
+        bad = _ml_invariant((lw, 0, frozenset({0}), frozenset({2})))
+        assert bad is not None and "cross-socket" in bad
+        # a remote mapper that is also the owner, or also holds a copy
+        assert _ml_invariant((lw, 0, frozenset({0}), frozenset({0})))
+        assert _ml_invariant(
+            (lw, 0, frozenset({0, 1}), frozenset({1}))
+        )
+        # mappers need a LOCAL_WRITABLE frame to point into
+        assert _ml_invariant(
+            (PageState.GLOBAL_WRITABLE, None, frozenset(), frozenset({1}))
+        )
+
+    def test_walk_finishes_even_with_the_invariant_silenced(
+        self, monkeypatch
+    ):
+        from repro.check import modelcheck
+
+        monkeypatch.setattr(
+            modelcheck, "_ml_invariant", lambda config: None
+        )
+        report = run_model_check(topology=self._topology())
+        assert report.n_ml_configs > 0
+        assert report.ml_failures == []

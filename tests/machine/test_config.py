@@ -52,6 +52,24 @@ class TestTimingParameters:
     def test_rejects_bad_bulk_factor(self):
         with pytest.raises(ConfigurationError):
             TimingParameters(bulk_transfer_factor=0.0).validate()
+
+    def test_rejects_nonpositive_remote_latency(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(remote_fetch_us=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            TimingParameters(remote_store_us=-1.0).validate()
+
+    def test_rejects_remote_faster_than_global(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(remote_fetch_us=1.0).validate()
+        with pytest.raises(ConfigurationError):
+            TimingParameters(remote_store_us=1.0).validate()
+
+    def test_default_remote_ordering_is_valid(self):
+        t = TimingParameters()
+        t.validate()
+        assert t.remote_fetch_us >= t.global_fetch_us
+        assert t.remote_store_us >= t.global_store_us
         with pytest.raises(ConfigurationError):
             TimingParameters(bulk_transfer_factor=1.5).validate()
 

@@ -1,0 +1,264 @@
+"""Topology tree, machine registry, and page-table layer tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.machine.config import MachineConfig, TimingParameters, ace_config
+from repro.machine.machine import Machine
+from repro.machine.pagetable import (
+    CENTRALIZED,
+    PT_PAGES_PER_REPLICA,
+    REPLICATED,
+)
+from repro.machine.timing import MemoryLocation
+from repro.machine.topology import (
+    MACHINE_REGISTRY,
+    SocketTopology,
+    flat_topology,
+    registry_rows,
+    resolve_machine,
+)
+
+
+def two_socket() -> SocketTopology:
+    return SocketTopology(name="2x2", sockets=((0, 1), (2, 3)))
+
+
+class TestSocketTopology:
+    def test_shape_accessors(self):
+        topo = two_socket()
+        assert topo.n_cpus == 4
+        assert topo.n_sockets == 2
+        assert topo.multilevel
+        assert topo.socket_of(1) == 0
+        assert topo.socket_of(2) == 1
+        assert topo.same_socket(0, 1)
+        assert not topo.same_socket(1, 2)
+
+    def test_flat_topology_is_not_multilevel(self):
+        topo = flat_topology(7)
+        assert topo.n_cpus == 7
+        assert topo.n_sockets == 7
+        assert not topo.multilevel
+
+    def test_rejects_non_partition(self):
+        with pytest.raises(ConfigurationError):
+            SocketTopology(name="bad", sockets=((0, 1), (1, 2)))
+        with pytest.raises(ConfigurationError):
+            SocketTopology(name="gap", sockets=((0,), (2,)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SocketTopology(name="empty", sockets=())
+
+    def test_validate_orders_socket_between_local_and_global(self):
+        timing = TimingParameters()
+        two_socket().validate(timing)  # defaults sit inside the band
+        fast = SocketTopology(
+            name="fast", sockets=((0, 1),), socket_fetch_us=0.1
+        )
+        with pytest.raises(ConfigurationError):
+            fast.validate(timing)
+        slow = SocketTopology(
+            name="slow", sockets=((0, 1),), socket_store_us=99.0
+        )
+        with pytest.raises(ConfigurationError):
+            slow.validate(timing)
+
+    def test_validate_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigurationError):
+            SocketTopology(
+                name="neg", sockets=((0, 1),), socket_fetch_us=-1.0
+            ).validate(TimingParameters())
+
+    def test_flat_topology_skips_the_ordering_band(self):
+        # Singleton sockets never carry a socket-tier reference, so an
+        # out-of-band latency on a flat tree is not an error.
+        topo = SocketTopology(
+            name="flat-fast", sockets=((0,), (1,)), socket_fetch_us=0.1
+        )
+        topo.validate(TimingParameters())
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(MACHINE_REGISTRY) == {"ace", "2socket8", "4socket32"}
+
+    def test_resolve_is_case_insensitive(self):
+        config = resolve_machine("2SOCKET8")
+        assert config.topology is not None
+        assert config.topology.name == "2socket8"
+        assert config.n_processors == 8
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_machine("nosuch")
+
+    def test_ace_honours_processor_count(self):
+        assert resolve_machine("ace").n_processors == 7
+        assert resolve_machine("ace", n_processors=3).n_processors == 3
+
+    def test_four_socket_shape(self):
+        config = resolve_machine("4socket32")
+        topo = config.topology
+        assert config.n_processors == 32
+        assert topo.n_sockets == 4
+        assert all(len(s) == 8 for s in topo.sockets)
+
+    def test_registry_rows_cover_every_machine(self):
+        rows = registry_rows()
+        assert [row["name"] for row in rows] == list(MACHINE_REGISTRY)
+        ace = rows[0]
+        assert ace["multilevel"] is False
+        assert ace["socket_fetch_us"] is None
+        multi = rows[1]
+        assert multi["multilevel"] is True
+        assert multi["page_tables"] == CENTRALIZED
+
+
+class TestMachineIntegration:
+    def test_flat_machine_has_no_topology_layer(self):
+        machine = Machine(ace_config(3))
+        assert machine.topology is None
+        assert machine.pagetables is None
+        assert machine.topology_counters() == {}
+
+    def test_explicit_flat_topology_is_inert(self):
+        config = MachineConfig(n_processors=3, topology=flat_topology(3))
+        machine = Machine(config)
+        assert machine.topology is None
+        assert machine.pagetables is None
+
+    def test_topology_cpu_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(n_processors=3, topology=two_socket())
+
+    def test_multilevel_machine_builds_the_layer(self):
+        machine = Machine(resolve_machine("2socket8"))
+        assert machine.topology is not None
+        assert machine.pagetables is not None
+        assert machine.pagetables.placement == CENTRALIZED
+        counters = machine.topology_counters()
+        assert counters["pt_walks_global"] == 0
+        assert counters["socket_remote_mappings"] == 0
+
+    def test_replicated_requires_multilevel(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(n_processors=3, page_tables=REPLICATED)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(n_processors=3, page_tables="interleaved")
+
+    def test_replicated_tables_occupy_socket_frames(self):
+        config = resolve_machine("4socket32").scaled(page_tables=REPLICATED)
+        machine = Machine(config)
+        topo = machine.topology
+        for socket in range(topo.n_sockets):
+            assert (
+                machine.memory.socket_available(socket)
+                == topo.socket_pages - PT_PAGES_PER_REPLICA
+            )
+
+    def test_socket_pool_exhaustion_raises(self):
+        machine = Machine(resolve_machine("2socket8"))
+        topo = machine.topology
+        for _ in range(topo.socket_pages):
+            machine.memory.allocate_socket(0)
+        with pytest.raises(OutOfMemoryError):
+            machine.memory.allocate_socket(0)
+
+
+class TestDistanceAwareTiming:
+    def test_same_socket_remote_frame_prices_at_socket_speed(self):
+        machine = Machine(resolve_machine("2socket8"))
+        topo = machine.topology
+        timing = machine.timing
+        params = machine.config.timing
+        frame = machine.memory.allocate_local(1)
+        location, fetch, store = timing.ref_costs(0, frame)
+        assert location is MemoryLocation.REMOTE
+        assert fetch == topo.socket_fetch_us
+        assert store == topo.socket_store_us
+        location, fetch, store = timing.ref_costs(4, frame)
+        assert location is MemoryLocation.REMOTE
+        assert fetch == params.remote_fetch_us
+        assert store == params.remote_store_us
+
+    def test_own_frame_stays_local(self):
+        machine = Machine(resolve_machine("2socket8"))
+        params = machine.config.timing
+        frame = machine.memory.allocate_local(1)
+        location, fetch, _ = machine.timing.ref_costs(1, frame)
+        assert location is MemoryLocation.LOCAL
+        assert fetch == params.local_fetch_us
+
+    def test_flat_machine_ref_costs_match_location_pricing(self):
+        machine = Machine(ace_config(3))
+        timing = machine.timing
+        frame = machine.memory.allocate_local(1)
+        for cpu in range(3):
+            location, fetch, store = timing.ref_costs(cpu, frame)
+            assert location is frame.location_for(cpu)
+            assert fetch == timing.fetch_us(location)
+            assert store == timing.store_us(location)
+
+
+class TestPageTableLayer:
+    def test_centralized_walk_cost(self):
+        machine = Machine(resolve_machine("2socket8"))
+        layer = machine.pagetables
+        params = machine.config.timing
+        before = machine.cpu(0).system_time_us
+        layer.charge_walk(0)
+        expected = machine.topology.pt_walk_refs * params.global_fetch_us
+        assert layer.walks_global == 1
+        assert layer.walks_socket == 0
+        assert layer.walk_us == pytest.approx(expected)
+        assert machine.cpu(0).system_time_us - before == pytest.approx(
+            expected
+        )
+
+    def test_replicated_walk_is_cheaper_than_centralized(self):
+        config = resolve_machine("2socket8").scaled(page_tables=REPLICATED)
+        machine = Machine(config)
+        layer = machine.pagetables
+        layer.charge_walk(0)
+        topo = machine.topology
+        socket_cost = topo.pt_walk_refs * topo.socket_fetch_us
+        global_cost = (
+            topo.pt_walk_refs * machine.config.timing.global_fetch_us
+        )
+        assert layer.walks_socket == 1
+        assert layer.walk_us == pytest.approx(socket_cost)
+        assert socket_cost < global_cost
+
+    def test_replicated_update_pays_every_other_socket(self):
+        config = resolve_machine("4socket32").scaled(page_tables=REPLICATED)
+        machine = Machine(config)
+        layer = machine.pagetables
+        topo = machine.topology
+        params = machine.config.timing
+        layer.on_mutation(target_cpu=0, acting_cpu=9)
+        expected = topo.socket_store_us + (topo.n_sockets - 1) * (
+            params.remote_store_us
+        )
+        assert layer.updates == 1
+        assert layer.pt_replica_shootdowns == topo.n_sockets - 1
+        assert layer.update_us == pytest.approx(expected)
+        # the acting processor pays, not the target
+        assert machine.cpu(9).system_time_us == pytest.approx(expected)
+        assert machine.cpu(0).system_time_us == 0.0
+
+    def test_mutation_funnel_reaches_the_layer(self):
+        machine = Machine(resolve_machine("2socket8"))
+        layer = machine.pagetables
+        frame = machine.memory.allocate_local(0)
+        from repro.machine.protection import Protection
+
+        machine.cpu(0).enter_translation(
+            7, frame, Protection.READ | Protection.WRITE
+        )
+        assert layer.updates == 1
+        machine.cpu(0).remove_translation(7)
+        assert layer.updates == 2

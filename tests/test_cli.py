@@ -358,3 +358,59 @@ class TestChaosCommand:
         err = capsys.readouterr().err
         assert "unknown fault profile" in err
         assert "Traceback" not in err
+
+
+class TestTopologyCli:
+    def test_topologies_lists_the_registry(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ace", "2socket8", "4socket32"):
+            assert name in out
+
+    def test_topologies_json_records(self, tmp_path, capsys):
+        path = tmp_path / "topo.jsonl"
+        assert main(["topologies", "--json", str(path)]) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        rows = [r for r in records if r["t"] == "topology"]
+        assert [r["name"] for r in rows] == ["ace", "2socket8", "4socket32"]
+        assert rows[2]["multilevel"] is True
+        assert rows[2]["cpus"] == 32
+
+    def test_unknown_machine_is_a_usage_error(self, capsys):
+        assert main(["modelcheck", "--machine", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err
+        assert "Traceback" not in err
+
+    def test_modelcheck_runs_the_multilevel_layer(self, capsys):
+        assert main(["modelcheck", "--machine", "2socket8"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable multi-level configurations" in out
+        assert "VERDICT: OK" in out
+
+    def test_modelcheck_default_stays_flat(self, capsys):
+        assert main(["modelcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable multi-level configurations" not in out
+
+    def test_chaos_on_a_multilevel_machine(self, tmp_path, capsys):
+        path = tmp_path / "chaos.jsonl"
+        argv = [
+            "--quick",
+            "--machine",
+            "2socket8",
+            "chaos",
+            "parmult",
+            "--profile",
+            "none",
+            "--json",
+            str(path),
+        ]
+        assert main(argv) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[-1]["t"] == "chaos_report"
+        assert records[-1]["n_processors"] == 8
