@@ -24,13 +24,13 @@ from conftest import once, save_artifact
 def _pair(workload_factory, migration_period=40):
     bound = run_once(
         workload_factory(),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=7,
         check_invariants=False,
     )
     migratory = run_once(
         workload_factory(),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=7,
         scheduler_factory=lambda n: GlobalQueueScheduler(n, migration_period),
         check_invariants=False,
@@ -89,7 +89,7 @@ def test_faster_migration_is_worse(benchmark):
         for period in (200, 50, 15):
             results[period] = run_once(
                 Primes2(limit=40_000),
-                MoveThresholdPolicy(4),
+                MoveThresholdPolicy(threshold=4),
                 n_processors=7,
                 scheduler_factory=lambda n, p=period: GlobalQueueScheduler(n, p),
                 check_invariants=False,

@@ -33,7 +33,7 @@ def test_bus_utilization_per_application(benchmark, name):
         config = ace_config(7)
         result = run_once(
             TABLE_3_WORKLOADS[name](),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             check_invariants=False,
         )
@@ -81,7 +81,7 @@ def test_gfetch_scaling_loads_the_bus(benchmark):
             config = ace_config(n, enforce_backplane=True)
             result = run_once(
                 Gfetch(total_fetches=240_000),
-                MoveThresholdPolicy(4),
+                MoveThresholdPolicy(threshold=4),
                 machine_config=config,
                 check_invariants=False,
             )

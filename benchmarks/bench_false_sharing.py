@@ -61,13 +61,13 @@ def test_primes2_tuning_story(benchmark):
     def run():
         shared = run_once(
             Primes2(limit=LIMIT, private_divisors=False),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             check_invariants=False,
         )
         private = run_once(
             Primes2(limit=LIMIT, private_divisors=True),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             check_invariants=False,
         )
@@ -93,13 +93,13 @@ def test_plytrace_packed_layout(benchmark):
     def run():
         padded = run_once(
             PlyTrace(n_polygons=2000),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             check_invariants=False,
         )
         packed = run_once(
             PlyTrace(n_polygons=2000, padded_framebuffer=False),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             check_invariants=False,
         )
@@ -124,7 +124,7 @@ def test_detector_fingers_the_packed_pages(benchmark):
         trace = TraceCollector()
         run_once(
             PlyTrace(n_polygons=1000, padded_framebuffer=False),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             observer=trace,
             check_invariants=False,

@@ -55,7 +55,7 @@ def min_speedup() -> float:
 def _run(factory, fast_path):
     sim = build_simulation(
         factory(),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=N_PROCESSORS,
         fast_path=fast_path,
     )

@@ -47,7 +47,7 @@ def test_mix_preserves_each_applications_locality(benchmark, pair):
         standalone = {
             name: run_once(
                 FACTORIES[name](),
-                MoveThresholdPolicy(4),
+                MoveThresholdPolicy(threshold=4),
                 n_processors=7,
                 check_invariants=False,
             ).user_time_us
@@ -55,7 +55,7 @@ def test_mix_preserves_each_applications_locality(benchmark, pair):
         }
         mix = run_mix(
             [FACTORIES[name]() for name in pair],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             check_invariants=False,
         )
@@ -80,7 +80,7 @@ def test_global_placement_hurts_the_mix_too(benchmark):
         pair = ("IMatMult", "Primes3")
         numa = run_mix(
             [FACTORIES[name]() for name in pair],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
             check_invariants=False,
         )

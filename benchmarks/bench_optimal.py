@@ -54,7 +54,7 @@ def _compare(name: str) -> OptimalComparison:
     trace = TraceCollector(keep_faults=False)
     result = run_once(
         workload,
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=7,
         observer=trace,
         check_invariants=False,

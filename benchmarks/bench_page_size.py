@@ -24,7 +24,7 @@ def _alpha(page_words: int, padded: bool) -> float:
     config = ace_config(7, page_size_words=page_words)
     result = run_once(
         PlyTrace(n_polygons=1500, padded_framebuffer=padded),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         machine_config=config,
         check_invariants=False,
     )

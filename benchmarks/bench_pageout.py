@@ -75,7 +75,7 @@ def run_under_pressure(n_processors: int = 4):
     )
     machine = Machine(config)
     numa = NUMAManager(
-        machine, MoveThresholdPolicy(4), check_invariants=False
+        machine, MoveThresholdPolicy(threshold=4), check_invariants=False
     )
     store = BackingStore()
     pool = PagePool(numa, backing_store=store)
@@ -135,7 +135,7 @@ def test_without_a_daemon_the_pool_overflows(benchmark):
         )
         machine = Machine(config)
         numa = NUMAManager(
-            machine, MoveThresholdPolicy(4), check_invariants=False
+            machine, MoveThresholdPolicy(threshold=4), check_invariants=False
         )
         pool = PagePool(numa)
         pmap = ACEPmap(numa)

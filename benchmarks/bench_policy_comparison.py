@@ -35,10 +35,10 @@ from repro.workloads.primes import Primes3
 from conftest import once, save_artifact
 
 POLICY_FACTORIES = {
-    "move-threshold(4)": lambda: MoveThresholdPolicy(4),
+    "move-threshold(4)": lambda: MoveThresholdPolicy(threshold=4),
     "migration-only": MigrationOnlyPolicy,
     "replication-only": ReplicationOnlyPolicy,
-    "decay": lambda: DecayPolicy(4, decay_us=50_000.0),
+    "decay": lambda: DecayPolicy(threshold=4, decay_us=50_000.0),
     "all-local": AllLocalPolicy,
     "all-global": AllGlobalPolicy,
 }

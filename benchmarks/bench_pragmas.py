@@ -27,13 +27,13 @@ LIMIT = 400_000
 def _run_pair():
     automatic = run_once(
         Primes3(limit=LIMIT),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=7,
         check_invariants=False,
     )
     pragmatic = run_once(
         Primes3(limit=LIMIT, use_pragmas=True),
-        PragmaPolicy(MoveThresholdPolicy(4)),
+        PragmaPolicy(MoveThresholdPolicy(threshold=4)),
         n_processors=7,
         check_invariants=False,
     )
@@ -77,7 +77,7 @@ def test_cacheable_pragma_overrides_pinning(benchmark):
 
     def run():
         rig = make_bench_rig(
-            n_processors=2, policy=PragmaPolicy(MoveThresholdPolicy(1))
+            n_processors=2, policy=PragmaPolicy(MoveThresholdPolicy(threshold=1))
         )
         obj = shared_object("hot", 1)
         obj.pragma = Pragma.CACHEABLE

@@ -28,13 +28,13 @@ INTERVAL_US = 30_000.0
 def _pair(workload_factory, n_processors=7):
     baseline = run_once(
         workload_factory(),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=n_processors,
         check_invariants=False,
     )
     reconsidered = run_once(
         workload_factory(),
-        ReconsiderPolicy(4, interval_us=INTERVAL_US),
+        ReconsiderPolicy(threshold=4, interval_us=INTERVAL_US),
         n_processors=n_processors,
         check_invariants=False,
     )

@@ -35,13 +35,13 @@ _totals: Dict[float, Dict[str, float]] = {}
 def _run(share: float):
     automatic = run_once(
         LopsidedSharing(dominant_share=share),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=7,
         check_invariants=False,
     )
     remote = run_once(
         LopsidedSharing(dominant_share=share, pragma=Pragma.REMOTE),
-        HomeNodePolicy(MoveThresholdPolicy(4)),
+        HomeNodePolicy(MoveThresholdPolicy(threshold=4)),
         n_processors=7,
         check_invariants=False,
     )

@@ -156,7 +156,7 @@ def test_policy_decision_overhead(benchmark):
     region = rig.space.map_object(shared_object("p", 1))
     rig.faults.handle(0, region.vpage_at(0), AccessKind.WRITE)
     page = region.vm_object.resident_page(0)
-    policy = MoveThresholdPolicy(4)
+    policy = MoveThresholdPolicy(threshold=4)
 
     def decide():
         for _ in range(1000):

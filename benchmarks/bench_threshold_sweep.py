@@ -111,11 +111,11 @@ def test_handoff_motivates_a_nonzero_threshold(benchmark):
 
     def run():
         pinned_at_zero = run_once(
-            Handoff(), MoveThresholdPolicy(0), n_processors=4,
+            Handoff(), MoveThresholdPolicy(threshold=0), n_processors=4,
             check_invariants=False,
         )
         default = run_once(
-            Handoff(), MoveThresholdPolicy(4), n_processors=4,
+            Handoff(), MoveThresholdPolicy(threshold=4), n_processors=4,
             check_invariants=False,
         )
         return pinned_at_zero, default

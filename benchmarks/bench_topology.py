@@ -38,7 +38,7 @@ N_THREADS = 8
 def _run(machine_config):
     sim = build_simulation(
         ParMult.small(),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_threads=N_THREADS,
         machine_config=machine_config,
     )

@@ -63,7 +63,7 @@ def _run(patched: bool):
     )
     sim = build_simulation(
         SyscallHeavy(),
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors=7,
         unix_master=master,
         check_invariants=False,

@@ -92,7 +92,7 @@ def make_bench_rig(
     machine = Machine(config)
     numa = NUMAManager(
         machine,
-        policy if policy is not None else MoveThresholdPolicy(4),
+        policy if policy is not None else MoveThresholdPolicy(threshold=4),
         check_invariants=False,
     )
     pool = PagePool(numa)

@@ -47,7 +47,13 @@ from repro.exp.cache import (
     CacheScan,
     ResultCache,
 )
-from repro.exp.grid import PlacementSpecs, table3_grid
+from repro.exp.grid import (
+    DEFAULT_TOURNAMENT_POLICIES,
+    PlacementSpecs,
+    PolicyChoice,
+    policy_tournament,
+    table3_grid,
+)
 from repro.exp.spec import Outcome, RunSpec
 from repro.sim.harness import PlacementMeasurement
 
@@ -59,6 +65,15 @@ SHORT_FP = 12
 def short_fp(fingerprint: str) -> str:
     """The human-facing fingerprint prefix (manifests keep the full hash)."""
     return fingerprint[:SHORT_FP]
+
+
+def render_params(pairs) -> str:
+    """Canonical compact rendering of policy-parameter pairs.
+
+    Empty pairs render as the empty string so the default-policy rows
+    (every pre-existing cache entry) are visually unchanged.
+    """
+    return ",".join(f"{k}={v}" for k, v in sorted(pairs))
 
 
 def derive_row(entry: CacheEntry) -> Row:
@@ -75,6 +90,7 @@ def derive_row(entry: CacheEntry) -> Row:
         "kind": outcome.kind,
         "workload": spec.workload,
         "policy": spec.policy,
+        "policy_params": render_params(spec.policy_params),
         "threshold": spec.threshold,
         "quick": spec.quick,
         "n_processors": spec.n_processors,
@@ -328,7 +344,10 @@ def summary_section(dataset: CacheDataset) -> Section:
             [],
         )
     summary = runs.aggregate(
-        ("workload", "policy", "threshold", "quick", "n_processors"),
+        (
+            "workload", "policy", "policy_params", "threshold", "quick",
+            "n_processors",
+        ),
         {
             "specs": ("fingerprint", "count"),
             "user_s": ("user_time_s", "mean"),
@@ -336,7 +355,10 @@ def summary_section(dataset: CacheDataset) -> Section:
             "moves": ("moves", "sum"),
             "alpha": ("measured_alpha", "mean"),
         },
-    ).sort_by("workload", "policy", "threshold", "quick", "n_processors")
+    ).sort_by(
+        "workload", "policy", "policy_params", "threshold", "quick",
+        "n_processors",
+    )
     fps = [str(fp) for fp in runs.column("fingerprint")]
     return ("Cache summary (plain runs)", summary.to_markdown(), fps)
 
@@ -413,6 +435,113 @@ def threshold_versus_section(
         "```\n" + plot + "\n```\n\n" + detail,
         fps,
     )
+
+
+def policy_tournament_section(
+    dataset: CacheDataset,
+    apps: Optional[Sequence[str]] = None,
+    policies: Sequence[PolicyChoice] = DEFAULT_TOURNAMENT_POLICIES,
+    n_processors: int = 7,
+    threshold: int = 4,
+    quick: bool = False,
+) -> Section:
+    """The policy tournament: α/β/γ per entrant, deltas vs the paper.
+
+    For every application with cached Tglobal/Tlocal baselines, each
+    cached entrant's run is pushed through the Section 3.1 model
+    exactly as Table 3 is, and its α and γ are compared against the
+    ``move-threshold`` entrant of the same application (Δα > 0 means
+    more local references than the paper's policy; Δγ < 0 means closer
+    to uniprocessor time).  Entrants or baselines the cache cannot
+    serve are listed instead of silently dropped.
+    """
+    points: List[Row] = []
+    fps: List[str] = []
+    absent: List[RunSpec] = []
+    for tournament in policy_tournament(
+        apps=apps,
+        policies=policies,
+        n_processors=n_processors,
+        threshold=threshold,
+        quick=quick,
+    ):
+        tglobal = dataset.get(tournament.tglobal)
+        tlocal = dataset.get(tournament.tlocal)
+        if tglobal is None or tlocal is None:
+            absent.extend(
+                spec
+                for spec, outcome in (
+                    (tournament.tglobal, tglobal),
+                    (tournament.tlocal, tlocal),
+                )
+                if outcome is None
+            )
+            continue
+        g_over_l = tournament.tglobal.resolve_workload().g_over_l
+        solved: Dict[str, Tuple[object, float, float]] = {}
+        for label, spec in tournament.entrants.items():
+            outcome = dataset.get(spec)
+            if outcome is None:
+                absent.append(spec)
+                continue
+            measurement = PlacementMeasurement(
+                workload=tournament.application,
+                g_over_l=g_over_l,
+                numa=outcome.result,
+                all_global=tglobal.result,
+                local=tlocal.result,
+            )
+            params = eqs.solve(
+                measurement.t_global_s,
+                measurement.t_numa_s,
+                measurement.t_local_s,
+                measurement.g_over_l,
+            )
+            solved[label] = (params, measurement.t_numa_s, spec.fingerprint())
+        if not solved:
+            continue
+        baseline = solved.get("move-threshold")
+        for label, (params, t_numa_s, fingerprint) in solved.items():
+            d_alpha = d_beta = d_gamma = None
+            if baseline is not None and label != "move-threshold":
+                base_params = baseline[0]
+                if params.alpha is not None and base_params.alpha is not None:
+                    d_alpha = round(params.alpha - base_params.alpha, 4)
+                d_beta = round(params.beta - base_params.beta, 4)
+                d_gamma = round(params.gamma - base_params.gamma, 4)
+            points.append(
+                {
+                    "workload": tournament.application,
+                    "policy": label,
+                    "t_numa_s": round(t_numa_s, 3),
+                    "alpha": (
+                        None
+                        if params.alpha is None
+                        else round(params.alpha, 4)
+                    ),
+                    "beta": round(params.beta, 4),
+                    "gamma": round(params.gamma, 4),
+                    "d_alpha": d_alpha,
+                    "d_beta": d_beta,
+                    "d_gamma": d_gamma,
+                }
+            )
+            fps.append(fingerprint)
+        fps.append(tournament.tglobal.fingerprint())
+        fps.append(tournament.tlocal.fingerprint())
+    if not points:
+        body = "(no cached tournament runs)"
+        if absent:
+            body += "\n\nmissing specs:\n\n" + "\n".join(
+                f"- `{line}`" for line in missing_lines(absent)
+            )
+        return ("Policy tournament", body, [])
+    body = DataTable(points).sort_by("workload", "policy").to_markdown()
+    if absent:
+        body += "\n\nmissing specs:\n\n" + "\n".join(
+            f"- `{line}`" for line in missing_lines(absent)
+        )
+    return ("Policy tournament", body, fps)
 
 
 def chaos_fan_section(dataset: CacheDataset) -> Section:

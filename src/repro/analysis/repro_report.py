@@ -34,6 +34,7 @@ from repro.analysis.cachereport import (
     evaluation_from_dataset,
     footnote,
     missing_lines,
+    policy_tournament_section,
     summary_section,
     table3_frame,
     table4_frame,
@@ -308,6 +309,15 @@ def generate_cache_report(
         dataset, n_processors=n_processors, quick=quick
     )
     add("versus-threshold", f"## {title}", body, fps)
+
+    title, body, fps = policy_tournament_section(
+        dataset,
+        apps=apps,
+        n_processors=n_processors,
+        threshold=threshold,
+        quick=quick,
+    )
+    add("policy-tournament", f"## {title}", body, fps)
 
     title, body, fps = chaos_fan_section(dataset)
     add("chaos-fans", f"## {title}", body, fps)

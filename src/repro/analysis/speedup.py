@@ -85,7 +85,7 @@ def speedup_curve(
     if not processors or min(processors) < 1:
         raise ConfigurationError("need at least one positive machine size")
     if policy_factory is None:
-        policy_factory = lambda: MoveThresholdPolicy(4)  # noqa: E731
+        policy_factory = lambda: MoveThresholdPolicy(threshold=4)  # noqa: E731
     sizes = sorted(set(processors))
     if sizes[0] != 1:
         sizes = [1] + sizes

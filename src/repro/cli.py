@@ -334,7 +334,7 @@ def cmd_optimal(args: argparse.Namespace) -> None:
         trace = TraceCollector()
         result = run_once(
             workload,
-            MoveThresholdPolicy(args.threshold),
+            MoveThresholdPolicy(threshold=args.threshold),
             n_processors=args.processors,
             observer=trace,
         )
@@ -365,7 +365,7 @@ def cmd_bus(args: argparse.Namespace) -> None:
     for name, factory in workloads.items():
         result = run_once(
             factory(),
-            MoveThresholdPolicy(args.threshold),
+            MoveThresholdPolicy(threshold=args.threshold),
             n_processors=args.processors,
             check_invariants=False,
         )
@@ -413,7 +413,7 @@ def cmd_advise(args: argparse.Namespace) -> None:
         trace = TraceCollector(keep_faults=False)
         sim = build_simulation(
             factory(),
-            MoveThresholdPolicy(args.threshold),
+            MoveThresholdPolicy(threshold=args.threshold),
             args.processors,
             observer=trace,
             check_invariants=False,
@@ -447,14 +447,14 @@ def cmd_mix(args: argparse.Namespace) -> None:
     for name, factory in zip(names, factories):
         result = run_once(
             factory(),
-            MoveThresholdPolicy(args.threshold),
+            MoveThresholdPolicy(threshold=args.threshold),
             n_processors=args.processors,
             check_invariants=False,
         )
         standalone[name] = result.user_time_us
     mix = run_mix(
         [factory() for factory in factories],
-        MoveThresholdPolicy(args.threshold),
+        MoveThresholdPolicy(threshold=args.threshold),
         n_processors=args.processors,
         check_invariants=False,
     )
@@ -519,6 +519,31 @@ def cmd_topologies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policies(args: argparse.Namespace) -> int:
+    """List the placement policies in the policy registry.
+
+    One row per policy: name, typed parameter schema with defaults, and
+    what the policy does.  These are the names ``RunSpec.policy`` and
+    ``batch --policies`` accept; parameters are passed as
+    ``name:key=value,key=value`` on the CLI or ``policy_params`` on a
+    spec.  Rows also land in the ``--json`` sink as ``policy`` records.
+    """
+    from repro.analysis.frames import DataTable
+    from repro.core.policies.registry import policy_registry_rows
+
+    rows = policy_registry_rows()
+    for row in rows:
+        args.sink.add({"t": "policy", **row})
+    if args.format == "json":
+        import json as _json
+
+        for row in rows:
+            print(_json.dumps(row, sort_keys=True))
+    else:
+        print(DataTable(rows).to_markdown())
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run one workload under a seeded fault-injection profile.
 
@@ -550,7 +575,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     """Run a spec grid through the orchestrator, cached and resumable.
 
     ``--grid`` picks the sweep: the full Tables 3–4 matrix (default),
-    the move-threshold ablation, or a chaos seed fan.  Results land in
+    the move-threshold ablation, a chaos seed fan, or a policy
+    tournament (``--policies`` selects the entrants).  Results land in
     the on-disk cache (default ``.repro-cache/``), so re-running the
     same batch — or interrupting and resuming it — only simulates what
     is missing.  The last stdout line is the batch summary as one JSON
@@ -577,7 +603,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
     from repro.errors import SimulationError
     from repro.exp.batch import require_cache_ratio, resume_batch, run_batch
     from repro.exp.grid import (
+        DEFAULT_TOURNAMENT_POLICIES,
         flatten,
+        policy_tournament,
         seed_fan,
         table3_grid,
         threshold_grid,
@@ -640,6 +668,25 @@ def cmd_batch(args: argparse.Namespace) -> int:
                     args.apps or ["Primes3", "IMatMult"],
                     args.thresholds or [0, 1, 2, 4, 8, 16],
                     n_processors=args.processors,
+                    quick=args.quick,
+                )
+            )
+        elif args.grid == "tournament":
+            if args.policies:
+                from repro.core.policies.registry import parse_policy_arg
+
+                entrants = []
+                for text in args.policies:
+                    name, params = parse_policy_arg(text)
+                    entrants.append((name, tuple(sorted(params.items()))))
+            else:
+                entrants = list(DEFAULT_TOURNAMENT_POLICIES)
+            specs = flatten(
+                policy_tournament(
+                    apps=args.apps or ["Gfetch", "ParMult"],
+                    policies=entrants,
+                    n_processors=args.processors,
+                    threshold=args.threshold,
                     quick=args.quick,
                 )
             )
@@ -1111,6 +1158,7 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics": cmd_metrics,
         "chaos": cmd_chaos,
         "topologies": cmd_topologies,
+        "policies": cmd_policies,
         "mix": cmd_mix,
         "batch": cmd_batch,
         "cache": cmd_cache,
@@ -1142,10 +1190,21 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "batch":
             sub.add_argument(
                 "--grid",
-                choices=("table3", "sweep", "chaos"),
+                choices=("table3", "sweep", "chaos", "tournament"),
                 default="table3",
                 help="spec grid to run: the Tables 3-4 matrix (default), "
-                     "the move-threshold ablation, or a chaos seed fan",
+                     "the move-threshold ablation, a chaos seed fan, or "
+                     "a policy tournament",
+            )
+            sub.add_argument(
+                "--policies",
+                nargs="*",
+                default=None,
+                metavar="NAME[:K=V,...]",
+                help="tournament entrants, e.g. move-threshold "
+                     "adaptive-threshold 'bandit:seed=7' (default: "
+                     "move-threshold, adaptive-threshold, "
+                     "bandwidth-aware, bandit; see 'repro-numa policies')",
             )
             sub.add_argument(
                 "--profile",
@@ -1363,6 +1422,14 @@ def build_parser() -> argparse.ArgumentParser:
                 default="text",
                 help="stdout rendering: classic text (default), one JSON "
                      "object per record, or a markdown table",
+            )
+        if name == "policies":
+            sub.add_argument(
+                "--format",
+                choices=("table", "json"),
+                default="table",
+                help="stdout rendering: markdown table (default) or one "
+                     "JSON object per policy",
             )
         if name == "races":
             sub.add_argument(

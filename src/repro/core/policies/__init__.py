@@ -4,9 +4,17 @@ The manager/policy split follows Section 2.3 of the paper: the manager is
 mechanism (cache consistency), a policy is a single ``cache_policy``
 decision function plus event hooks.  The paper ships one real policy
 (:class:`MoveThresholdPolicy`) and two measurement baselines; the rest are
-the extensions it sketches in Sections 4.3 and 5.
+the extensions it sketches in Sections 4.3 and 5, the contemporaries it
+compares against, and the adaptive family the ROADMAP calls for.  The
+declarative name → entry table behind ``RunSpec.policy`` lives in
+:mod:`repro.core.policies.registry`.
 """
 
+from repro.core.policies.adaptive import (
+    AdaptiveThresholdPolicy,
+    BandwidthAwarePolicy,
+    BanditPolicy,
+)
 from repro.core.policies.competitors import (
     DecayPolicy,
     MigrationOnlyPolicy,
@@ -23,14 +31,28 @@ from repro.core.policies.move_threshold import (
 )
 from repro.core.policies.pragma import Pragma, PragmaPolicy
 from repro.core.policies.reconsider import ReconsiderPolicy
+from repro.core.policies.registry import (
+    POLICY_ENTRIES,
+    ParamSpec,
+    PolicyEntry,
+    build_policy,
+    parse_policy_arg,
+    policy_registry_rows,
+)
 from repro.core.policies.remote import HomeNodePolicy
 
 __all__ = [
+    "AdaptiveThresholdPolicy",
     "AllGlobalEverythingPolicy",
     "AllGlobalPolicy",
     "AllLocalPolicy",
+    "BanditPolicy",
+    "BandwidthAwarePolicy",
     "DEFAULT_MOVE_THRESHOLD",
     "MoveThresholdPolicy",
+    "POLICY_ENTRIES",
+    "ParamSpec",
+    "PolicyEntry",
     "Pragma",
     "PragmaPolicy",
     "ReconsiderPolicy",
@@ -38,4 +60,7 @@ __all__ = [
     "DecayPolicy",
     "MigrationOnlyPolicy",
     "ReplicationOnlyPolicy",
+    "build_policy",
+    "parse_policy_arg",
+    "policy_registry_rows",
 ]

@@ -30,9 +30,13 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.core.policies.move_threshold import DEFAULT_MOVE_THRESHOLD
 from repro.core.policies.reconsider import ReconsiderPolicy
-from repro.core.policy import NUMAPolicy
+from repro.core.policy import UNSET, NUMAPolicy, resolve_ctor_args
 from repro.core.state import AccessKind, PageLike, PlacementDecision
+
+#: Default defrost interval for :class:`DecayPolicy`, simulated µs.
+DEFAULT_DECAY_US = 50_000.0
 
 
 class MigrationOnlyPolicy(NUMAPolicy):
@@ -106,7 +110,21 @@ class DecayPolicy(ReconsiderPolicy):
     """PLATINUM-style freeze/defrost: pins decay after an interval."""
 
     def __init__(
-        self, threshold: int = 4, decay_us: float = 50_000.0
+        self, *legacy, threshold: int = UNSET, decay_us: float = UNSET
     ) -> None:
+        threshold, decay_us = resolve_ctor_args(
+            type(self).__name__,
+            (
+                ("threshold", threshold, DEFAULT_MOVE_THRESHOLD),
+                ("decay_us", decay_us, DEFAULT_DECAY_US),
+            ),
+            legacy,
+        )
         super().__init__(threshold=threshold, interval_us=decay_us)
         self.name = f"decay({threshold},{decay_us:g}us)"
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "threshold": self._threshold,
+            "decay_us": self._interval_us,
+        }

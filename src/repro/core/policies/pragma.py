@@ -44,6 +44,9 @@ class PragmaPolicy(NUMAPolicy):
         """The policy consulted for unpragma'd pages."""
         return self._base
 
+    def params(self) -> dict:
+        return {"base": self._base.name}
+
     @staticmethod
     def _pragma_of(page: PageLike) -> Optional[Pragma]:
         return getattr(page, "pragma", None)

@@ -20,8 +20,12 @@ from repro.core.policies.move_threshold import (
     DEFAULT_MOVE_THRESHOLD,
     MoveThresholdPolicy,
 )
+from repro.core.policy import UNSET, resolve_ctor_args
 from repro.core.state import PageLike
 from repro.errors import ConfigurationError
+
+#: Default pin lifetime, simulated microseconds.
+DEFAULT_RECONSIDER_INTERVAL_US = 1_000_000.0
 
 
 class ReconsiderPolicy(MoveThresholdPolicy):
@@ -29,6 +33,8 @@ class ReconsiderPolicy(MoveThresholdPolicy):
 
     ``interval_us`` is how long a pin lasts; when it expires the page's
     move count resets to zero and the page becomes cacheable again.
+    Both parameters are keyword-only going forward; legacy positional
+    use raises a :class:`DeprecationWarning`.
     """
 
     #: Unpinning live pages is this policy's whole point; the protocol
@@ -37,10 +43,19 @@ class ReconsiderPolicy(MoveThresholdPolicy):
 
     def __init__(
         self,
-        threshold: int = DEFAULT_MOVE_THRESHOLD,
-        interval_us: float = 1_000_000.0,
+        *legacy,
+        threshold: int = UNSET,
+        interval_us: float = UNSET,
     ) -> None:
-        super().__init__(threshold)
+        threshold, interval_us = resolve_ctor_args(
+            type(self).__name__,
+            (
+                ("threshold", threshold, DEFAULT_MOVE_THRESHOLD),
+                ("interval_us", interval_us, DEFAULT_RECONSIDER_INTERVAL_US),
+            ),
+            legacy,
+        )
+        super().__init__(threshold=threshold)
         if interval_us <= 0:
             raise ConfigurationError("reconsider interval must be positive")
         self._interval_us = interval_us
@@ -54,6 +69,12 @@ class ReconsiderPolicy(MoveThresholdPolicy):
     def interval_us(self) -> float:
         """Lifetime of a pinning decision, simulated microseconds."""
         return self._interval_us
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "threshold": self._threshold,
+            "interval_us": self._interval_us,
+        }
 
     @property
     def unpin_count(self) -> int:

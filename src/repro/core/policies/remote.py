@@ -42,6 +42,9 @@ class HomeNodePolicy(NUMAPolicy):
         """Policy used for pages without the REMOTE pragma."""
         return self._base
 
+    def params(self) -> dict:
+        return {"base": self._base.name}
+
     def cache_policy(
         self, page: PageLike, kind: AccessKind, cpu: int
     ) -> PlacementDecision:

@@ -37,11 +37,15 @@ from repro.exp.cache import (
     SkippedFile,
 )
 from repro.exp.grid import (
+    DEFAULT_TOURNAMENT_POLICIES,
     Matrix,
     PlacementSpecs,
+    PolicyTournament,
     ThresholdSweep,
     flatten,
     placement_specs,
+    policy_label,
+    policy_tournament,
     registry_names,
     seed_fan,
     table3_grid,
@@ -92,11 +96,15 @@ __all__ = [
     "CacheScan",
     "ResultCache",
     "SkippedFile",
+    "DEFAULT_TOURNAMENT_POLICIES",
     "Matrix",
     "PlacementSpecs",
+    "PolicyTournament",
     "ThresholdSweep",
     "flatten",
     "placement_specs",
+    "policy_label",
+    "policy_tournament",
     "registry_names",
     "seed_fan",
     "table3_grid",

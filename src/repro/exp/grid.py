@@ -125,6 +125,102 @@ def table3_grid(
     ]
 
 
+#: A tournament entrant: policy registry name plus its parameter pairs.
+PolicyChoice = Tuple[str, Pairs]
+
+#: Default tournament field: the paper's policy against the adaptive
+#: family, all at their registry defaults.
+DEFAULT_TOURNAMENT_POLICIES: Tuple[PolicyChoice, ...] = (
+    ("move-threshold", ()),
+    ("adaptive-threshold", ()),
+    ("bandwidth-aware", ()),
+    ("bandit", ()),
+)
+
+
+def policy_label(name: str, params: Pairs = ()) -> str:
+    """Stable display label for a tournament entrant."""
+    if not params:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(params))
+    return f"{name}({rendered})"
+
+
+@dataclass(frozen=True)
+class PolicyTournament:
+    """One application's policy tournament, as specs.
+
+    Every entrant runs the same workload on the same machine; the
+    shared Tglobal/Tlocal baselines let the report derive α/β/γ per
+    policy from the paper's three-run methodology, with the
+    move-threshold entrant as the comparison baseline.
+    """
+
+    application: str
+    #: entrant label (:func:`policy_label`) → the Tnuma-style spec.
+    entrants: Dict[str, RunSpec]
+    #: The shared all-global baseline (α/β's denominator material).
+    tglobal: RunSpec
+    #: The shared uniprocessor all-local baseline (γ's denominator).
+    tlocal: RunSpec
+
+    @property
+    def specs(self) -> List[RunSpec]:
+        """All runs: entrants first, then the two baselines."""
+        return [*self.entrants.values(), self.tglobal, self.tlocal]
+
+
+def policy_tournament(
+    apps: Optional[Iterable[str]] = None,
+    policies: Sequence[PolicyChoice] = DEFAULT_TOURNAMENT_POLICIES,
+    n_processors: int = 7,
+    threshold: int = 4,
+    quick: bool = False,
+    check_invariants: bool = False,
+    workload_params: Pairs = (),
+) -> List[PolicyTournament]:
+    """The generalized Table 3 grid: every application × every policy.
+
+    ``table3_grid`` is this tournament with the single default entrant;
+    the baselines are shared across entrants (and across grids — the
+    specs are identical, so the cache collapses them).
+    ``workload_params`` apply to every application in the call, so
+    parameterized tournaments are usually single-application.
+    """
+    tournaments = []
+    for name in registry_names(apps):
+        triple = placement_specs(
+            name,
+            n_processors=n_processors,
+            threshold=threshold,
+            quick=quick,
+            check_invariants=check_invariants,
+            workload_params=workload_params,
+        )
+        entrants: Dict[str, RunSpec] = {}
+        for policy_name, params in policies:
+            spec = RunSpec(
+                workload=name,
+                workload_params=workload_params,
+                quick=quick,
+                policy=policy_name,
+                threshold=threshold,
+                policy_params=params,
+                n_processors=n_processors,
+                check_invariants=check_invariants,
+            )
+            entrants[policy_label(policy_name, spec.policy_params)] = spec
+        tournaments.append(
+            PolicyTournament(
+                application=name,
+                entrants=entrants,
+                tglobal=triple.tglobal,
+                tlocal=triple.tlocal,
+            )
+        )
+    return tournaments
+
+
 @dataclass(frozen=True)
 class ThresholdSweep:
     """One application's move-threshold ablation, as specs."""
@@ -255,6 +351,8 @@ def flatten(groups: Iterable[object]) -> List[RunSpec]:
         elif isinstance(group, PlacementSpecs):
             flat.extend(group.specs)
         elif isinstance(group, ThresholdSweep):
+            flat.extend(group.specs)
+        elif isinstance(group, PolicyTournament):
             flat.extend(group.specs)
         else:
             flat.extend(group)  # an iterable of specs

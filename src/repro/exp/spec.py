@@ -29,15 +29,8 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple, Union
 
-from repro.core.policies import (
-    AllGlobalEverythingPolicy,
-    AllGlobalPolicy,
-    AllLocalPolicy,
-    DEFAULT_MOVE_THRESHOLD,
-    MigrationOnlyPolicy,
-    MoveThresholdPolicy,
-    ReplicationOnlyPolicy,
-)
+from repro.core.policies import DEFAULT_MOVE_THRESHOLD
+from repro.core.policies.registry import POLICY_ENTRIES, build_policy
 from repro.core.policy import NUMAPolicy
 from repro.errors import ConfigurationError
 from repro.machine.config import MachineConfig, ace_config
@@ -51,17 +44,12 @@ from repro.workloads.base import Workload
 #: entries (keyed by fingerprint) can never be returned for new code.
 SPEC_SCHEMA = "repro-exp/v1"
 
-#: Declarative policy registry: spec ``policy`` name → factory taking the
-#: spec's move threshold.  Baselines ignore the threshold, matching their
-#: constructors.
-POLICY_REGISTRY = {
-    "move-threshold": lambda threshold: MoveThresholdPolicy(threshold),
-    "all-global": lambda threshold: AllGlobalPolicy(),
-    "all-local": lambda threshold: AllLocalPolicy(),
-    "all-global-everything": lambda threshold: AllGlobalEverythingPolicy(),
-    "migration-only": lambda threshold: MigrationOnlyPolicy(),
-    "replication-only": lambda threshold: ReplicationOnlyPolicy(),
-}
+#: Declarative policy registry: spec ``policy`` name →
+#: :class:`~repro.core.policies.registry.PolicyEntry`.  Entries are
+#: callable as ``entry(threshold)`` (the historical factory shape);
+#: parameterized construction goes through :func:`resolve_policy` /
+#: :func:`repro.core.policies.registry.build_policy`.
+POLICY_REGISTRY = POLICY_ENTRIES
 
 #: Pair-tuple type for the frozen dict-like fields.
 Pairs = Tuple[Tuple[str, object], ...]
@@ -103,15 +91,17 @@ def resolve_workload(
     return cls()
 
 
-def resolve_policy(name: str, threshold: int) -> NUMAPolicy:
-    """Build a policy instance from its registry name."""
-    factory = POLICY_REGISTRY.get(name)
-    if factory is None:
-        raise ConfigurationError(
-            f"unknown policy {name!r}; "
-            f"choose from {', '.join(sorted(POLICY_REGISTRY))}"
-        )
-    return factory(threshold)
+def resolve_policy(
+    name: str, threshold: int, params: Pairs = ()
+) -> NUMAPolicy:
+    """Build a policy instance from its registry name.
+
+    ``params`` are validated against the entry's schema; the spec's
+    ``threshold`` fills a schema ``threshold`` parameter the params do
+    not name, keeping the classic two-argument call parameterizing
+    every threshold-taking policy.
+    """
+    return build_policy(name, threshold=threshold, params=dict(params))
 
 
 @dataclass(frozen=True)
@@ -136,6 +126,10 @@ class RunSpec:
     #: Move threshold for policies that take one (the paper's boot-time
     #: parameter; ignored by the baselines).
     threshold: int = DEFAULT_MOVE_THRESHOLD
+    #: Extra constructor parameters for the policy, validated against
+    #: its registry schema (e.g. ``{"epsilon": 0.1, "seed": 7}`` for
+    #: ``policy="bandit"``).  Values must be hashable JSON scalars.
+    policy_params: Pairs = ()
     n_processors: int = 7
     #: Threads to run (None: one per processor).
     n_threads: Optional[int] = None
@@ -164,6 +158,9 @@ class RunSpec:
         object.__setattr__(
             self, "workload_params", _freeze_pairs(self.workload_params)
         )
+        object.__setattr__(
+            self, "policy_params", _freeze_pairs(self.policy_params)
+        )
         object.__setattr__(self, "machine", _freeze_pairs(self.machine))
 
     # -- identity ------------------------------------------------------------
@@ -171,10 +168,11 @@ class RunSpec:
     def key(self) -> Dict[str, object]:
         """Canonical, JSON-friendly view of every field.
 
-        ``machine_name`` and ``page_tables`` enter the key only when
-        they differ from their flat-ACE defaults, so every fingerprint
-        minted before the topology registry existed is still the same
-        spec — cached results stay valid without a schema bump.
+        ``machine_name``, ``page_tables`` and ``policy_params`` enter
+        the key only when they differ from their defaults, so every
+        fingerprint minted before the topology registry or the
+        parameterized policy API existed is still the same spec —
+        cached results stay valid without a schema bump.
         """
         key: Dict[str, object] = {
             "workload": self.workload,
@@ -190,6 +188,8 @@ class RunSpec:
             "check_invariants": self.check_invariants,
             "fast_path": self.fast_path,
         }
+        if self.policy_params:
+            key["policy_params"] = {k: v for k, v in self.policy_params}
         if self.machine_name != "ace":
             key["machine_name"] = self.machine_name
         if self.page_tables != "centralized":
@@ -225,7 +225,10 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable identity for progress lines."""
         policy = self.policy
-        if policy == "move-threshold":
+        if self.policy_params:
+            rendered = ",".join(f"{k}={v}" for k, v in self.policy_params)
+            policy = f"{policy}({rendered})"
+        elif policy == "move-threshold":
             policy = f"move-threshold({self.threshold})"
         parts = [self.workload, policy, f"{self.n_processors}p"]
         if self.machine_name != "ace":
@@ -247,7 +250,7 @@ class RunSpec:
 
     def resolve_policy(self) -> NUMAPolicy:
         """Instantiate the spec's policy from the registry."""
-        return resolve_policy(self.policy, self.threshold)
+        return resolve_policy(self.policy, self.threshold, self.policy_params)
 
     def resolve_machine_config(self) -> Optional[MachineConfig]:
         """The spec's machine, or None for the harness default ACE.

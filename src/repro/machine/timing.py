@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.machine.config import TimingParameters
 from repro.machine.topology import SocketTopology
@@ -33,6 +33,95 @@ class MemoryLocation(enum.Enum):
     # consistent and C-speed, which matters for the reference-counter
     # dict updates on every charged block.
     __hash__ = object.__hash__
+
+
+#: Edge identifier for interconnect traffic: the flat ACE has one shared
+#: IPC bus; socket machines additionally have one edge per unordered
+#: socket pair and one per-socket internal link.
+Edge = Tuple[str, ...]
+
+#: The single interconnect edge of a flat (bus-only) machine.
+BUS_EDGE: Edge = ("bus",)
+
+
+class InterconnectContention:
+    """A decaying-window ledger of interconnect busy time per edge.
+
+    The paper assumes the ACE bus is contention-free for its workloads
+    (Section 3.1) and charges no queueing delay; this ledger keeps that
+    contract — it never feeds charged time — while giving *policies* a
+    queueing-style utilization signal to steer placement with.  Traffic
+    is recorded as busy microseconds against an edge; utilization is
+    busy-time over a sliding window of simulated time, decayed
+    geometrically each :meth:`advance` so old traffic stops mattering,
+    and :meth:`factor` converts it into the M/M/1-style service-time
+    stretch ``1 / (1 - rho)`` (capped) that
+    :meth:`TimingModel.contended_ref_costs` applies.
+    """
+
+    def __init__(
+        self,
+        window_us: float = 20_000.0,
+        max_factor: float = 8.0,
+        topology: Optional[SocketTopology] = None,
+    ) -> None:
+        if window_us <= 0:
+            raise ValueError("contention window must be positive")
+        if max_factor < 1.0:
+            raise ValueError("contention factor cannot stretch below 1x")
+        self.window_us = window_us
+        self.max_factor = max_factor
+        self.topology = topology
+        self._busy_us: Dict[Edge, float] = {}
+        self._window_start_us = 0.0
+
+    def edge_between(self, cpu_a: int, cpu_b: int) -> Edge:
+        """The interconnect edge traffic between two CPUs travels."""
+        if self.topology is None:
+            return BUS_EDGE
+        socket_a = self.topology.socket_of(cpu_a)
+        socket_b = self.topology.socket_of(cpu_b)
+        if socket_a == socket_b:
+            return ("socket", str(socket_a))
+        low, high = sorted((socket_a, socket_b))
+        return ("xsocket", str(low), str(high))
+
+    def record(self, edge: Edge, busy_us: float, now_us: float) -> None:
+        """Charge *busy_us* of traffic to *edge* (advancing the window)."""
+        self.advance(now_us)
+        if busy_us > 0:
+            self._busy_us[edge] = self._busy_us.get(edge, 0.0) + busy_us
+
+    def advance(self, now_us: float) -> None:
+        """Decay the ledger for the simulated time that has passed.
+
+        Each full window that elapsed halves every edge's accumulated
+        busy time — geometric decay, so a burst of page copies fades
+        instead of dominating utilization forever.
+        """
+        elapsed = now_us - self._window_start_us
+        if elapsed < self.window_us:
+            return
+        periods = int(elapsed // self.window_us)
+        scale = 0.5 ** periods
+        for edge in list(self._busy_us):
+            decayed = self._busy_us[edge] * scale
+            if decayed < 1e-9:
+                del self._busy_us[edge]
+            else:
+                self._busy_us[edge] = decayed
+        self._window_start_us += periods * self.window_us
+
+    def utilization(self, edge: Edge) -> float:
+        """Busy fraction of *edge* over the current window, in [0, 1)."""
+        busy = self._busy_us.get(edge, 0.0)
+        rho = busy / self.window_us
+        return min(rho, 0.999)
+
+    def factor(self, edge: Edge) -> float:
+        """Queueing stretch for a reference crossing *edge* (>= 1.0)."""
+        rho = self.utilization(edge)
+        return min(self.max_factor, 1.0 / (1.0 - rho))
 
 
 @dataclass(frozen=True)
@@ -153,6 +242,58 @@ class TimingModel:
             * (src_fetch + dst_store)
             * self.params.bulk_transfer_factor
         )
+
+    # -- contention-aware pricing --------------------------------------------
+    #
+    # The contention ledger is a method argument, never a field: the
+    # frozen model's default pricing paths are untouched, so every
+    # existing simulation (and its golden bytes) is unaffected.  Only
+    # policies that *choose* to consult the contended oracle see these
+    # numbers, and they use them for decisions, not for charged time.
+
+    def contended_ref_costs(
+        self,
+        cpu: int,
+        frame,
+        contention: Optional[InterconnectContention],
+        edge: Optional[Edge] = None,
+    ) -> Tuple[MemoryLocation, float, float]:
+        """:meth:`ref_costs` with the edge's queueing stretch applied.
+
+        LOCAL references never cross an interconnect, so they are never
+        stretched; GLOBAL and REMOTE references are scaled by the
+        contention factor of *edge* (default: the flat bus edge).
+        """
+        location, fetch, store = self.ref_costs(cpu, frame)
+        if contention is None or location is MemoryLocation.LOCAL:
+            return location, fetch, store
+        stretch = contention.factor(edge if edge is not None else BUS_EDGE)
+        return location, fetch * stretch, store * stretch
+
+    def contended_fetch_us(
+        self,
+        location: MemoryLocation,
+        contention: Optional[InterconnectContention],
+        edge: Optional[Edge] = None,
+    ) -> float:
+        """:meth:`fetch_us` with the edge's queueing stretch applied."""
+        cost = self.fetch_us(location)
+        if contention is None or location is MemoryLocation.LOCAL:
+            return cost
+        return cost * contention.factor(edge if edge is not None else BUS_EDGE)
+
+    def contended_page_copy_us(
+        self,
+        source: MemoryLocation,
+        destination: MemoryLocation,
+        contention: Optional[InterconnectContention],
+        edge: Optional[Edge] = None,
+    ) -> float:
+        """:meth:`page_copy_us` with the edge's queueing stretch applied."""
+        cost = self.page_copy_us(source, destination)
+        if contention is None:
+            return cost
+        return cost * contention.factor(edge if edge is not None else BUS_EDGE)
 
     @property
     def fault_overhead_us(self) -> float:

@@ -98,6 +98,12 @@ def build_simulation(
     if machine_config is None:
         machine_config = ace_config(n_processors)
     machine = Machine(machine_config)
+    # Policies that watch the machine itself — interconnect contention,
+    # bandit reward counters — declare a bind_machine hook; the policy
+    # interface proper stays machine-free.
+    bind = getattr(policy, "bind_machine", None)
+    if bind is not None:
+        bind(machine)
     numa = NUMAManager(machine, policy, check_invariants=check_invariants)
     pool = PagePool(numa)
     pmap = ACEPmap(numa)

@@ -46,7 +46,7 @@ class TestAnalyzeBus:
     def test_local_only_run_has_no_reference_traffic(self):
         result = run_once(
             Primes1.small(),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=1,
             n_threads=1,
         )
@@ -57,13 +57,13 @@ class TestAnalyzeBus:
         config = ace_config(7)
         gfetch = analyze_bus(
             run_once(
-                Gfetch.small(), MoveThresholdPolicy(4), n_processors=7
+                Gfetch.small(), MoveThresholdPolicy(threshold=4), n_processors=7
             ),
             config,
         )
         primes = analyze_bus(
             run_once(
-                Primes1.small(), MoveThresholdPolicy(4), n_processors=7
+                Primes1.small(), MoveThresholdPolicy(threshold=4), n_processors=7
             ),
             config,
         )
@@ -73,7 +73,7 @@ class TestAnalyzeBus:
         config = ace_config(4)
         numa = analyze_bus(
             run_once(
-                Primes1.small(), MoveThresholdPolicy(4), n_processors=4
+                Primes1.small(), MoveThresholdPolicy(threshold=4), n_processors=4
             ),
             config,
         )
@@ -85,7 +85,7 @@ class TestAnalyzeBus:
 
     def test_protocol_words_include_copies(self):
         result = run_once(
-            Gfetch.small(), MoveThresholdPolicy(4), n_processors=4
+            Gfetch.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         report = analyze_bus(result, ace_config(4))
         expected = (

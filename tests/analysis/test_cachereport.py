@@ -17,6 +17,7 @@ from repro.analysis.cachereport import (
     footnote,
     missing_lines,
     placement_triples,
+    policy_tournament_section,
     summary_section,
     table3_frame,
     table4_frame,
@@ -24,7 +25,7 @@ from repro.analysis.cachereport import (
 )
 from repro.analysis.repro_report import emit_tables, generate_cache_report
 from repro.exp.cache import CACHE_SCHEMA, ResultCache
-from repro.exp.grid import flatten
+from repro.exp.grid import flatten, policy_tournament
 from repro.exp.spec import RunSpec
 
 APPS = ["ParMult", "FFT"]  # FFT also appears in Table 4
@@ -221,8 +222,8 @@ class TestGenerateCacheReport:
         assert bundle.cache_entries == 8
         names = [artifact.name for artifact in bundle.artifacts]
         assert names == [
-            "table3", "table4", "alpha",
-            "versus-threshold", "chaos-fans", "cache-summary",
+            "table3", "table4", "alpha", "versus-threshold",
+            "policy-tournament", "chaos-fans", "cache-summary",
         ]
 
     def test_empty_cache_renders_placeholders(self, tmp_path):
@@ -267,3 +268,44 @@ class TestGenerateCacheReport:
         join = evaluation_from_dataset(dataset, apps=APPS, **GRID)
         with pytest.raises(ConfigurationError):
             emit_tables(join.evaluation, tmp_path, formats=("xlsx",))
+
+
+class TestPolicyTournamentSection:
+    POLICIES = (("move-threshold", ()), ("adaptive-threshold", ()))
+
+    @pytest.fixture()
+    def tournament_root(self, tmp_path):
+        root = tmp_path / "tournament-cache"
+        cache = ResultCache(root)
+        for spec in flatten(
+            policy_tournament(
+                apps=["ParMult"], policies=self.POLICIES,
+                n_processors=2, quick=True,
+            )
+        ):
+            cache.put(spec, spec.execute())
+        return root
+
+    def test_rows_carry_deltas_against_the_paper(self, tournament_root):
+        title, body, fps = policy_tournament_section(
+            CacheDataset.load(tournament_root),
+            apps=["ParMult"], policies=self.POLICIES,
+            n_processors=2, quick=True,
+        )
+        assert title == "Policy tournament"
+        assert "adaptive-threshold" in body
+        assert "d_alpha" in body
+        assert "missing" not in body
+        # Entrants plus the two shared baselines contribute.
+        assert len(fps) == 4
+
+    def test_missing_specs_are_listed_not_dropped(self, dataset):
+        title, body, fps = policy_tournament_section(
+            dataset,
+            apps=["ParMult"],
+            policies=(("move-threshold", ()), ("bandit", ()),),
+            n_processors=2, quick=True,
+        )
+        # The placement-triple cache has never seen a bandit run.
+        assert "bandit" in body
+        assert "missing" in body

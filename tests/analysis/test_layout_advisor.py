@@ -28,7 +28,7 @@ def run_traced(workload, n_processors=7):
     trace = TraceCollector(keep_faults=False)
     sim = build_simulation(
         workload,
-        MoveThresholdPolicy(4),
+        MoveThresholdPolicy(threshold=4),
         n_processors,
         observer=trace,
         check_invariants=False,

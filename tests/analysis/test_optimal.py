@@ -103,7 +103,7 @@ class TestCompareToOptimal:
         trace = TraceCollector()
         result = run_once(
             workload,
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
             observer=trace,
         )
@@ -123,7 +123,7 @@ class TestCompareToOptimal:
         trace = TraceCollector()
         result = run_once(
             workload,
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
             observer=trace,
         )

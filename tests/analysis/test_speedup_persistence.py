@@ -65,7 +65,7 @@ class TestSpeedupCurve:
 
     def test_elapsed_is_busiest_processor(self):
         result = run_once(
-            Primes1.small(), MoveThresholdPolicy(4), n_processors=3
+            Primes1.small(), MoveThresholdPolicy(threshold=4), n_processors=3
         )
         assert elapsed_us(result) == max(
             t.total_us for t in result.per_cpu
@@ -104,7 +104,7 @@ class TestTracePersistence:
         trace = TraceCollector()
         run_once(
             Primes1.small(),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=3,
             observer=trace,
         )

@@ -131,7 +131,7 @@ class TestOnRealWorkloads:
         trace = TraceCollector()
         run_once(
             Primes2(limit=6_000, private_divisors=False),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
             observer=trace,
         )
@@ -143,7 +143,7 @@ class TestOnRealWorkloads:
         def shared_pages(workload):
             trace = TraceCollector()
             run_once(
-                workload, MoveThresholdPolicy(4), n_processors=4,
+                workload, MoveThresholdPolicy(threshold=4), n_processors=4,
                 observer=trace,
             )
             return len(analyze(trace).writably_shared_pages)

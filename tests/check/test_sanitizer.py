@@ -22,7 +22,7 @@ class FakeNuma:
 
     def __init__(self, policy=None):
         self.directory = PageDirectory()
-        self.policy = policy or MoveThresholdPolicy(4)
+        self.policy = policy or MoveThresholdPolicy(threshold=4)
 
 
 def gframe(index=0):
@@ -63,7 +63,7 @@ class TestEnablement:
 class TestCleanWorkloadRun:
     def test_small_workload_passes_sanitized(self):
         wl = small_workloads()["ParMult"]
-        sim = build_simulation(wl, MoveThresholdPolicy(4), 4)
+        sim = build_simulation(wl, MoveThresholdPolicy(threshold=4), 4)
         sanitizer = attach_sanitizer(sim.numa, sim.engine.bus)
         try:
             sim.engine.run(sim.threads)
@@ -80,7 +80,7 @@ class TestCleanWorkloadRun:
         monkeypatch.setenv("REPRO_SANITIZE", "1")
         wl = small_workloads()["ParMult"]
         try:
-            sim = build_simulation(wl, MoveThresholdPolicy(4), 4)
+            sim = build_simulation(wl, MoveThresholdPolicy(threshold=4), 4)
             # The harness installed the sanitizer as the lock observer.
             assert isinstance(lock_observer(), ProtocolSanitizer)
             sim.engine.run(sim.threads)  # and the run passes its checks
@@ -211,7 +211,7 @@ class TestPinningCheck:
         return entry
 
     def test_pinned_page_must_stay_global(self):
-        numa = FakeNuma(MoveThresholdPolicy(0))
+        numa = FakeNuma(MoveThresholdPolicy(threshold=0))
         sanitizer = ProtocolSanitizer(numa)
         entry = self._entry(numa)
         numa.policy._pinned.add(9)
@@ -231,7 +231,7 @@ class TestPinningCheck:
         assert exc.value.check == "pin-stays-pinned"
 
     def test_dropped_pin_raises(self):
-        numa = FakeNuma(MoveThresholdPolicy(0))
+        numa = FakeNuma(MoveThresholdPolicy(threshold=0))
         sanitizer = ProtocolSanitizer(numa)
         self._entry(numa)
         numa.policy._pinned.add(9)
@@ -248,7 +248,7 @@ class TestPinningCheck:
     def test_reconsidering_policy_is_exempt(self):
         from repro.core.policies.reconsider import ReconsiderPolicy
 
-        numa = FakeNuma(ReconsiderPolicy(0))
+        numa = FakeNuma(ReconsiderPolicy(threshold=0))
         sanitizer = ProtocolSanitizer(numa)
         entry = self._entry(numa)
         numa.policy._pinned.add(9)

@@ -47,7 +47,7 @@ def make_rig(
     )
     machine = Machine(config)
     if policy is None:
-        policy = MoveThresholdPolicy(4)
+        policy = MoveThresholdPolicy(threshold=4)
     numa = NUMAManager(machine, policy, check_invariants=True)
     pool = PagePool(numa)
     pmap = ACEPmap(numa)

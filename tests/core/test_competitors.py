@@ -104,10 +104,10 @@ class TestReplicationOnly:
 
 class TestDecayPolicy:
     def test_name_reads_like_platinum(self):
-        assert DecayPolicy(4, 1000.0).name.startswith("decay")
+        assert DecayPolicy(threshold=4, decay_us=1000.0).name.startswith("decay")
 
     def test_behaves_like_reconsider(self):
-        policy = DecayPolicy(0, decay_us=100.0)
+        policy = DecayPolicy(threshold=0, decay_us=100.0)
         rig, region, _ = drive(policy, [(0, True), (1, True), (0, True)])
         page = region.vm_object.resident_page(0)
         assert policy.is_pinned(page.page_id)
@@ -121,7 +121,7 @@ class TestEndToEndShape:
 
         workload = Primes3.small()
         paper = run_once(
-            workload, MoveThresholdPolicy(4), n_processors=4,
+            workload, MoveThresholdPolicy(threshold=4), n_processors=4,
             check_invariants=False,
         )
         migration = run_once(
@@ -132,7 +132,7 @@ class TestEndToEndShape:
 
     def test_replication_only_loses_the_handoff(self):
         paper = run_once(
-            Handoff.small(), MoveThresholdPolicy(4), n_processors=4,
+            Handoff.small(), MoveThresholdPolicy(threshold=4), n_processors=4,
             check_invariants=False,
         )
         replication = run_once(
@@ -145,7 +145,7 @@ class TestEndToEndShape:
         from repro.workloads.primes import Primes1
 
         paper = run_once(
-            Primes1.small(), MoveThresholdPolicy(4), n_processors=4,
+            Primes1.small(), MoveThresholdPolicy(threshold=4), n_processors=4,
             check_invariants=False,
         )
         migration = run_once(
@@ -158,7 +158,7 @@ class TestEndToEndShape:
 
     def test_replication_only_matches_paper_on_read_sharing(self):
         paper = run_once(
-            IMatMult.small(), MoveThresholdPolicy(4), n_processors=4,
+            IMatMult.small(), MoveThresholdPolicy(threshold=4), n_processors=4,
             check_invariants=False,
         )
         replication = run_once(

@@ -46,12 +46,12 @@ class TestMoveThresholdPolicy:
         assert MoveThresholdPolicy().threshold == 4
 
     def test_fresh_pages_are_cacheable(self):
-        policy = MoveThresholdPolicy(4)
+        policy = MoveThresholdPolicy(threshold=4)
         page = FakePage(1)
         assert policy.cache_policy(page, WRITE, 0) is LOCAL
 
     def test_pins_when_threshold_passed(self):
-        policy = MoveThresholdPolicy(2)
+        policy = MoveThresholdPolicy(threshold=2)
         page = FakePage(1)
         for _ in range(2):
             policy.note_move(page)
@@ -61,14 +61,14 @@ class TestMoveThresholdPolicy:
         assert policy.is_pinned(1)
 
     def test_threshold_zero_pins_on_first_move(self):
-        policy = MoveThresholdPolicy(0)
+        policy = MoveThresholdPolicy(threshold=0)
         page = FakePage(1)
         assert policy.cache_policy(page, WRITE, 0) is LOCAL
         policy.note_move(page)
         assert policy.cache_policy(page, WRITE, 0) is GLOBAL
 
     def test_counts_are_per_page(self):
-        policy = MoveThresholdPolicy(1)
+        policy = MoveThresholdPolicy(threshold=1)
         a, b = FakePage(1), FakePage(2)
         policy.note_move(a)
         policy.note_move(a)
@@ -77,7 +77,7 @@ class TestMoveThresholdPolicy:
         assert policy.move_count(2) == 0
 
     def test_free_resets_history(self):
-        policy = MoveThresholdPolicy(0)
+        policy = MoveThresholdPolicy(threshold=0)
         page = FakePage(1)
         policy.note_move(page)
         assert policy.is_pinned(1)
@@ -86,17 +86,17 @@ class TestMoveThresholdPolicy:
         assert policy.move_count(1) == 0
 
     def test_pinned_count(self):
-        policy = MoveThresholdPolicy(0)
+        policy = MoveThresholdPolicy(threshold=0)
         policy.note_move(FakePage(1))
         policy.note_move(FakePage(2))
         assert policy.pinned_count == 2
 
     def test_negative_threshold_rejected(self):
         with pytest.raises(ConfigurationError):
-            MoveThresholdPolicy(-1)
+            MoveThresholdPolicy(threshold=-1)
 
     def test_name_embeds_threshold(self):
-        assert "7" in MoveThresholdPolicy(7).name
+        assert "7" in MoveThresholdPolicy(threshold=7).name
 
 
 class TestBaselinePolicies:
@@ -123,18 +123,18 @@ class TestBaselinePolicies:
 
 class TestPragmaPolicy:
     def test_cacheable_pragma_forces_local(self):
-        policy = PragmaPolicy(MoveThresholdPolicy(0))
+        policy = PragmaPolicy(MoveThresholdPolicy(threshold=0))
         page = FakePage(1, pragma=Pragma.CACHEABLE)
         policy.note_move(page)  # would pin under the base policy
         assert policy.cache_policy(page, WRITE, 0) is LOCAL
 
     def test_noncacheable_pragma_forces_global(self):
-        policy = PragmaPolicy(MoveThresholdPolicy(4))
+        policy = PragmaPolicy(MoveThresholdPolicy(threshold=4))
         page = FakePage(1, pragma=Pragma.NONCACHEABLE)
         assert policy.cache_policy(page, READ, 0) is GLOBAL
 
     def test_unpragmad_pages_delegate(self):
-        base = MoveThresholdPolicy(0)
+        base = MoveThresholdPolicy(threshold=0)
         policy = PragmaPolicy(base)
         page = FakePage(1)
         assert policy.cache_policy(page, WRITE, 0) is LOCAL
@@ -142,14 +142,14 @@ class TestPragmaPolicy:
         assert policy.cache_policy(page, WRITE, 0) is GLOBAL
 
     def test_pragma_moves_do_not_burn_base_budget(self):
-        base = MoveThresholdPolicy(0)
+        base = MoveThresholdPolicy(threshold=0)
         policy = PragmaPolicy(base)
         page = FakePage(1, pragma=Pragma.CACHEABLE)
         policy.note_move(page)
         assert base.move_count(1) == 0
 
     def test_free_passes_through(self):
-        base = MoveThresholdPolicy(0)
+        base = MoveThresholdPolicy(threshold=0)
         policy = PragmaPolicy(base)
         page = FakePage(1)
         policy.note_move(page)
@@ -157,7 +157,7 @@ class TestPragmaPolicy:
         assert not base.is_pinned(1)
 
     def test_name_mentions_base(self):
-        assert "move-threshold" in PragmaPolicy(MoveThresholdPolicy(4)).name
+        assert "move-threshold" in PragmaPolicy(MoveThresholdPolicy(threshold=4)).name
 
 
 class TestReconsiderPolicy:

@@ -43,7 +43,7 @@ def build(remote_pragma: bool, local_pages: int = 16):
         global_pages=32,
     )
     machine = Machine(config)
-    policy = HomeNodePolicy(MoveThresholdPolicy(2))
+    policy = HomeNodePolicy(MoveThresholdPolicy(threshold=2))
     numa = NUMAManager(machine, policy, check_invariants=True)
     store = BackingStore()
     pool = PagePool(numa, backing_store=store)

@@ -82,7 +82,7 @@ class TestProtocolProperties:
     @given(sequence=requests)
     @settings(max_examples=60, deadline=None)
     def test_threshold_policy_keeps_invariants_and_coherence(self, sequence):
-        run_sequence(lambda: MoveThresholdPolicy(2), sequence)
+        run_sequence(lambda: MoveThresholdPolicy(threshold=2), sequence)
 
     @given(sequence=requests)
     @settings(max_examples=30, deadline=None)
@@ -101,7 +101,7 @@ class TestProtocolProperties:
     def test_move_counts_never_decrease(self, sequence):
         rig = make_rig(
             n_processors=N_CPUS,
-            policy=MoveThresholdPolicy(3),
+            policy=MoveThresholdPolicy(threshold=3),
             local_pages_per_cpu=16,
             global_pages=64,
         )
@@ -119,7 +119,7 @@ class TestProtocolProperties:
     @given(sequence=requests)
     @settings(max_examples=30, deadline=None)
     def test_pinned_pages_stay_global_until_freed(self, sequence):
-        policy = MoveThresholdPolicy(1)
+        policy = MoveThresholdPolicy(threshold=1)
         rig = make_rig(
             n_processors=N_CPUS,
             policy=policy,
@@ -152,7 +152,7 @@ class TestProtocolProperties:
     @settings(max_examples=30, deadline=None)
     def test_no_frame_leaks(self, sequence):
         """After freeing everything, all frames return to their pools."""
-        rig = run_sequence(lambda: MoveThresholdPolicy(2), sequence)
+        rig = run_sequence(lambda: MoveThresholdPolicy(threshold=2), sequence)
         region_obj = None
         for obj_region in rig.space.regions:
             region_obj = obj_region.vm_object
@@ -166,7 +166,7 @@ class TestProtocolProperties:
     @given(sequence=requests)
     @settings(max_examples=20, deadline=None)
     def test_mmu_and_directory_mappings_agree(self, sequence):
-        rig = run_sequence(lambda: MoveThresholdPolicy(2), sequence)
+        rig = run_sequence(lambda: MoveThresholdPolicy(threshold=2), sequence)
         for entry in rig.numa.directory.entries():
             for cpu, mapping in entry.mappings.items():
                 hw = rig.machine.cpu(cpu).mmu.lookup(mapping.vpage)
@@ -184,7 +184,7 @@ class TestSingleWriterProperty:
     def test_at_most_one_writable_mapping_unless_global(self, writes):
         rig = make_rig(
             n_processors=N_CPUS,
-            policy=MoveThresholdPolicy(5),
+            policy=MoveThresholdPolicy(threshold=5),
             local_pages_per_cpu=16,
             global_pages=32,
         )

@@ -16,7 +16,7 @@ from tests.conftest import make_rig
 def remote_rig(n_processors=3):
     rig = make_rig(
         n_processors=n_processors,
-        policy=HomeNodePolicy(MoveThresholdPolicy(4)),
+        policy=HomeNodePolicy(MoveThresholdPolicy(threshold=4)),
     )
     obj = shared_object("hot", 2)
     obj.pragma = Pragma.REMOTE
@@ -129,7 +129,7 @@ class TestHomeNodePolicyUnit:
         assert frame.node == 1  # base policy LOCAL
 
     def test_remote_pages_never_burn_the_move_budget(self):
-        base = MoveThresholdPolicy(0)
+        base = MoveThresholdPolicy(threshold=0)
         policy = HomeNodePolicy(base)
 
         class FakePage:
@@ -140,7 +140,7 @@ class TestHomeNodePolicyUnit:
         assert not base.is_pinned(9)
 
     def test_name(self):
-        assert "home-node" in HomeNodePolicy(MoveThresholdPolicy(4)).name
+        assert "home-node" in HomeNodePolicy(MoveThresholdPolicy(threshold=4)).name
 
 
 class TestRemoteProperties:

@@ -247,3 +247,56 @@ class TestOrchestratedTables:
         out = capsys.readouterr().out
         assert "threshold sweep" in out
         assert out.count("\n  ") >= 2  # one line per threshold
+
+
+class TestTournamentGrid:
+    def test_tournament_options_parse(self):
+        args = build_parser().parse_args(
+            [
+                "batch",
+                "--grid", "tournament",
+                "--apps", "Gfetch",
+                "--policies", "move-threshold", "bandit:seed=7",
+            ]
+        )
+        assert args.grid == "tournament"
+        assert args.policies == ["move-threshold", "bandit:seed=7"]
+
+    def test_tournament_runs_entrants_and_baselines(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        argv = [
+            "--quick", "batch", "--grid", "tournament",
+            "--apps", "ParMult",
+            "--policies", "move-threshold", "adaptive-threshold",
+        ]
+        assert main(argv) == 0
+        # Two entrants plus the shared Tglobal/Tlocal baselines.
+        assert _summary(capsys)["unique"] == 4
+        # The warm rerun is served entirely from the cache.
+        assert main(argv + ["--require-cache-ratio", "1.0"]) == 0
+        warm = _summary(capsys)
+        assert warm["executed"] == 0
+        assert warm["cache_ratio"] == 1.0
+
+    def test_unknown_policy_is_a_usage_error(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = [
+            "--quick", "batch", "--grid", "tournament",
+            "--policies", "nosuch",
+        ]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "nosuch" in err and "Traceback" not in err
+
+    def test_bad_policy_parameter_is_a_usage_error(self, tmp_path, capsys,
+                                                   monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = [
+            "--quick", "batch", "--grid", "tournament",
+            "--policies", "bandit:seed=banana",
+        ]
+        assert main(argv) == 2
+        assert "seed" in capsys.readouterr().err

@@ -14,7 +14,7 @@ from repro.workloads.parmult import ParMult
 class TestRunOnceShim:
     def test_matches_declarative_spec_byte_for_byte(self):
         shim = run_once(
-            ParMult.small(), MoveThresholdPolicy(4), n_processors=2
+            ParMult.small(), MoveThresholdPolicy(threshold=4), n_processors=2
         )
         spec = RunSpec(workload="ParMult", quick=True, n_processors=2)
         assert shim.to_json() == spec.run().to_json()
@@ -24,16 +24,16 @@ class TestRunOnceShim:
             warnings.simplefilter("error", DeprecationWarning)
             run_once(
                 ParMult.small(),
-                MoveThresholdPolicy(4),
+                MoveThresholdPolicy(threshold=4),
                 n_processors=2,
                 check_invariants=False,
             )
 
     def test_positional_extras_warn_but_work(self):
         with pytest.warns(DeprecationWarning, match="run_once"):
-            legacy = run_once(ParMult.small(), MoveThresholdPolicy(4), 2)
+            legacy = run_once(ParMult.small(), MoveThresholdPolicy(threshold=4), 2)
         modern = run_once(
-            ParMult.small(), MoveThresholdPolicy(4), n_processors=2
+            ParMult.small(), MoveThresholdPolicy(threshold=4), n_processors=2
         )
         assert legacy.to_json() == modern.to_json()
 
@@ -41,12 +41,12 @@ class TestRunOnceShim:
         with pytest.raises(TypeError, match="n_processors"), warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             run_once(
-                ParMult.small(), MoveThresholdPolicy(4), 2, n_processors=2
+                ParMult.small(), MoveThresholdPolicy(threshold=4), 2, n_processors=2
             )
 
     def test_unknown_keyword_is_an_error(self):
         with pytest.raises(TypeError, match="surprise"):
-            run_once(ParMult.small(), MoveThresholdPolicy(4), surprise=1)
+            run_once(ParMult.small(), MoveThresholdPolicy(threshold=4), surprise=1)
 
     def test_non_registry_policy_instances_still_run(self):
         result = run_once(ParMult.small(), AllGlobalPolicy(), n_processors=2)

@@ -147,3 +147,99 @@ class TestExecution:
     def test_unknown_registry_names_are_not_declarative(self):
         assert not RunSpec(workload="nope").is_declarative()
         assert not RunSpec(workload="ParMult", policy="nope").is_declarative()
+
+
+class TestPolicyParams:
+    """policy_params: spec identity, labels, and fingerprint freeze."""
+
+    def test_default_fingerprints_are_frozen(self):
+        """The exact pre-policy_params bytes, pinned.
+
+        Empty ``policy_params`` must stay out of the canonical key so
+        every result cache written before the field existed still
+        resolves.  If this test fails, cached results were orphaned.
+        """
+        assert RunSpec(workload="ParMult").fingerprint() == (
+            "fd4bbadf7eaa1e358b42e9a96c8ae646724d97e7c6c85c0153eba4956e8e3f44"
+        )
+        assert RunSpec(workload="ParMult", quick=True).fingerprint() == (
+            "6a636ae6dd91ac38972feda937d827ef777e1058b34c41f5d75c0352f0ddda47"
+        )
+
+    def test_empty_params_stay_out_of_the_key(self):
+        spec = RunSpec(workload="ParMult", policy_params=())
+        assert "policy_params" not in spec.key()
+        assert spec.fingerprint() == RunSpec(workload="ParMult").fingerprint()
+
+    def test_params_enter_key_and_fingerprint(self):
+        spec = RunSpec(
+            workload="ParMult", policy="bandit",
+            policy_params=(("seed", 7),),
+        )
+        assert spec.key()["policy_params"] == {"seed": 7}
+        assert (
+            spec.fingerprint()
+            != RunSpec(workload="ParMult", policy="bandit").fingerprint()
+        )
+        assert RunSpec.from_key(spec.key()) == spec
+
+    def test_params_are_order_insensitive(self):
+        a = RunSpec(
+            workload="ParMult", policy="bandit",
+            policy_params=(("seed", 7), ("epsilon", 0.2)),
+        )
+        b = RunSpec(
+            workload="ParMult", policy="bandit",
+            policy_params=(("epsilon", 0.2), ("seed", 7)),
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_params_accept_mappings(self):
+        spec = RunSpec(
+            workload="ParMult", policy="bandit",
+            policy_params={"seed": 7},
+        )
+        assert spec.policy_params == (("seed", 7),)
+
+    def test_param_fingerprint_stable_across_processes(self):
+        spec = RunSpec(
+            workload="Gfetch", policy="bandit",
+            policy_params=(("seed", 7), ("epsilon", 0.2)),
+        )
+        script = (
+            "from repro.exp.spec import RunSpec; "
+            "print(RunSpec(workload='Gfetch', policy='bandit', "
+            "policy_params=(('seed', 7), ('epsilon', 0.2))).fingerprint())"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert child.stdout.strip() == spec.fingerprint()
+
+    def test_label_shows_the_params(self):
+        spec = RunSpec(
+            workload="ParMult", policy="bandit",
+            policy_params=(("seed", 7),),
+        )
+        assert "bandit(seed=7)" in spec.label
+
+    def test_resolve_policy_applies_the_params(self):
+        spec = RunSpec(
+            workload="ParMult", policy="adaptive-threshold",
+            threshold=6, policy_params=(("backoff", 3.0),),
+        )
+        policy = spec.resolve_policy()
+        assert policy.params()["threshold"] == 6
+        assert policy.params()["backoff"] == 3.0
+
+    def test_bad_params_are_rejected_before_running(self):
+        spec = RunSpec(
+            workload="ParMult", policy="bandit",
+            policy_params=(("nosuch", 1),),
+        )
+        with pytest.raises(ConfigurationError, match="nosuch"):
+            spec.resolve_policy()
+        assert not spec.is_declarative()

@@ -18,7 +18,7 @@ def run_with_telemetry(name, interval=8, processors=3, threshold=4):
     telemetry = Telemetry(sample_interval=interval)
     result = run_once(
         small(name),
-        MoveThresholdPolicy(threshold),
+        MoveThresholdPolicy(threshold=threshold),
         n_processors=processors,
         check_invariants=False,
         telemetry=telemetry,
@@ -88,7 +88,7 @@ class TestTelemetryNeutrality:
     def test_simulated_times_identical_with_and_without(self, name):
         plain = run_once(
             small(name),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=3,
             check_invariants=False,
         )

@@ -20,7 +20,7 @@ def run_both_paths(workload_factory, n_processors=4):
     for fast_path in (True, False):
         sim = build_simulation(
             workload_factory(),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=n_processors,
             fast_path=fast_path,
         )

@@ -39,7 +39,7 @@ class MiniWorkload(Workload):
 
 class TestRunOnce:
     def test_returns_populated_result(self):
-        result = run_once(MiniWorkload(), MoveThresholdPolicy(4), n_processors=3)
+        result = run_once(MiniWorkload(), MoveThresholdPolicy(threshold=4), n_processors=3)
         assert isinstance(result, RunResult)
         assert result.workload == "mini"
         assert result.n_processors == 3
@@ -49,7 +49,7 @@ class TestRunOnce:
         assert result.rounds > 0
 
     def test_thread_count_defaults_to_processors(self):
-        result = run_once(MiniWorkload(), MoveThresholdPolicy(4), n_processors=2)
+        result = run_once(MiniWorkload(), MoveThresholdPolicy(threshold=4), n_processors=2)
         assert result.n_threads == 2
 
     def test_explicit_machine_config(self):
@@ -57,21 +57,21 @@ class TestRunOnce:
             n_processors=2, local_pages_per_cpu=32, global_pages=64
         )
         result = run_once(
-            MiniWorkload(), MoveThresholdPolicy(4), machine_config=config
+            MiniWorkload(), MoveThresholdPolicy(threshold=4), machine_config=config
         )
         assert result.n_processors == 2
 
     def test_custom_scheduler_migrations_reported(self):
         result = run_once(
             MiniWorkload(),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=3,
             scheduler_factory=lambda n: GlobalQueueScheduler(n, 5),
         )
         assert result.migrations > 0
 
     def test_build_simulation_exposes_parts(self):
-        sim = build_simulation(MiniWorkload(), MoveThresholdPolicy(4), 2)
+        sim = build_simulation(MiniWorkload(), MoveThresholdPolicy(threshold=4), 2)
         assert sim.machine.n_cpus == 2
         assert len(sim.threads) == 2
         assert sim.context.n_threads == 2

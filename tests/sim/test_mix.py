@@ -13,15 +13,15 @@ from repro.workloads.primes import Primes1, Primes3
 class TestRunMix:
     def test_single_workload_mix_matches_run_once(self):
         mix = run_mix(
-            [ParMult.small()], MoveThresholdPolicy(4), n_processors=4
+            [ParMult.small()], MoveThresholdPolicy(threshold=4), n_processors=4
         )
-        solo = run_once(ParMult.small(), MoveThresholdPolicy(4), n_processors=4)
+        solo = run_once(ParMult.small(), MoveThresholdPolicy(threshold=4), n_processors=4)
         assert mix.total_user_us == pytest.approx(solo.user_time_us)
 
     def test_task_attribution_sums_to_total(self):
         mix = run_mix(
             [ParMult.small(), Primes1.small()],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
         )
         assert sum(t.user_time_us for t in mix.tasks) == pytest.approx(
@@ -31,7 +31,7 @@ class TestRunMix:
     def test_task_named_lookup(self):
         mix = run_mix(
             [ParMult.small(), Primes1.small()],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
         )
         assert mix.task_named("ParMult").task == 0
@@ -43,9 +43,9 @@ class TestRunMix:
         """Positional args beyond (workloads, policy) still run, with a
         DeprecationWarning steering callers to keywords."""
         with pytest.warns(DeprecationWarning, match="run_mix"):
-            legacy = run_mix([ParMult.small()], MoveThresholdPolicy(4), 4)
+            legacy = run_mix([ParMult.small()], MoveThresholdPolicy(threshold=4), 4)
         modern = run_mix(
-            [ParMult.small()], MoveThresholdPolicy(4), n_processors=4
+            [ParMult.small()], MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert legacy.total_user_us == modern.total_user_us
         assert legacy.rounds == modern.rounds
@@ -61,7 +61,7 @@ class TestRunMix:
         synchronize within their own task only."""
         mix = run_mix(
             [IMatMult.small(), IMatMult.small()],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
         )
         a, b = mix.tasks
@@ -72,12 +72,12 @@ class TestRunMix:
         """The introduction's claim: each application in the mix keeps
         (almost) the locality it had standalone."""
         solo = run_once(
-            Primes1.small(), MoveThresholdPolicy(4), n_processors=4,
+            Primes1.small(), MoveThresholdPolicy(threshold=4), n_processors=4,
             check_invariants=False,
         )
         mix = run_mix(
             [Primes1.small(), Primes3.small()],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
         )
         mixed = mix.task_named("Primes1").user_time_us
@@ -88,7 +88,7 @@ class TestRunMix:
 
         result = rm(
             [IMatMult.small(), Primes3.small()],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
             check_invariants=True,
         )
@@ -132,7 +132,7 @@ class TestRunMix:
     def test_identical_twins_get_identical_times(self):
         mix = run_mix(
             [ParMult.small(), ParMult.small()],
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=2,
         )
         a, b = mix.tasks

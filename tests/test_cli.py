@@ -414,3 +414,30 @@ class TestTopologyCli:
         ]
         assert records[-1]["t"] == "chaos_report"
         assert records[-1]["n_processors"] == 8
+
+
+class TestPoliciesCommand:
+    def test_policies_parses(self):
+        args = build_parser().parse_args(["policies", "--format", "json"])
+        assert args.format == "json"
+        assert callable(args.func)
+
+    def test_policies_lists_the_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "move-threshold", "adaptive-threshold",
+            "bandwidth-aware", "bandit",
+        ):
+            assert name in out
+
+    def test_policies_json_rows(self, capsys):
+        assert main(["policies", "--format", "json"]) == 0
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip().startswith("{")
+        ]
+        by_name = {row["name"]: row for row in rows}
+        assert "seed:int=0" in by_name["bandit"]["params"]
+        assert by_name["all-global"]["params"] == ""

@@ -33,7 +33,7 @@ class TestFullPipeline:
         trace = TraceCollector()
         result = run_once(
             Primes3.small(),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
             observer=trace,
         )
@@ -62,7 +62,7 @@ class TestFullPipeline:
 
     def test_every_application_final_state_is_consistent(self):
         for name, workload in small_workloads().items():
-            sim = build_simulation(workload, MoveThresholdPolicy(4), 4)
+            sim = build_simulation(workload, MoveThresholdPolicy(threshold=4), 4)
             sim.engine.run(sim.threads)
             sim.numa.check_all_invariants()
             # No frame leaks relative to live pages.
@@ -71,7 +71,7 @@ class TestFullPipeline:
 
     def test_mixed_policies_and_pragmas_coexist(self):
         """Pragma'd, remote, and automatic regions in one address space."""
-        policy = HomeNodePolicy(PragmaPolicy(MoveThresholdPolicy(4)))
+        policy = HomeNodePolicy(PragmaPolicy(MoveThresholdPolicy(threshold=4)))
         sim = build_simulation(
             LopsidedSharing(dominant_share=0.8, pragma=Pragma.REMOTE),
             policy,
@@ -95,7 +95,7 @@ class TestDeterminismAcrossTheBoard:
     @pytest.mark.parametrize("name", sorted(small_workloads()))
     def test_two_identical_runs_agree_exactly(self, name):
         workload = small_workloads()[name]
-        first = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
-        second = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
+        first = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=4)
+        second = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=4)
         assert first.user_time_us == second.user_time_us
         assert first.stats.as_dict() == second.stats.as_dict()

@@ -18,7 +18,7 @@ def make_pool(global_pages: int = 4):
         n_processors=2, local_pages_per_cpu=8, global_pages=global_pages
     )
     machine = Machine(config)
-    numa = NUMAManager(machine, MoveThresholdPolicy(4))
+    numa = NUMAManager(machine, MoveThresholdPolicy(threshold=4))
     return PagePool(numa), machine
 
 

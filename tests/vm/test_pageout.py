@@ -24,7 +24,7 @@ def paged_rig(n_processors=2, global_pages=8, io_us=1000.0):
         global_pages=global_pages,
     )
     machine = Machine(config)
-    numa = NUMAManager(machine, PragmaPolicy(MoveThresholdPolicy(4)))
+    numa = NUMAManager(machine, PragmaPolicy(MoveThresholdPolicy(threshold=4)))
     store = BackingStore()
     pool = PagePool(numa, backing_store=store)
     pmap = ACEPmap(numa)

@@ -12,24 +12,24 @@ from repro.workloads.lopsided import LopsidedSharing
 class TestHandoff:
     def test_default_threshold_keeps_consumer_local(self):
         result = run_once(
-            Handoff.small(), MoveThresholdPolicy(4), n_processors=4
+            Handoff.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert result.measured_alpha > 0.9
 
     def test_threshold_zero_pins_the_buffer(self):
         pinned = run_once(
-            Handoff.small(), MoveThresholdPolicy(0), n_processors=4
+            Handoff.small(), MoveThresholdPolicy(threshold=0), n_processors=4
         )
         default = run_once(
-            Handoff.small(), MoveThresholdPolicy(4), n_processors=4
+            Handoff.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert pinned.measured_alpha < default.measured_alpha
         assert pinned.user_time_us > default.user_time_us
 
     def test_extra_threads_idle_harmlessly(self):
-        few = run_once(Handoff.small(), MoveThresholdPolicy(4), n_processors=2)
+        few = run_once(Handoff.small(), MoveThresholdPolicy(threshold=4), n_processors=2)
         many = run_once(
-            Handoff.small(), MoveThresholdPolicy(4), n_processors=7
+            Handoff.small(), MoveThresholdPolicy(threshold=4), n_processors=7
         )
         assert many.user_time_us == pytest.approx(
             few.user_time_us, rel=0.05
@@ -43,7 +43,7 @@ class TestHandoff:
 
     def test_ownership_moves_are_few_under_the_default(self):
         result = run_once(
-            Handoff.small(), MoveThresholdPolicy(4), n_processors=4
+            Handoff.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         # One productive transfer per page, plus the peek-induced
         # re-claims; far below the pathological ping-pong counts.
@@ -65,7 +65,7 @@ class TestLopsidedSharing:
     def test_automatic_policy_pins_the_hot_region(self):
         result = run_once(
             LopsidedSharing(dominant_share=0.5, total_refs=40_000),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
         )
         assert result.measured_alpha < 0.35  # hot refs mostly global
@@ -75,7 +75,7 @@ class TestLopsidedSharing:
             LopsidedSharing(
                 dominant_share=0.9, total_refs=40_000, pragma=Pragma.REMOTE
             ),
-            HomeNodePolicy(MoveThresholdPolicy(4)),
+            HomeNodePolicy(MoveThresholdPolicy(threshold=4)),
             n_processors=4,
         )
         assert result.stats.remote_mappings > 0
@@ -88,14 +88,14 @@ class TestLopsidedSharing:
             LopsidedSharing(
                 dominant_share=0.9, total_refs=40_000, pragma=Pragma.REMOTE
             ),
-            HomeNodePolicy(MoveThresholdPolicy(4)),
+            HomeNodePolicy(MoveThresholdPolicy(threshold=4)),
             n_processors=4,
         )
         balanced = run_once(
             LopsidedSharing(
                 dominant_share=0.3, total_refs=40_000, pragma=Pragma.REMOTE
             ),
-            HomeNodePolicy(MoveThresholdPolicy(4)),
+            HomeNodePolicy(MoveThresholdPolicy(threshold=4)),
             n_processors=4,
         )
         assert lop.measured_alpha > balanced.measured_alpha

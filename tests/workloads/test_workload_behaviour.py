@@ -21,7 +21,7 @@ from repro.workloads.primes import (
 
 
 def run_and_inspect(workload, n_processors=4):
-    sim = build_simulation(workload, MoveThresholdPolicy(4), n_processors)
+    sim = build_simulation(workload, MoveThresholdPolicy(threshold=4), n_processors)
     sim.engine.run(sim.threads)
     return sim
 
@@ -65,7 +65,7 @@ class TestPrimesHelpers:
 class TestParMult:
     def test_negligible_data_traffic(self):
         result = run_once(
-            ParMult.small(), MoveThresholdPolicy(4), n_processors=4
+            ParMult.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert result.data_refs.total() <= 2 * 8 + 4  # ~2 refs per chunk
 
@@ -84,7 +84,7 @@ class TestGfetch:
 
     def test_alpha_is_near_zero(self):
         result = run_once(
-            Gfetch.small(), MoveThresholdPolicy(4), n_processors=4
+            Gfetch.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert result.measured_alpha < 0.35  # init writes loom large at small scale
 
@@ -116,7 +116,7 @@ class TestIMatMult:
 
     def test_alpha_is_high(self):
         result = run_once(
-            IMatMult.small(), MoveThresholdPolicy(4), n_processors=4
+            IMatMult.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert result.measured_alpha > 0.9
 
@@ -128,7 +128,7 @@ class TestIMatMult:
 class TestPrimes1:
     def test_stack_traffic_dominates_and_stays_local(self):
         result = run_once(
-            Primes1.small(), MoveThresholdPolicy(4), n_processors=4
+            Primes1.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert result.measured_alpha > 0.95
 
@@ -142,12 +142,12 @@ class TestPrimes2:
         """Section 4.2: alpha 0.66 -> 1.00 when divisors are privatized."""
         shared = run_once(
             Primes2(limit=6_000, private_divisors=False),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
         )
         private = run_once(
             Primes2(limit=6_000, private_divisors=True),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=4,
         )
         assert private.measured_alpha > shared.measured_alpha + 0.2
@@ -167,13 +167,13 @@ class TestPrimes3:
 
     def test_alpha_is_low(self):
         result = run_once(
-            Primes3.small(), MoveThresholdPolicy(4), n_processors=4
+            Primes3.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert result.measured_alpha < 0.6
 
     def test_heavy_copy_traffic_before_pinning(self):
         result = run_once(
-            Primes3.small(), MoveThresholdPolicy(4), n_processors=4
+            Primes3.small(), MoveThresholdPolicy(threshold=4), n_processors=4
         )
         assert result.stats.total_page_copies() > 10
 
@@ -186,7 +186,7 @@ class TestFFT:
             assert all(s is PageState.LOCAL_WRITABLE for s in states)
 
     def test_alpha_is_high(self):
-        result = run_once(FFT.small(), MoveThresholdPolicy(4), n_processors=4)
+        result = run_once(FFT.small(), MoveThresholdPolicy(threshold=4), n_processors=4)
         assert result.measured_alpha > 0.9
 
     def test_size_must_be_power_of_two(self):
@@ -206,11 +206,11 @@ class TestPlyTrace:
 
     def test_packed_framebuffer_hurts_alpha(self):
         padded = run_once(
-            PlyTrace(n_polygons=1200), MoveThresholdPolicy(4), n_processors=7
+            PlyTrace(n_polygons=1200), MoveThresholdPolicy(threshold=4), n_processors=7
         )
         packed = run_once(
             PlyTrace(n_polygons=1200, padded_framebuffer=False),
-            MoveThresholdPolicy(4),
+            MoveThresholdPolicy(threshold=4),
             n_processors=7,
         )
         assert packed.measured_alpha < padded.measured_alpha - 0.08

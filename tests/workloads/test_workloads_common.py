@@ -22,7 +22,7 @@ def workload(request):
 
 class TestEveryWorkload:
     def test_runs_clean_under_the_threshold_policy(self, workload):
-        result = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
+        result = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=4)
         assert result.user_time_us > 0
 
     def test_runs_clean_under_all_global(self, workload):
@@ -36,21 +36,21 @@ class TestEveryWorkload:
         assert result.user_time_us > 0
 
     def test_invariants_hold_at_exit(self, workload):
-        sim = build_simulation(workload, MoveThresholdPolicy(4), 4)
+        sim = build_simulation(workload, MoveThresholdPolicy(threshold=4), 4)
         sim.engine.run(sim.threads)
         sim.numa.check_all_invariants()
 
     def test_deterministic(self, workload):
-        a = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
-        b = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
+        a = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=4)
+        b = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=4)
         assert a.user_time_us == b.user_time_us
         assert a.system_time_us == b.system_time_us
         assert a.stats.moves == b.stats.moves
 
     def test_build_is_pure_across_runs(self, workload):
         """Two consecutive builds must not share VM objects."""
-        sim1 = build_simulation(workload, MoveThresholdPolicy(4), 2)
-        sim2 = build_simulation(workload, MoveThresholdPolicy(4), 2)
+        sim1 = build_simulation(workload, MoveThresholdPolicy(threshold=4), 2)
+        sim2 = build_simulation(workload, MoveThresholdPolicy(threshold=4), 2)
         ids1 = {r.vm_object.object_id for r in sim1.space.regions}
         ids2 = {r.vm_object.object_id for r in sim2.space.regions}
         assert ids1.isdisjoint(ids2)
@@ -58,7 +58,7 @@ class TestEveryWorkload:
     def test_numa_between_local_and_global(self, workload):
         """Tlocal <= Tnuma and Tnuma <= Tglobal (within slack):
         the ordering the whole evaluation rests on."""
-        numa = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
+        numa = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=4)
         all_global = run_once(workload, AllGlobalPolicy(), n_processors=4)
         local = run_once(
             workload, AllLocalPolicy(), n_processors=1, n_threads=1
@@ -70,7 +70,7 @@ class TestEveryWorkload:
         """Section 3.1 requires the same total work regardless of the
         number of processors; user time may differ only through placement
         (bounded by the G/L ratio), not through workload scaling."""
-        two = run_once(workload, MoveThresholdPolicy(4), n_processors=2)
-        four = run_once(workload, MoveThresholdPolicy(4), n_processors=4)
+        two = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=2)
+        four = run_once(workload, MoveThresholdPolicy(threshold=4), n_processors=4)
         ratio = four.user_time_us / two.user_time_us
         assert 0.4 < ratio < 2.5
